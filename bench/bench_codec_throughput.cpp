@@ -1,0 +1,84 @@
+// Raw codec throughput microbenchmarks (google-benchmark). Complements
+// Fig. 11: the paper reports GPU codec throughputs; these are the
+// measured CPU-substrate numbers for the same algorithms, used when the
+// selector runs in measured-throughput mode.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/registry.hpp"
+
+namespace {
+
+using namespace dlcomp;
+
+/// Embedding-batch-shaped payload: repeated vectors from a small pool
+/// plus Gaussian jitter tables, ~1 MiB.
+std::vector<float> payload() {
+  static const std::vector<float> data = [] {
+    Rng rng(17);
+    std::vector<float> out;
+    out.reserve(1 << 18);
+    std::vector<float> pool_vec(32);
+    for (std::size_t i = 0; i < (1u << 18); ++i) {
+      if (i % 32 == 0 && rng.bernoulli(0.4)) {
+        for (auto& v : pool_vec) v = static_cast<float>(rng.normal(0.0, 0.2));
+      }
+      out.push_back(pool_vec[i % 32]);
+    }
+    return out;
+  }();
+  return data;
+}
+
+void compress_benchmark(benchmark::State& state, const char* name) {
+  const Compressor& codec = get_compressor(name);
+  const auto input = payload();
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  std::vector<std::byte> out;
+  for (auto _ : state) {
+    out.clear();
+    codec.compress(input, params, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size() * 4));
+}
+
+void decompress_benchmark(benchmark::State& state, const char* name) {
+  const Compressor& codec = get_compressor(name);
+  const auto input = payload();
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  std::vector<std::byte> stream;
+  codec.compress(input, params, stream);
+  std::vector<float> out(input.size());
+  for (auto _ : state) {
+    codec.decompress(stream, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size() * 4));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(compress_benchmark, vector_lz, "vector-lz");
+BENCHMARK_CAPTURE(compress_benchmark, huffman, "huffman");
+BENCHMARK_CAPTURE(compress_benchmark, hybrid, "hybrid");
+BENCHMARK_CAPTURE(compress_benchmark, fz_gpu_like, "fz-gpu-like");
+BENCHMARK_CAPTURE(compress_benchmark, cusz_like, "cusz-like");
+BENCHMARK_CAPTURE(compress_benchmark, fp16, "fp16");
+BENCHMARK_CAPTURE(decompress_benchmark, vector_lz, "vector-lz");
+BENCHMARK_CAPTURE(decompress_benchmark, huffman, "huffman");
+BENCHMARK_CAPTURE(decompress_benchmark, hybrid, "hybrid");
+BENCHMARK_CAPTURE(decompress_benchmark, fz_gpu_like, "fz-gpu-like");
+BENCHMARK_CAPTURE(decompress_benchmark, cusz_like, "cusz-like");
+BENCHMARK_CAPTURE(decompress_benchmark, fp16, "fp16");
+
+BENCHMARK_MAIN();

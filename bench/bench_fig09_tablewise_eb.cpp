@@ -1,0 +1,70 @@
+// Reproduces Fig. 9: accuracy and compression ratio of table-wise
+// error-bound configuration (Homo-Index classes -> 0.01/0.03/0.05) versus
+// a fixed global error bound. The paper reports intact accuracy plus up
+// to 1.21x higher CR on Criteo Kaggle.
+
+#include <iostream>
+
+#include "bench_training.hpp"
+#include "core/offline_analyzer.hpp"
+
+int main() {
+  using namespace dlcomp;
+  using namespace dlcomp::bench;
+  banner("bench_fig09_tablewise_eb",
+         "Fig. 9: fixed global EB vs table-wise EB (accuracy + CR)");
+
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(26, 16);
+  const SyntheticClickDataset data(spec, 47);
+  const std::size_t iters = scaled(500, 2000);
+
+  // Offline analysis assigns per-table bounds.
+  const auto tables = make_embedding_set(spec, 77);
+  AnalyzerConfig analyzer_config;
+  analyzer_config.sample_batches = 2;
+  analyzer_config.sampling_eb = 0.01;
+  const AnalysisReport report =
+      OfflineAnalyzer(analyzer_config).analyze(data, tables);
+  const std::vector<double> table_eb = report.table_error_bounds();
+
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& t : report.tables) ++counts[static_cast<int>(t.eb_class)];
+  std::cout << "offline classification: L=" << counts[0] << " M=" << counts[1]
+            << " S=" << counts[2] << "\n";
+
+  std::vector<AccuracyRun> runs;
+  {
+    AccuracyRunConfig config;
+    config.label = "fp32-baseline";
+    config.iterations = iters;
+    config.eval_every = iters / 8;
+    runs.push_back(run_accuracy_experiment(spec, data, config));
+  }
+  {
+    AccuracyRunConfig config;
+    config.label = "fixed-global-0.03";
+    config.codec = "hybrid";
+    config.global_eb = 0.03;
+    config.iterations = iters;
+    config.eval_every = iters / 8;
+    runs.push_back(run_accuracy_experiment(spec, data, config));
+  }
+  {
+    AccuracyRunConfig config;
+    config.label = "table-wise-LMS";
+    config.codec = "hybrid";
+    config.table_eb = table_eb;
+    config.iterations = iters;
+    config.eval_every = iters / 8;
+    runs.push_back(run_accuracy_experiment(spec, data, config));
+  }
+  print_runs(runs);
+
+  const double gain = runs[2].forward_cr / runs[1].forward_cr;
+  std::cout << "\ntable-wise CR gain over fixed global: "
+            << TablePrinter::num(gain, 2) << "x (paper: up to 1.21x on "
+            << "Kaggle)\n"
+            << "expected shape: table-wise accuracy ~= fixed-global accuracy "
+               "~= baseline, with the table-wise CR strictly higher\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 14: value distribution of representative embedding
+// tables across training phases (early / middle / late) on the
+// Terabyte-like workload. The paper's point: the distribution stays
+// stable as training progresses, which is why the compressor's ratio
+// holds steady across phases.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/trainer.hpp"
+
+int main() {
+  using namespace dlcomp;
+  using namespace dlcomp::bench;
+  banner("bench_fig14_phase_distribution",
+         "Fig. 14: EMB value distributions across training phases");
+
+  // Train a reduced model, snapshotting lookup distributions at three
+  // points. Single-process training is sufficient: the distribution of
+  // table values is what matters.
+  DatasetSpec spec = DatasetSpec::criteo_terabyte_like(20000);
+  spec.embedding_dim = 16;  // keep the training loop fast
+  const SyntheticClickDataset data(spec, 31);
+
+  DlrmConfig config;
+  config.bottom_hidden = {32};
+  config.top_hidden = {32};
+  config.learning_rate = 0.05f;
+  DlrmModel model(spec, config, 7);
+
+  const std::size_t iters = scaled(60, 600);
+  const std::size_t batch = scaled(256, 2048);
+  const std::size_t snapshots[3] = {0, iters / 2, iters - 1};
+  const std::size_t probe_tables[2] = {1, 9};
+
+  std::size_t next_snapshot = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const SampleBatch b = data.make_batch(batch, i);
+    (void)model.train_step(b);
+    if (next_snapshot < 3 && i == snapshots[next_snapshot]) {
+      std::cout << "\n=== phase " << next_snapshot + 1 << " (iteration " << i
+                << ") ===\n";
+      for (const std::size_t t : probe_tables) {
+        Matrix lookup(batch, spec.embedding_dim);
+        model.lookup_table(t, b.indices[t], lookup);
+        const Summary s = summarize(lookup.flat());
+        std::cout << "table " << t << ": mean " << TablePrinter::num(s.mean, 4)
+                  << " stddev " << TablePrinter::num(s.stddev, 4)
+                  << " kurtosis " << TablePrinter::num(s.excess_kurtosis, 2)
+                  << "\n";
+        Histogram h(-0.5, 0.5, 11);
+        h.add_all(lookup.flat());
+        std::cout << h.render(30);
+      }
+      ++next_snapshot;
+    }
+  }
+  std::cout << "\nexpected shape (paper Fig. 14): per-table distributions "
+               "barely move between phases -- the compression ratio is "
+               "stable across training\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Table VI: compression-ratio improvement of the fine-tuned
+// vector-LZ encoder as the window size grows {32, 64, 128, 255},
+// normalized to the window-32 baseline, on both datasets.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "compress/vector_lz.hpp"
+
+namespace {
+
+using namespace dlcomp;
+using namespace dlcomp::bench;
+
+std::vector<double> window_sweep(const Workload& w, double eb,
+                                 std::size_t batch,
+                                 const std::vector<std::size_t>& windows) {
+  const VectorLzCompressor codec;
+  std::vector<double> ratios;
+  for (const std::size_t window : windows) {
+    double total_in = 0.0;
+    double total_out = 0.0;
+    for (std::size_t t = 0; t < w.spec.num_tables(); ++t) {
+      const auto sample = sample_table_lookups(w, t, batch);
+      CompressParams params;
+      params.error_bound = eb;
+      params.vector_dim = w.spec.embedding_dim;
+      params.lz_window_vectors = window;
+      std::vector<std::byte> stream;
+      const auto stats = codec.compress(sample, params, stream);
+      total_in += static_cast<double>(stats.input_bytes);
+      total_out += static_cast<double>(stats.output_bytes);
+    }
+    ratios.push_back(total_in / total_out);
+  }
+  return ratios;
+}
+
+}  // namespace
+
+int main() {
+  banner("bench_table6_window_size",
+         "Table VI: vector-LZ CR improvement vs window size");
+
+  const std::vector<std::size_t> windows = {32, 64, 128, 255};
+  const Workload kaggle = kaggle_workload();
+  const Workload terabyte = terabyte_workload();
+
+  const auto kaggle_ratios = window_sweep(kaggle, 0.01, 128, windows);
+  const auto tb_ratios =
+      window_sweep(terabyte, 0.005, scaled(512, 2048), windows);
+
+  TablePrinter table({"Window Size", "32", "64", "128", "255"});
+  auto normalize = [](const std::vector<double>& r) {
+    std::vector<std::string> cells;
+    for (const double v : r) {
+      cells.push_back(TablePrinter::num(v / r.front(), 2) + "x");
+    }
+    return cells;
+  };
+  {
+    auto cells = normalize(kaggle_ratios);
+    table.add_row({"Criteo-Kaggle-like", cells[0], cells[1], cells[2], cells[3]});
+  }
+  {
+    auto cells = normalize(tb_ratios);
+    table.add_row(
+        {"Criteo-Terabyte-like", cells[0], cells[1], cells[2], cells[3]});
+  }
+  table.print(std::cout);
+  std::cout << "absolute CRs (Kaggle): ";
+  for (const double r : kaggle_ratios) std::cout << TablePrinter::num(r, 2) << " ";
+  std::cout << "\nabsolute CRs (Terabyte): ";
+  for (const double r : tb_ratios) std::cout << TablePrinter::num(r, 2) << " ";
+  std::cout << "\npaper Table VI: Terabyte 1x/2.21x/3.89x/5.23x, Kaggle "
+               "1x/1.47x/1.52x/1.54x\n"
+            << "expected shape: monotone improvement with diminishing "
+               "returns; the batch fully covered by one window saturates "
+               "early\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Automated error-bound selection (the paper's future-work item): probe
+// candidate global bounds with short training runs, select the most
+// generous one whose held-out accuracy stays within tolerance, save the
+// resulting plan, and show the online feedback controller reacting to a
+// loss spike.
+//
+//   ./build/examples/auto_tuning
+
+#include <cstdio>
+
+#include "core/auto_tuner.hpp"
+#include "core/offline_analyzer.hpp"
+#include "core/report_io.hpp"
+
+int main() {
+  using namespace dlcomp;
+
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(8, 8);
+  const SyntheticClickDataset dataset(spec, 77);
+
+  // --- Offline: probe-search the global error bound -------------------
+  AutoTunerConfig config;
+  config.candidates = {0.08, 0.05, 0.03, 0.02, 0.01};
+  config.accuracy_tolerance = 0.01;  // within 1 pp of the FP32 probe
+  config.probe_iterations = 120;
+  config.model.bottom_hidden = {16};
+  config.model.top_hidden = {16};
+  config.model.learning_rate = 0.2f;
+
+  const AutoTunerResult result = auto_select_global_eb(dataset, config);
+  std::printf("baseline probe accuracy: %.2f%%\n",
+              result.baseline_accuracy * 100);
+  for (const auto& probe : result.probes) {
+    std::printf("  eb %.3f -> accuracy %.2f%%  CR %.1fx  %s\n",
+                probe.error_bound, probe.accuracy * 100,
+                probe.compression_ratio,
+                probe.within_tolerance ? "OK" : "too lossy");
+  }
+  std::printf("selected global error bound: %.3f\n\n", result.selected_eb);
+
+  // --- Persist the full plan for the training jobs --------------------
+  const auto tables = make_embedding_set(spec, 77);
+  AnalyzerConfig analyzer_config;
+  analyzer_config.sample_batches = 2;
+  analyzer_config.eb_config.global_eb = result.selected_eb;
+  const AnalysisReport report =
+      OfflineAnalyzer(analyzer_config).analyze(dataset, tables);
+  const CompressionPlan plan = make_plan(report);
+  save_plan("/tmp/dlcomp_plan.txt", plan);
+  std::printf("plan written to /tmp/dlcomp_plan.txt:\n%s\n",
+              plan_to_string(plan).c_str());
+
+  // --- Online: the feedback controller in action ----------------------
+  OnlineEbController controller({.warmup_iters = 10});
+  std::printf("online controller: feeding a loss spike at iteration 60\n");
+  for (int i = 0; i < 120; ++i) {
+    const double loss = i < 60 ? 0.55 : 0.75;  // divergence begins
+    const double scale = controller.observe(loss);
+    if (i % 20 == 19) {
+      std::printf("  iter %3d loss %.2f -> EB scale %.2f\n", i, loss, scale);
+    }
+  }
+  std::printf("controller triggered %zu time(s)\n",
+              controller.trigger_count());
+  return 0;
+}

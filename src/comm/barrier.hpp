@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file barrier.hpp
+/// Reusable barrier with abort support. If any SPMD rank throws, the
+/// cluster aborts the barrier so peers blocked in a collective wake up
+/// with an exception instead of deadlocking.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+/// Thrown at a barrier when another rank has failed.
+class AbortedError : public Error {
+ public:
+  AbortedError() : Error("SPMD collective aborted by peer failure") {}
+};
+
+class AbortableBarrier {
+ public:
+  explicit AbortableBarrier(std::size_t participants)
+      : participants_(participants) {
+    DLCOMP_CHECK(participants > 0);
+  }
+
+  /// Blocks until all participants arrive. Throws AbortedError if abort()
+  /// was or is called while waiting.
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    if (aborted_) throw AbortedError{};
+    const std::size_t my_generation = generation_;
+    if (++arrived_ == participants_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return aborted_ || generation_ != my_generation; });
+    if (aborted_) throw AbortedError{};
+  }
+
+  /// Wakes all waiters with AbortedError; subsequent arrivals also throw.
+  void abort() {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool aborted() const {
+    std::lock_guard lock(mutex_);
+    return aborted_;
+  }
+
+ private:
+  const std::size_t participants_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,256 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+namespace detail {
+
+CommContext::CommContext(int world_size, NetworkModel model)
+    : world(world_size),
+      net(model),
+      barrier(static_cast<std::size_t>(world_size)),
+      slots(static_cast<std::size_t>(world_size), nullptr),
+      size_slots(static_cast<std::size_t>(world_size), 0),
+      clocks(static_cast<std::size_t>(world_size)),
+      wire_bytes_sent(static_cast<std::size_t>(world_size), 0) {
+  DLCOMP_CHECK(world_size >= 1);
+}
+
+}  // namespace detail
+
+void Communicator::barrier() { ctx_.barrier.arrive_and_wait(); }
+
+void Communicator::charge_collective(const std::string& phase, double seconds) {
+  // Between the two barriers every rank's clock is quiescent (owners only
+  // mutate their clock after the second barrier), so scanning all clocks
+  // to find the slowest arrival is race-free.
+  ctx_.barrier.arrive_and_wait();
+  double latest = 0.0;
+  for (const auto& c : ctx_.clocks) latest = std::max(latest, c.now());
+  ctx_.barrier.arrive_and_wait();
+
+  clock().sync_to(phase + "/wait", latest);
+  clock().advance(phase, seconds);
+}
+
+void Communicator::all_to_all(std::span<const float> send, std::span<float> recv,
+                              std::size_t count_per_rank, const std::string& phase) {
+  const auto world = static_cast<std::size_t>(ctx_.world);
+  DLCOMP_CHECK_MSG(send.size() == world * count_per_rank,
+                   "all_to_all send size " << send.size() << " != world*count "
+                                           << world * count_per_rank);
+  DLCOMP_CHECK(recv.size() == send.size());
+
+  const auto me = static_cast<std::size_t>(rank_);
+  ctx_.slots[me] = send.data();
+  ctx_.barrier.arrive_and_wait();
+
+  for (std::size_t src = 0; src < world; ++src) {
+    const auto* base = static_cast<const float*>(ctx_.slots[src]);
+    std::memcpy(recv.data() + src * count_per_rank,
+                base + me * count_per_rank, count_per_rank * sizeof(float));
+  }
+  ctx_.barrier.arrive_and_wait();
+
+  const std::size_t wire_bytes = (world - 1) * count_per_rank * sizeof(float);
+  ctx_.wire_bytes_sent[me] += wire_bytes;
+  charge_collective(phase, ctx_.net.alltoall_seconds(wire_bytes, ctx_.world));
+}
+
+std::vector<std::vector<std::byte>> Communicator::all_to_all_v(
+    const std::vector<std::vector<std::byte>>& send, const std::string& phase) {
+  const auto world = static_cast<std::size_t>(ctx_.world);
+  DLCOMP_CHECK_MSG(send.size() == world,
+                   "all_to_all_v needs one chunk per destination");
+
+  const auto me = static_cast<std::size_t>(rank_);
+
+  // Stage (2) of the paper's pipeline: exchange compressed sizes so peers
+  // can size their receive buffers. world*8 bytes per rank over the wire.
+  ctx_.slots[me] = send.data();
+  std::size_t send_wire = 0;
+  for (std::size_t d = 0; d < world; ++d) {
+    if (d != me) send_wire += send[d].size();
+  }
+  ctx_.size_slots[me] = send_wire;
+  ctx_.barrier.arrive_and_wait();
+
+  // Stage (3): move payloads. Every rank also computes the *global*
+  // bottleneck wire volume -- max over ranks of max(sent, received) -- so
+  // all ranks charge identical collective time. This is exact because the
+  // shared slots expose every rank's send vector.
+  std::vector<std::vector<std::byte>> recv(world);
+  std::size_t bottleneck = 0;
+  for (std::size_t src = 0; src < world; ++src) {
+    const auto* peer_send =
+        static_cast<const std::vector<std::byte>*>(ctx_.slots[src]);
+    recv[src] = peer_send[me];  // deep copy through shared memory
+    bottleneck = std::max(bottleneck, ctx_.size_slots[src]);
+  }
+  for (std::size_t dst = 0; dst < world; ++dst) {
+    std::size_t recv_wire = 0;
+    for (std::size_t src = 0; src < world; ++src) {
+      if (src == dst) continue;
+      const auto* peer_send =
+          static_cast<const std::vector<std::byte>*>(ctx_.slots[src]);
+      recv_wire += peer_send[dst].size();
+    }
+    bottleneck = std::max(bottleneck, recv_wire);
+  }
+  ctx_.barrier.arrive_and_wait();
+
+  ctx_.wire_bytes_sent[me] += send_wire + (world - 1) * sizeof(std::uint64_t);
+  charge_collective(phase + "/metadata",
+                    ctx_.net.alltoall_seconds((world - 1) * sizeof(std::uint64_t),
+                                              ctx_.world));
+  charge_collective(phase, ctx_.net.alltoall_seconds(bottleneck, ctx_.world));
+  return recv;
+}
+
+void Communicator::all_reduce_sum(std::span<float> data, const std::string& phase) {
+  const auto world = static_cast<std::size_t>(ctx_.world);
+  const auto me = static_cast<std::size_t>(rank_);
+
+  ctx_.slots[me] = data.data();
+  ctx_.size_slots[me] = data.size();
+  ctx_.barrier.arrive_and_wait();
+
+  for (std::size_t r = 0; r < world; ++r) {
+    DLCOMP_CHECK_MSG(ctx_.size_slots[r] == data.size(),
+                     "all_reduce_sum size mismatch across ranks");
+  }
+
+  // Deterministic accumulation in rank order into a private buffer; the
+  // in-place write happens only after the second barrier so peers never
+  // read half-updated data.
+  std::vector<float> acc(data.size(), 0.0f);
+  for (std::size_t src = 0; src < world; ++src) {
+    const auto* peer = static_cast<const float*>(ctx_.slots[src]);
+    for (std::size_t i = 0; i < data.size(); ++i) acc[i] += peer[i];
+  }
+  ctx_.barrier.arrive_and_wait();
+
+  std::copy(acc.begin(), acc.end(), data.begin());
+
+  // Ring all-reduce moves ~2*(P-1)/P of the buffer over each rank's link.
+  const std::size_t bytes = data.size() * sizeof(float);
+  const double ring_factor =
+      ctx_.world <= 1 ? 0.0
+                      : 2.0 * static_cast<double>(ctx_.world - 1) /
+                            static_cast<double>(ctx_.world);
+  ctx_.wire_bytes_sent[me] +=
+      static_cast<std::size_t>(ring_factor * static_cast<double>(bytes));
+  charge_collective(phase, ctx_.net.allreduce_seconds(bytes, ctx_.world));
+}
+
+std::vector<std::uint64_t> Communicator::all_gather_u64(std::uint64_t value,
+                                                        const std::string& phase) {
+  const auto world = static_cast<std::size_t>(ctx_.world);
+  const auto me = static_cast<std::size_t>(rank_);
+
+  ctx_.size_slots[me] = value;
+  ctx_.barrier.arrive_and_wait();
+  std::vector<std::uint64_t> out(ctx_.size_slots.begin(), ctx_.size_slots.end());
+  ctx_.barrier.arrive_and_wait();
+
+  ctx_.wire_bytes_sent[me] += sizeof(std::uint64_t) * (world - 1);
+  charge_collective(phase,
+                    ctx_.net.allgather_seconds(sizeof(std::uint64_t), ctx_.world));
+  return out;
+}
+
+void Communicator::all_gather(std::span<const float> send, std::span<float> recv,
+                              const std::string& phase) {
+  const auto world = static_cast<std::size_t>(ctx_.world);
+  DLCOMP_CHECK(recv.size() == send.size() * world);
+  const auto me = static_cast<std::size_t>(rank_);
+
+  ctx_.slots[me] = send.data();
+  ctx_.size_slots[me] = send.size();
+  ctx_.barrier.arrive_and_wait();
+  for (std::size_t src = 0; src < world; ++src) {
+    DLCOMP_CHECK(ctx_.size_slots[src] == send.size());
+    const auto* peer = static_cast<const float*>(ctx_.slots[src]);
+    std::memcpy(recv.data() + src * send.size(), peer,
+                send.size() * sizeof(float));
+  }
+  ctx_.barrier.arrive_and_wait();
+
+  const std::size_t bytes = send.size() * sizeof(float);
+  ctx_.wire_bytes_sent[me] += bytes * (world - 1);
+  charge_collective(phase, ctx_.net.allgather_seconds(bytes, ctx_.world));
+}
+
+void Communicator::broadcast(std::span<float> data, int root, const std::string& phase) {
+  const auto world = static_cast<std::size_t>(ctx_.world);
+  DLCOMP_CHECK(root >= 0 && root < ctx_.world);
+  const auto me = static_cast<std::size_t>(rank_);
+
+  if (rank_ == root) ctx_.slots[static_cast<std::size_t>(root)] = data.data();
+  ctx_.size_slots[me] = data.size();
+  ctx_.barrier.arrive_and_wait();
+  for (std::size_t r = 0; r < world; ++r) {
+    DLCOMP_CHECK(ctx_.size_slots[r] == data.size());
+  }
+  if (rank_ != root) {
+    const auto* src =
+        static_cast<const float*>(ctx_.slots[static_cast<std::size_t>(root)]);
+    std::memcpy(data.data(), src, data.size() * sizeof(float));
+  }
+  ctx_.barrier.arrive_and_wait();
+
+  const std::size_t bytes = data.size() * sizeof(float);
+  if (rank_ == root) ctx_.wire_bytes_sent[me] += bytes;
+  charge_collective(phase, ctx_.net.broadcast_seconds(bytes, ctx_.world));
+}
+
+Cluster::Cluster(int world_size, NetworkModel model)
+    : world_(world_size), ctx_(world_size, model) {}
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  DLCOMP_CHECK(fn != nullptr);
+  for (auto& c : ctx_.clocks) c.reset();
+  std::fill(ctx_.wire_bytes_sent.begin(), ctx_.wire_bytes_sent.end(), 0);
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_));
+  for (int r = 0; r < world_; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(ctx_, r);
+      try {
+        fn(comm);
+      } catch (const AbortedError&) {
+        // Secondary failure caused by another rank's abort; ignore.
+      } catch (...) {
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        ctx_.barrier.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  DLCOMP_CHECK_MSG(!ctx_.barrier.aborted(),
+                   "cluster aborted without a recorded exception");
+}
+
+double Cluster::makespan_seconds() const {
+  double latest = 0.0;
+  for (const auto& c : ctx_.clocks) latest = std::max(latest, c.now());
+  return latest;
+}
+
+}  // namespace dlcomp

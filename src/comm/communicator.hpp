@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file communicator.hpp
+/// SPMD cluster and per-rank communicator. Ranks are threads; collectives
+/// rendezvous through shared slots guarded by an abortable barrier.
+/// Payload movement is real (memcpy through shared memory); wire time is
+/// modelled by NetworkModel and accumulated on per-rank SimClocks, with
+/// per-phase attribution so benches can reproduce the paper's time
+/// breakdowns. See DESIGN.md "Hardware / data substitutions".
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/barrier.hpp"
+#include "comm/network_model.hpp"
+#include "parallel/sim_clock.hpp"
+
+namespace dlcomp {
+
+class Communicator;
+
+namespace detail {
+
+/// Shared state for one cluster run. Slot discipline: a collective posts
+/// into its rank's slot, barriers, reads peers' slots, barriers again
+/// before anyone may reuse the slots.
+struct CommContext {
+  explicit CommContext(int world_size, NetworkModel model);
+
+  const int world;
+  const NetworkModel net;
+  AbortableBarrier barrier;
+  std::vector<const void*> slots;        // one generic post per rank
+  std::vector<std::size_t> size_slots;   // per-rank byte counts for timing
+  std::vector<SimClock> clocks;
+  std::vector<std::uint64_t> wire_bytes_sent;  // per-rank traffic totals
+};
+
+}  // namespace detail
+
+/// Per-rank handle used inside Cluster::run callbacks. Not copyable; each
+/// rank owns exactly one for the duration of the SPMD region.
+class Communicator {
+ public:
+  Communicator(detail::CommContext& ctx, int rank) : ctx_(ctx), rank_(rank) {}
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int world() const noexcept { return ctx_.world; }
+  [[nodiscard]] const NetworkModel& network() const noexcept { return ctx_.net; }
+
+  /// Per-rank simulated clock (advanced by collectives; compute phases
+  /// may advance it explicitly via advance_compute).
+  [[nodiscard]] SimClock& clock() noexcept { return ctx_.clocks[static_cast<std::size_t>(rank_)]; }
+
+  /// Total bytes this rank has pushed over the simulated wire.
+  [[nodiscard]] std::uint64_t wire_bytes_sent() const noexcept {
+    return ctx_.wire_bytes_sent[static_cast<std::size_t>(rank_)];
+  }
+
+  /// Attributes modelled (non-communication) time to this rank's clock.
+  void advance_compute(const std::string& phase, double seconds) {
+    clock().advance(phase, seconds);
+  }
+
+  /// Barrier across all ranks (no simulated time charged).
+  void barrier();
+
+  /// Fixed-size all-to-all: `send` holds world() blocks of
+  /// `count_per_rank` floats (block d goes to rank d); `recv` receives
+  /// world() blocks (block s came from rank s). Sizes must match exactly.
+  void all_to_all(std::span<const float> send, std::span<float> recv,
+                  std::size_t count_per_rank, const std::string& phase);
+
+  /// Variable-size all-to-all over byte chunks: send[d] goes to rank d;
+  /// result[s] is the chunk rank s sent here. This models the paper's
+  /// stage (2)+(3): chunk sizes are exchanged first (metadata all-to-all,
+  /// charged separately to phase "<phase>/metadata"), then payloads move.
+  [[nodiscard]] std::vector<std::vector<std::byte>> all_to_all_v(
+      const std::vector<std::vector<std::byte>>& send, const std::string& phase);
+
+  /// In-place sum all-reduce (deterministic: every rank accumulates peer
+  /// buffers in rank order, so results are bitwise identical everywhere).
+  void all_reduce_sum(std::span<float> data, const std::string& phase);
+
+  /// Gathers one u64 from every rank (index = source rank).
+  [[nodiscard]] std::vector<std::uint64_t> all_gather_u64(std::uint64_t value,
+                                                          const std::string& phase);
+
+  /// Gathers a fixed-size float block from every rank into recv
+  /// (world() * count floats, ordered by source rank).
+  void all_gather(std::span<const float> send, std::span<float> recv,
+                  const std::string& phase);
+
+  /// Broadcast from `root` into `data` (all ranks pass same-sized spans).
+  void broadcast(std::span<float> data, int root, const std::string& phase);
+
+ private:
+  /// Synchronizes clocks to the slowest rank (charged to "<phase>/wait")
+  /// then advances all by `seconds` charged to `phase`. Must be called by
+  /// every rank with the same `seconds`.
+  void charge_collective(const std::string& phase, double seconds);
+
+  detail::CommContext& ctx_;
+  const int rank_;
+};
+
+/// Owns the shared context and runs SPMD regions on one thread per rank.
+class Cluster {
+ public:
+  explicit Cluster(int world_size, NetworkModel model = {});
+
+  [[nodiscard]] int world() const noexcept { return world_; }
+
+  /// Runs `fn(comm)` on world() threads. If any rank throws, the barrier
+  /// aborts so peers unblock; the first exception is rethrown here.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Per-rank clocks from the most recent run (reset at each run()).
+  [[nodiscard]] const std::vector<SimClock>& clocks() const noexcept {
+    return ctx_.clocks;
+  }
+
+  /// Per-rank wire traffic from the most recent run.
+  [[nodiscard]] const std::vector<std::uint64_t>& wire_bytes_sent() const noexcept {
+    return ctx_.wire_bytes_sent;
+  }
+
+  /// Maximum simulated time across ranks from the most recent run.
+  [[nodiscard]] double makespan_seconds() const;
+
+ private:
+  const int world_;
+  detail::CommContext ctx_;
+};
+
+}  // namespace dlcomp

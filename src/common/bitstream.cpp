@@ -1,0 +1,100 @@
+#include "common/bitstream.hpp"
+
+#include <cstring>
+
+namespace dlcomp {
+
+void BitWriter::write(std::uint64_t value, unsigned bits) {
+  DLCOMP_CHECK(bits <= 64);
+  if (bits == 0) return;
+  if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
+
+  bit_count_ += bits;
+  if (used_ + bits <= 64) {
+    current_ |= value << used_;
+    used_ += bits;
+    if (used_ == 64) flush_word();
+    return;
+  }
+  const unsigned low = 64 - used_;
+  current_ |= value << used_;
+  used_ = 64;
+  flush_word();
+  current_ = value >> low;
+  used_ = bits - low;
+}
+
+void BitWriter::flush_word() {
+  std::byte word[8];
+  std::memcpy(word, &current_, 8);
+  bytes_.insert(bytes_.end(), word, word + 8);
+  current_ = 0;
+  used_ = 0;
+}
+
+std::vector<std::byte> BitWriter::finish() {
+  std::vector<std::byte> out;
+  finish_into(out);
+  bytes_.clear();
+  return out;
+}
+
+void BitWriter::finish_into(std::vector<std::byte>& out) {
+  if (used_ > 0) {
+    // Emit only the bytes that hold live bits.
+    const unsigned live_bytes = (used_ + 7) / 8;
+    std::byte word[8];
+    std::memcpy(word, &current_, 8);
+    bytes_.insert(bytes_.end(), word, word + live_bytes);
+    current_ = 0;
+    used_ = 0;
+  }
+  out.insert(out.end(), bytes_.begin(), bytes_.end());
+  bytes_.clear();
+  bit_count_ = 0;
+}
+
+std::uint64_t BitReader::read(unsigned bits) {
+  DLCOMP_CHECK(bits <= 64);
+  if (bits == 0) return 0;
+  if (bit_pos_ + bits > bit_size()) {
+    throw FormatError("bitstream overrun");
+  }
+  std::uint64_t result = 0;
+  unsigned produced = 0;
+  while (produced < bits) {
+    const std::size_t byte_index = (bit_pos_ + produced) / 8;
+    const unsigned bit_offset = static_cast<unsigned>((bit_pos_ + produced) % 8);
+    const unsigned take = std::min<unsigned>(8 - bit_offset, bits - produced);
+    const std::uint64_t byte = std::to_integer<std::uint64_t>(data_[byte_index]);
+    const std::uint64_t chunk = (byte >> bit_offset) & ((1u << take) - 1u);
+    result |= chunk << produced;
+    produced += take;
+  }
+  bit_pos_ += bits;
+  return result;
+}
+
+void append_varint(std::vector<std::byte>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+std::uint64_t read_varint(std::span<const std::byte> data, std::size_t& pos) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (pos >= data.size()) throw FormatError("varint truncated");
+    const auto byte = std::to_integer<std::uint64_t>(data[pos++]);
+    value |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw FormatError("varint too long");
+  }
+  return value;
+}
+
+}  // namespace dlcomp

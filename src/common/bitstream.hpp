@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file bitstream.hpp
+/// Bit-granular writer/reader plus varint and zigzag codecs. These are the
+/// shared primitives underneath the Huffman, vector-LZ and bitshuffle
+/// codecs. Bits are packed LSB-first within each 64-bit word, words are
+/// emitted little-endian, matching the layout a GPU warp-per-word encoder
+/// would produce.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+/// Appends bit fields to a growing byte buffer.
+class BitWriter {
+ public:
+  /// Writes the low `bits` bits of `value` (0 <= bits <= 64).
+  void write(std::uint64_t value, unsigned bits);
+
+  /// Writes a single bit.
+  void write_bit(bool bit) { write(bit ? 1u : 0u, 1); }
+
+  /// Number of bits written so far.
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+  /// Flushes the partial word and returns the byte buffer. The writer is
+  /// left empty and reusable.
+  [[nodiscard]] std::vector<std::byte> finish();
+
+  /// Flushes into an existing buffer (appended) instead of returning one.
+  void finish_into(std::vector<std::byte>& out);
+
+ private:
+  void flush_word();
+
+  std::vector<std::byte> bytes_;
+  std::uint64_t current_ = 0;
+  unsigned used_ = 0;       // bits used in current_
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads bit fields from a byte span produced by BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  /// Reads `bits` bits (0 <= bits <= 64). Throws FormatError on overrun.
+  std::uint64_t read(unsigned bits);
+
+  /// Reads one bit.
+  bool read_bit() { return read(1) != 0; }
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::size_t bit_position() const noexcept { return bit_pos_; }
+
+  /// Total bits available.
+  [[nodiscard]] std::size_t bit_size() const noexcept { return data_.size() * 8; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t bit_pos_ = 0;
+};
+
+/// Zigzag maps signed to unsigned so small magnitudes get small codes.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// LEB128 variable-length encoding of an unsigned value.
+void append_varint(std::vector<std::byte>& out, std::uint64_t value);
+
+/// Reads a LEB128 varint starting at `pos` within `data`; advances `pos`.
+std::uint64_t read_varint(std::span<const std::byte> data, std::size_t& pos);
+
+/// Number of bits needed to represent `value` (>=1 even for zero).
+constexpr unsigned bit_width_for(std::uint64_t value) noexcept {
+  unsigned bits = 1;
+  while (bits < 64 && (value >> bits) != 0) ++bits;
+  return bits;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling for dlcomp: a project exception type plus lightweight
+/// precondition/invariant macros. Checks are active in all build types --
+/// the library is a research artifact where silent corruption is far more
+/// expensive than a branch.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dlcomp {
+
+/// Exception thrown by all dlcomp precondition and invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a compressed stream is malformed or corrupt.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "dlcomp check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace dlcomp
+
+/// Precondition / invariant check. Always enabled.
+#define DLCOMP_CHECK(expr)                                                    \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::dlcomp::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");   \
+    }                                                                         \
+  } while (false)
+
+/// Check with a formatted message streamed after the condition, e.g.
+/// DLCOMP_CHECK_MSG(n > 0, "n=" << n).
+#define DLCOMP_CHECK_MSG(expr, stream_expr)                                   \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream os_;                                                 \
+      os_ << stream_expr;                                                     \
+      ::dlcomp::detail::throw_check_failure(#expr, __FILE__, __LINE__,        \
+                                            os_.str());                       \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,148 @@
+#include "common/float_codec.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace dlcomp {
+
+namespace {
+
+constexpr std::uint32_t f32_bits(float f) noexcept {
+  return std::bit_cast<std::uint32_t>(f);
+}
+
+constexpr float bits_f32(std::uint32_t b) noexcept {
+  return std::bit_cast<float>(b);
+}
+
+}  // namespace
+
+std::uint16_t float_to_fp16(float value) noexcept {
+  const std::uint32_t bits = f32_bits(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t abs = bits & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    // Inf / NaN: keep NaN payload bit set so NaN stays NaN.
+    const std::uint32_t mantissa = (abs > 0x7F800000u) ? 0x200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | mantissa);
+  }
+  if (abs >= 0x477FF000u) {
+    // Overflows binary16 range -> infinity (0x477FF000 ~ 65520 after RNE).
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal or zero in fp16: the target significand is
+    // round(x * 2^24) = mant >> (126 - biased_exp), RNE. biased_exp is in
+    // [102, 112] here, so the shift is in [14, 24].
+    if (abs < 0x33000000u) return static_cast<std::uint16_t>(sign);  // -> 0
+    const unsigned shift = 126u - (abs >> 23);
+    const std::uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
+    const std::uint32_t shifted = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    std::uint32_t result = shifted;
+    if (rem > half || (rem == half && (shifted & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+  // Normal range: rebias exponent (-112) folded into the bit arithmetic,
+  // then round mantissa RNE. 0x38000000 = 112 << 23 has zero low bits, so
+  // the subtraction cannot borrow into the mantissa.
+  std::uint32_t result = (abs - 0x38000000u) >> 13;
+  const std::uint32_t rem = abs & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (result & 1u))) ++result;
+  return static_cast<std::uint16_t>(sign | result);
+}
+
+float fp16_to_float(std::uint16_t h) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exponent = (h >> 10) & 0x1Fu;
+  const std::uint32_t mantissa = h & 0x3FFu;
+
+  if (exponent == 0x1Fu) {  // Inf / NaN
+    return bits_f32(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits_f32(sign);  // +-0
+    // Subnormal: normalize.
+    int e = -1;
+    std::uint32_t m = mantissa;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x400u) == 0);
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+    return bits_f32(sign | (exp32 << 23) | ((m & 0x3FFu) << 13));
+  }
+  return bits_f32(sign | ((exponent + 112u) << 23) | (mantissa << 13));
+}
+
+std::uint8_t float_to_fp8_e4m3(float value) noexcept {
+  if (std::isnan(value)) return 0x7F;
+  const std::uint32_t bits = f32_bits(value);
+  const std::uint8_t sign = static_cast<std::uint8_t>((bits >> 24) & 0x80u);
+  float abs = std::fabs(value);
+
+  constexpr float kMax = 448.0f;       // largest finite E4M3
+  constexpr float kMinNormal = 0x1.0p-6f;   // 2^-6
+  constexpr float kMinSubnormal = 0x1.0p-9f;  // 2^-9 (one mantissa ulp)
+  if (abs >= kMax) return static_cast<std::uint8_t>(sign | 0x7E);  // saturate
+  if (abs < kMinSubnormal / 2) return sign;                        // -> 0
+
+  int exponent = 0;
+  const float mant = std::frexp(abs, &exponent);  // abs = mant * 2^exp, mant in [0.5,1)
+  // Convert to 1.m * 2^(exp-1).
+  int e = exponent - 1;
+  if (abs < kMinNormal) {
+    // Subnormal: value = m * 2^-9 with m in [1,7].
+    const float scaled = abs * 0x1.0p9f;
+    int m = static_cast<int>(std::lrintf(scaled));
+    if (m == 0) return sign;
+    if (m >= 8) return static_cast<std::uint8_t>(sign | 0x08);  // rounds up to min normal
+    return static_cast<std::uint8_t>(sign | m);
+  }
+  // Normal: mantissa in [1,2), 3 mantissa bits, RNE via lrintf.
+  const float frac = mant * 2.0f;  // [1, 2)
+  int m = static_cast<int>(std::lrintf((frac - 1.0f) * 8.0f));
+  if (m == 8) {  // mantissa rounded up past 2.0
+    m = 0;
+    ++e;
+  }
+  int biased = e + 7;
+  if (biased >= 16 || (biased == 15 && m == 7)) {
+    return static_cast<std::uint8_t>(sign | 0x7E);  // saturate to 448
+  }
+  if (biased <= 0) return sign;
+  return static_cast<std::uint8_t>(sign | (biased << 3) | m);
+}
+
+float fp8_e4m3_to_float(std::uint8_t b) noexcept {
+  if ((b & 0x7F) == 0x7F) return std::nanf("");
+  const float sign = (b & 0x80) ? -1.0f : 1.0f;
+  const int exponent = (b >> 3) & 0x0F;
+  const int mantissa = b & 0x07;
+  if (exponent == 0) {
+    return sign * static_cast<float>(mantissa) * 0x1.0p-9f;
+  }
+  return sign * (1.0f + static_cast<float>(mantissa) / 8.0f) *
+         std::ldexp(1.0f, exponent - 7);
+}
+
+void encode_fp16(std::span<const float> in, std::span<std::uint16_t> out) noexcept {
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = float_to_fp16(in[i]);
+}
+
+void decode_fp16(std::span<const std::uint16_t> in, std::span<float> out) noexcept {
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = fp16_to_float(in[i]);
+}
+
+void encode_fp8(std::span<const float> in, std::span<std::uint8_t> out) noexcept {
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = float_to_fp8_e4m3(in[i]);
+}
+
+void decode_fp8(std::span<const std::uint8_t> in, std::span<float> out) noexcept {
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = fp8_e4m3_to_float(in[i]);
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file float_codec.hpp
+/// Software FP16 (IEEE binary16) and FP8 (E4M3) conversion, used by the
+/// low-precision baselines (the paper's FP16/FP8 comparison points).
+/// Conversions use round-to-nearest-even and saturate to the largest
+/// finite value, matching the ML-accelerator convention for E4M3.
+
+#include <cstdint>
+#include <span>
+
+namespace dlcomp {
+
+/// Converts a float to IEEE binary16 bits (round-to-nearest-even).
+std::uint16_t float_to_fp16(float value) noexcept;
+
+/// Converts IEEE binary16 bits back to float.
+float fp16_to_float(std::uint16_t bits) noexcept;
+
+/// Converts a float to FP8 E4M3 bits (1 sign, 4 exponent, 3 mantissa;
+/// bias 7; no infinities, NaN = 0x7F; saturates at +-448).
+std::uint8_t float_to_fp8_e4m3(float value) noexcept;
+
+/// Converts FP8 E4M3 bits back to float.
+float fp8_e4m3_to_float(std::uint8_t bits) noexcept;
+
+/// Bulk conversions.
+void encode_fp16(std::span<const float> in, std::span<std::uint16_t> out) noexcept;
+void decode_fp16(std::span<const std::uint16_t> in, std::span<float> out) noexcept;
+void encode_fp8(std::span<const float> in, std::span<std::uint8_t> out) noexcept;
+void decode_fp8(std::span<const std::uint8_t> in, std::span<float> out) noexcept;
+
+}  // namespace dlcomp

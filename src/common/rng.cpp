@@ -1,0 +1,89 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dlcomp {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded draw; bias is negligible for the
+  // ranges used here but we still reject to keep draws exactly uniform.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::next_double() noexcept {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+float Rng::uniform_float(float lo, float hi) noexcept {
+  return static_cast<float>(uniform(lo, hi));
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) noexcept { return next_double() < p; }
+
+Rng Rng::fork(std::initializer_list<std::uint64_t> tags) const noexcept {
+  std::uint64_t h = state_[0] ^ rotl(state_[2], 29);
+  for (const std::uint64_t tag : tags) {
+    h ^= tag + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    (void)splitmix64(h);
+  }
+  return Rng{h};
+}
+
+}  // namespace dlcomp

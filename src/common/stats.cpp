@@ -1,0 +1,107 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+Summary summarize(std::span<const float> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const float v : values) {
+    sum += v;
+    s.min = std::min<double>(s.min, v);
+    s.max = std::max<double>(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (const float v : values) {
+    const double d = v - s.mean;
+    const double d2 = d * d;
+    m2 += d2;
+    m4 += d2 * d2;
+  }
+  m2 /= static_cast<double>(s.count);
+  m4 /= static_cast<double>(s.count);
+  s.stddev = std::sqrt(m2);
+  s.excess_kurtosis = (m2 > 0.0) ? (m4 / (m2 * m2) - 3.0) : 0.0;
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  DLCOMP_CHECK(bins > 0);
+  DLCOMP_CHECK(hi > lo);
+}
+
+void Histogram::add(double value) noexcept {
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const float> values) noexcept {
+  for (const float v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::entropy_bits() const noexcept {
+  return ::dlcomp::entropy_bits(counts_);
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+
+  std::string out;
+  char label[64];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(label, sizeof label, "[%+8.4f, %+8.4f) %8llu |", bin_lo(b),
+                  bin_hi(b), static_cast<unsigned long long>(counts_[b]));
+    out += label;
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out.append(width, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double entropy_bits(std::span<const std::uint64_t> frequencies) {
+  std::uint64_t total = 0;
+  for (const auto f : frequencies) total += f;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto f : frequencies) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics, histograms and entropy estimates. Used by the
+/// offline analyzer (Gaussian-vs-uniform table characterization, Fig. 13/14)
+/// and by benches that report data distributions.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dlcomp {
+
+/// Summary statistics of a float sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Excess kurtosis; ~0 for Gaussian, ~-1.2 for uniform. The offline
+  /// analyzer uses this to label a table's value distribution.
+  double excess_kurtosis = 0.0;
+};
+
+/// Computes summary statistics in one pass (two for the moments).
+Summary summarize(std::span<const float> values);
+
+/// Fixed-bin histogram over [lo, hi]; values outside are clamped to the
+/// edge bins so mass is conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(std::span<const float> values) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+
+  /// Shannon entropy of the bin distribution, in bits.
+  [[nodiscard]] double entropy_bits() const noexcept;
+
+  /// Renders a horizontal ASCII bar chart (one line per bin), used by the
+  /// Fig. 13/14 benches.
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Shannon entropy (bits/symbol) of an arbitrary symbol frequency list.
+double entropy_bits(std::span<const std::uint64_t> frequencies);
+
+}  // namespace dlcomp

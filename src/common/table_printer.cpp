@@ -1,0 +1,65 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DLCOMP_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  DLCOMP_CHECK_MSG(cells.size() == headers_.size(),
+                   "row arity " << cells.size() << " != header arity "
+                                << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += (c == 0) ? "| " : " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (const auto w : widths) {
+    sep.append(w + 2, '-');
+    sep += '|';
+  }
+  sep += '\n';
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace dlcomp

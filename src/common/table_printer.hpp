@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file table_printer.hpp
+/// Aligned ASCII table rendering for the benchmark harnesses, so every
+/// bench prints rows in the same shape the paper's tables/figures use.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlcomp {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed precision (helper for cells).
+  static std::string num(double value, int precision = 2);
+
+  /// Renders the table with a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: renders to a stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helpers used by benchmarks and the cost model.
+
+#include <chrono>
+
+namespace dlcomp {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals; useful for
+/// building per-phase breakdowns inside the training loop.
+class AccumTimer {
+ public:
+  void start() noexcept { t_.reset(); running_ = true; }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += t_.seconds();
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  void reset() noexcept { total_ = 0.0; running_ = false; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,55 @@
+#include "compress/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "compress/format.hpp"
+
+namespace dlcomp {
+
+std::size_t decompressed_count(std::span<const std::byte> stream) {
+  std::span<const std::byte> payload;
+  const StreamHeader h = parse_header(stream, payload);
+  return static_cast<std::size_t>(h.element_count);
+}
+
+RoundTrip round_trip(const Compressor& codec, std::span<const float> input,
+                     const CompressParams& params) {
+  RoundTrip rt;
+  std::vector<std::byte> stream;
+  rt.compress_stats = codec.compress(input, params, stream);
+  rt.reconstructed.resize(input.size());
+  rt.decompress_seconds = codec.decompress(stream, rt.reconstructed);
+  return rt;
+}
+
+double resolve_error_bound(std::span<const float> input,
+                           const CompressParams& params) {
+  DLCOMP_CHECK_MSG(params.error_bound > 0.0,
+                   "error bound must be positive, got " << params.error_bound);
+  if (params.eb_mode == EbMode::kAbsolute) return params.error_bound;
+
+  // Range-relative: scale by the buffer's value range. An all-constant
+  // buffer has zero range; fall back to a magnitude-scaled bound so
+  // quantization codes stay representable (an absolute 1e-12 bound on a
+  // large constant would overflow int32 codes).
+  float lo = 0.0f;
+  float hi = 0.0f;
+  double max_abs = 0.0;
+  if (!input.empty()) {
+    lo = hi = input[0];
+    for (const float v : input) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      max_abs = std::max(max_abs, std::fabs(static_cast<double>(v)));
+    }
+  }
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  const double eb = params.error_bound * range;
+  if (eb > 0.0) return eb;
+  return std::max(max_abs * 0x1.0p-20, 1e-12);
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,63 @@
+#include "compress/generic_lz.hpp"
+
+#include <cstring>
+
+#include "common/timer.hpp"
+#include "compress/format.hpp"
+#include "compress/lzss.hpp"
+
+namespace dlcomp {
+
+CompressionStats GenericLzCompressor::compress(std::span<const float> input,
+                                               const CompressParams& params,
+                                               std::vector<std::byte>& out) const {
+  (void)params;  // lossless: error bound and vector shape are irrelevant
+  WallTimer timer;
+  const std::size_t start = out.size();
+
+  StreamHeader header;
+  header.codec = CodecId::kGenericLz;
+  header.element_count = input.size();
+  const std::size_t patch_at = append_header(out, header);
+  const std::size_t payload_start = out.size();
+
+  const std::span<const std::byte> raw{
+      reinterpret_cast<const std::byte*>(input.data()), input.size_bytes()};
+  lzss::compress_bytes(raw, lzss::Config{}, out);
+
+  // Stored-block fallback (as LZ4/Deflate do): never expand past the raw
+  // bytes; the header flag marks a stored payload.
+  if (out.size() - payload_start >= raw.size() && !raw.empty()) {
+    out.resize(payload_start);
+    out.insert(out.end(), raw.begin(), raw.end());
+    patch_flags(out, patch_at, kFlagStoredRaw);
+  }
+
+  patch_payload_bytes(out, patch_at, out.size() - payload_start);
+  CompressionStats stats;
+  stats.input_bytes = input.size_bytes();
+  stats.output_bytes = out.size() - start;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+double GenericLzCompressor::decompress(std::span<const std::byte> stream,
+                                       std::span<float> out) const {
+  WallTimer timer;
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+  DLCOMP_CHECK(header.codec == CodecId::kGenericLz);
+  DLCOMP_CHECK(out.size() == header.element_count);
+
+  const std::span<std::byte> raw{reinterpret_cast<std::byte*>(out.data()),
+                                 out.size_bytes()};
+  if (header.flags & kFlagStoredRaw) {
+    DLCOMP_CHECK(payload.size() == raw.size());
+    std::memcpy(raw.data(), payload.data(), payload.size());
+  } else {
+    lzss::decompress_bytes(payload, raw);
+  }
+  return timer.seconds();
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file generic_lz.hpp
+/// Lossless byte-granular LZ baseline, standing in for nvCOMP-LZ4 in the
+/// paper's comparisons (Table V, Fig. 11). It compresses the raw IEEE-754
+/// bytes of the lookup batch; as the paper observes, the random mantissa
+/// bits cap its ratio far below the DLRM-specific codecs.
+
+#include "compress/compressor.hpp"
+
+namespace dlcomp {
+
+class GenericLzCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "generic-lz";
+  }
+  [[nodiscard]] bool lossy() const noexcept override { return false; }
+
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out) const override;
+
+  double decompress(std::span<const std::byte> stream,
+                    std::span<float> out) const override;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,227 @@
+#include "compress/huffman_coding.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+constexpr std::uint8_t kMaxCodeLength = 32;
+
+std::uint64_t bit_reverse(std::uint64_t value, unsigned bits) noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    out = (out << 1) | (value & 1);
+    value >>= 1;
+  }
+  return out;
+}
+
+/// Computes Huffman code lengths for (symbol, freq) pairs via the classic
+/// heap construction. Returns lengths parallel to `pairs`.
+std::vector<std::uint8_t> huffman_lengths(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& pairs) {
+  const std::size_t n = pairs.size();
+  if (n == 1) return {1};
+
+  // Internal tree nodes; leaves are [0, n).
+  struct Node {
+    std::uint64_t freq;
+    std::uint32_t index;  // node id
+  };
+  auto cmp = [](const Node& a, const Node& b) {
+    // Tie-break on index for full determinism.
+    return a.freq > b.freq || (a.freq == b.freq && a.index > b.index);
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+
+  std::vector<std::int32_t> parent(2 * n - 1, -1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    heap.push({pairs[i].second, i});
+  }
+  std::uint32_t next_id = static_cast<std::uint32_t>(n);
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    parent[a.index] = static_cast<std::int32_t>(next_id);
+    parent[b.index] = static_cast<std::int32_t>(next_id);
+    heap.push({a.freq + b.freq, next_id});
+    ++next_id;
+  }
+
+  std::vector<std::uint8_t> lengths(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t depth = 0;
+    for (std::int32_t p = parent[i]; p != -1; p = parent[static_cast<std::size_t>(p)]) {
+      ++depth;
+    }
+    lengths[i] = static_cast<std::uint8_t>(depth);
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCodec HuffmanCodec::build(std::span<const std::uint32_t> symbols) {
+  DLCOMP_CHECK_MSG(!symbols.empty(), "cannot build Huffman codec from nothing");
+  std::unordered_map<std::uint32_t, std::uint64_t> histogram;
+  histogram.reserve(1024);
+  for (const auto s : symbols) ++histogram[s];
+  return build_from_histogram(histogram);
+}
+
+HuffmanCodec HuffmanCodec::build_from_histogram(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& histogram) {
+  DLCOMP_CHECK(!histogram.empty());
+
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> pairs(histogram.begin(),
+                                                             histogram.end());
+  // Deterministic build order regardless of hash-map iteration.
+  std::sort(pairs.begin(), pairs.end());
+
+  std::vector<std::uint8_t> lengths = huffman_lengths(pairs);
+  // Length-limit by flattening the histogram until the tree fits. With
+  // 32-level budget this triggers only on adversarial distributions.
+  while (*std::max_element(lengths.begin(), lengths.end()) > kMaxCodeLength) {
+    for (auto& [sym, freq] : pairs) freq = freq / 2 + 1;
+    lengths = huffman_lengths(pairs);
+  }
+
+  HuffmanCodec codec;
+  // Canonical order: (length, symbol).
+  std::vector<std::size_t> order(pairs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return pairs[a].first < pairs[b].first;
+  });
+
+  codec.canonical_symbols_.reserve(pairs.size());
+  std::vector<std::uint8_t> canonical_lengths;
+  canonical_lengths.reserve(pairs.size());
+  double weighted_bits = 0.0;
+  double total_freq = 0.0;
+  for (const std::size_t i : order) {
+    codec.canonical_symbols_.push_back(pairs[i].first);
+    canonical_lengths.push_back(lengths[i]);
+    weighted_bits += static_cast<double>(lengths[i]) *
+                     static_cast<double>(pairs[i].second);
+    total_freq += static_cast<double>(pairs[i].second);
+  }
+  codec.mean_bits_ = total_freq > 0.0 ? weighted_bits / total_freq : 0.0;
+  codec.finalize_canonical(std::move(canonical_lengths));
+  return codec;
+}
+
+void HuffmanCodec::finalize_canonical(
+    std::vector<std::uint8_t> lengths_by_canonical_index) {
+  canonical_lengths_ = std::move(lengths_by_canonical_index);
+  max_length_ = canonical_lengths_.empty() ? 0 : canonical_lengths_.back();
+  DLCOMP_CHECK(max_length_ <= kMaxCodeLength);
+
+  count_.assign(max_length_ + 1u, 0);
+  for (const auto len : canonical_lengths_) ++count_[len];
+  DLCOMP_CHECK_MSG(count_.size() < 2 || count_[0] == 0,
+                   "zero-length Huffman code in non-trivial alphabet");
+
+  first_code_.assign(max_length_ + 1u, 0);
+  first_index_.assign(max_length_ + 1u, 0);
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (std::uint32_t len = 1; len <= max_length_; ++len) {
+    code <<= 1;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    code += count_[len];
+    index += count_[len];
+  }
+
+  encode_table_.clear();
+  encode_table_.reserve(canonical_symbols_.size() * 2);
+  std::vector<std::uint32_t> next_code(first_code_);
+  for (std::size_t i = 0; i < canonical_symbols_.size(); ++i) {
+    const std::uint8_t len = canonical_lengths_[i];
+    const std::uint32_t assigned = next_code[len]++;
+    encode_table_[canonical_symbols_[i]] = {bit_reverse(assigned, len), len};
+  }
+}
+
+void HuffmanCodec::serialize_table(std::vector<std::byte>& out) const {
+  append_varint(out, canonical_symbols_.size());
+  for (const auto sym : canonical_symbols_) append_varint(out, sym);
+  for (const auto len : canonical_lengths_) {
+    out.push_back(static_cast<std::byte>(len));
+  }
+}
+
+HuffmanCodec HuffmanCodec::deserialize_table(ByteReader& reader) {
+  auto read_var = [&reader]() {
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    for (;;) {
+      const auto byte = std::to_integer<std::uint64_t>(reader.read<std::byte>());
+      value |= (byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) throw FormatError("varint too long in Huffman table");
+    }
+    return value;
+  };
+
+  const std::uint64_t n = read_var();
+  if (n == 0) throw FormatError("empty Huffman table");
+  HuffmanCodec codec;
+  codec.canonical_symbols_.resize(n);
+  for (auto& sym : codec.canonical_symbols_) {
+    sym = static_cast<std::uint32_t>(read_var());
+  }
+  std::vector<std::uint8_t> lengths(n);
+  for (auto& len : lengths) {
+    len = std::to_integer<std::uint8_t>(reader.read<std::byte>());
+    if (len == 0 || len > kMaxCodeLength) {
+      throw FormatError("invalid Huffman code length");
+    }
+  }
+  // Canonical tables must be non-decreasing in length.
+  for (std::size_t i = 1; i < lengths.size(); ++i) {
+    if (lengths[i] < lengths[i - 1]) {
+      throw FormatError("non-canonical Huffman table");
+    }
+  }
+  codec.finalize_canonical(std::move(lengths));
+  return codec;
+}
+
+void HuffmanCodec::encode(std::span<const std::uint32_t> symbols,
+                          BitWriter& writer) const {
+  for (const auto sym : symbols) {
+    const auto it = encode_table_.find(sym);
+    DLCOMP_CHECK_MSG(it != encode_table_.end(),
+                     "symbol " << sym << " not in Huffman alphabet");
+    writer.write(it->second.write_form, it->second.length);
+  }
+}
+
+void HuffmanCodec::decode(BitReader& reader, std::span<std::uint32_t> out) const {
+  for (auto& dst : out) {
+    std::uint32_t code = 0;
+    std::uint32_t len = 0;
+    for (;;) {
+      code = (code << 1) | static_cast<std::uint32_t>(reader.read(1));
+      ++len;
+      if (len > max_length_) throw FormatError("corrupt Huffman stream");
+      if (count_[len] != 0 && code < first_code_[len] + count_[len] &&
+          code >= first_code_[len]) {
+        dst = canonical_symbols_[first_index_[len] + (code - first_code_[len])];
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace dlcomp

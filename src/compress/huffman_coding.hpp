@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file huffman_coding.hpp
+/// Canonical Huffman codec over arbitrary 32-bit symbols. This is the
+/// entropy core of the paper's "optimized entropy encoder" and is reused
+/// by the Deflate-like and cuSZ-like baselines (byte / quantization-code
+/// alphabets respectively).
+///
+/// Codes are canonical (assigned by (length, symbol) order), so the table
+/// serializes as just the symbol list plus code lengths. Code length is
+/// limited to 32 bits by iterative frequency flattening.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitstream.hpp"
+#include "common/byte_io.hpp"
+
+namespace dlcomp {
+
+class HuffmanCodec {
+ public:
+  /// Builds a codec from the symbols that will be encoded. Requires a
+  /// non-empty span.
+  static HuffmanCodec build(std::span<const std::uint32_t> symbols);
+
+  /// Builds directly from a (symbol, frequency) histogram.
+  static HuffmanCodec build_from_histogram(
+      const std::unordered_map<std::uint32_t, std::uint64_t>& histogram);
+
+  /// Serializes the canonical table (symbol list + lengths).
+  void serialize_table(std::vector<std::byte>& out) const;
+
+  /// Reconstructs a codec from a serialized table.
+  static HuffmanCodec deserialize_table(ByteReader& reader);
+
+  /// Encodes symbols; every symbol must have appeared in the build set.
+  void encode(std::span<const std::uint32_t> symbols, BitWriter& writer) const;
+
+  /// Decodes exactly out.size() symbols.
+  void decode(BitReader& reader, std::span<std::uint32_t> out) const;
+
+  /// Number of distinct symbols in the alphabet.
+  [[nodiscard]] std::size_t alphabet_size() const noexcept {
+    return canonical_symbols_.size();
+  }
+
+  /// Mean code length weighted by the build histogram (bits/symbol); an
+  /// entropy-rate estimate used by compressor-selection heuristics.
+  [[nodiscard]] double mean_code_bits() const noexcept { return mean_bits_; }
+
+ private:
+  HuffmanCodec() = default;
+
+  void finalize_canonical(std::vector<std::uint8_t> lengths_by_canonical_index);
+
+  // Canonical order: symbols sorted by (code length, symbol value).
+  std::vector<std::uint32_t> canonical_symbols_;
+  std::vector<std::uint8_t> canonical_lengths_;
+
+  // Encoder side: symbol -> (msb-first code reversed for LSB-first write,
+  // length).
+  struct CodeEntry {
+    std::uint64_t write_form = 0;
+    std::uint8_t length = 0;
+  };
+  std::unordered_map<std::uint32_t, CodeEntry> encode_table_;
+
+  // Decoder side: canonical decode arrays indexed by code length.
+  std::vector<std::uint32_t> first_code_;   // first canonical code per length
+  std::vector<std::uint32_t> first_index_;  // symbol array offset per length
+  std::vector<std::uint32_t> count_;        // codes per length
+  std::uint8_t max_length_ = 0;
+
+  double mean_bits_ = 0.0;
+};
+
+}  // namespace dlcomp

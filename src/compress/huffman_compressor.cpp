@@ -1,0 +1,77 @@
+#include "compress/huffman_compressor.hpp"
+
+#include <vector>
+
+#include "common/timer.hpp"
+#include "compress/format.hpp"
+#include "compress/huffman_coding.hpp"
+#include "compress/quantizer.hpp"
+
+namespace dlcomp {
+
+CompressionStats HuffmanCompressor::compress(std::span<const float> input,
+                                             const CompressParams& params,
+                                             std::vector<std::byte>& out) const {
+  WallTimer timer;
+  const std::size_t start = out.size();
+  const double eb = resolve_error_bound(input, params);
+
+  StreamHeader header;
+  header.codec = CodecId::kHuffman;
+  header.vector_dim = static_cast<std::uint16_t>(params.vector_dim);
+  header.element_count = input.size();
+  header.effective_error_bound = eb;
+  const std::size_t patch_at = append_header(out, header);
+  const std::size_t payload_start = out.size();
+
+  if (!input.empty()) {
+    std::vector<std::int32_t> codes(input.size());
+    quantize(input, eb, codes);
+
+    std::vector<std::uint32_t> symbols(codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      symbols[i] = static_cast<std::uint32_t>(zigzag_encode(codes[i]));
+    }
+
+    const HuffmanCodec codec = HuffmanCodec::build(symbols);
+    codec.serialize_table(out);
+    BitWriter writer;
+    codec.encode(symbols, writer);
+    writer.finish_into(out);
+  }
+
+  patch_payload_bytes(out, patch_at, out.size() - payload_start);
+  CompressionStats stats;
+  stats.input_bytes = input.size_bytes();
+  stats.output_bytes = out.size() - start;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+double HuffmanCompressor::decompress(std::span<const std::byte> stream,
+                                     std::span<float> out) const {
+  WallTimer timer;
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+  DLCOMP_CHECK(header.codec == CodecId::kHuffman);
+  DLCOMP_CHECK_MSG(out.size() == header.element_count,
+                   "output span size " << out.size() << " != stream count "
+                                       << header.element_count);
+  if (out.empty()) return timer.seconds();
+
+  ByteReader reader(payload);
+  const HuffmanCodec codec = HuffmanCodec::deserialize_table(reader);
+
+  std::vector<std::uint32_t> symbols(out.size());
+  BitReader bits(payload.subspan(reader.position()));
+  codec.decode(bits, symbols);
+
+  std::vector<std::int32_t> codes(out.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    codes[i] = static_cast<std::int32_t>(zigzag_decode(symbols[i]));
+  }
+  dequantize(codes, header.effective_error_bound, out);
+  return timer.seconds();
+}
+
+}  // namespace dlcomp

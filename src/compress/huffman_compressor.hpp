@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file huffman_compressor.hpp
+/// The paper's "optimized entropy encoder": error-bounded quantization
+/// followed by canonical Huffman coding of the (zigzagged) quantization
+/// codes. No prediction stage -- the paper's observation (1) shows Lorenzo
+/// prediction is counterproductive on embedding batches (false
+/// prediction), so codes are entropy-coded directly.
+
+#include "compress/compressor.hpp"
+
+namespace dlcomp {
+
+class HuffmanCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "huffman";
+  }
+  [[nodiscard]] bool lossy() const noexcept override { return true; }
+
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out) const override;
+
+  double decompress(std::span<const std::byte> stream,
+                    std::span<float> out) const override;
+};
+
+}  // namespace dlcomp

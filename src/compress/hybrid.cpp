@@ -1,0 +1,106 @@
+#include "compress/hybrid.hpp"
+
+#include <vector>
+
+#include "common/timer.hpp"
+#include "compress/format.hpp"
+#include "compress/huffman_compressor.hpp"
+#include "compress/vector_lz.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+const VectorLzCompressor& vector_lz_codec() {
+  static const VectorLzCompressor codec;
+  return codec;
+}
+
+const HuffmanCompressor& huffman_codec() {
+  static const HuffmanCompressor codec;
+  return codec;
+}
+
+}  // namespace
+
+CompressionStats HybridCompressor::compress(std::span<const float> input,
+                                            const CompressParams& params,
+                                            std::vector<std::byte>& out) const {
+  WallTimer timer;
+  const std::size_t start = out.size();
+
+  StreamHeader header;
+  header.codec = CodecId::kHybrid;
+  header.vector_dim = static_cast<std::uint16_t>(params.vector_dim);
+  header.element_count = input.size();
+  // Mirror the effective bound in the outer header so stream inspection
+  // does not need to descend into the inner stream.
+  header.effective_error_bound =
+      input.empty() ? 0.0 : resolve_error_bound(input, params);
+  const std::size_t patch_at = append_header(out, header);
+  const std::size_t payload_start = out.size();
+
+  HybridChoice choice = params.hybrid_choice;
+  if (choice == HybridChoice::kAuto) {
+    // No offline decision available: encode with both and keep the
+    // smaller stream (the online fallback).
+    std::vector<std::byte> lz_stream;
+    std::vector<std::byte> huff_stream;
+    vector_lz_codec().compress(input, params, lz_stream);
+    huffman_codec().compress(input, params, huff_stream);
+    choice = lz_stream.size() <= huff_stream.size() ? HybridChoice::kVectorLz
+                                                    : HybridChoice::kHuffman;
+    out.push_back(static_cast<std::byte>(choice));
+    const auto& inner =
+        choice == HybridChoice::kVectorLz ? lz_stream : huff_stream;
+    out.insert(out.end(), inner.begin(), inner.end());
+  } else {
+    out.push_back(static_cast<std::byte>(choice));
+    if (choice == HybridChoice::kVectorLz) {
+      vector_lz_codec().compress(input, params, out);
+    } else {
+      huffman_codec().compress(input, params, out);
+    }
+  }
+
+  patch_payload_bytes(out, patch_at, out.size() - payload_start);
+  CompressionStats stats;
+  stats.input_bytes = input.size_bytes();
+  stats.output_bytes = out.size() - start;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+double HybridCompressor::decompress(std::span<const std::byte> stream,
+                                    std::span<float> out) const {
+  WallTimer timer;
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+  DLCOMP_CHECK(header.codec == CodecId::kHybrid);
+  DLCOMP_CHECK(out.size() == header.element_count);
+  if (payload.empty()) throw FormatError("hybrid stream missing selector");
+
+  const auto choice = static_cast<HybridChoice>(payload[0]);
+  const auto inner = payload.subspan(1);
+  switch (choice) {
+    case HybridChoice::kVectorLz:
+      vector_lz_codec().decompress(inner, out);
+      break;
+    case HybridChoice::kHuffman:
+      huffman_codec().decompress(inner, out);
+      break;
+    default:
+      throw FormatError("unknown hybrid selector");
+  }
+  return timer.seconds();
+}
+
+HybridChoice HybridCompressor::stream_choice(std::span<const std::byte> stream) {
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+  DLCOMP_CHECK(header.codec == CodecId::kHybrid);
+  if (payload.empty()) throw FormatError("hybrid stream missing selector");
+  return static_cast<HybridChoice>(payload[0]);
+}
+
+}  // namespace dlcomp

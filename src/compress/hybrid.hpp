@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file hybrid.hpp
+/// The paper's hybrid compressor: per-table selection between the
+/// vector-based LZ encoder and the optimized entropy (Huffman) encoder,
+/// both over the shared error-bounded quantizer. The selection is made
+/// offline by the CompressorSelector (Eq. 2); at compress time the choice
+/// arrives via CompressParams::hybrid_choice, with kAuto falling back to
+/// "try both, keep the smaller stream" (used when no offline config
+/// exists, e.g. in the quickstart example).
+
+#include "compress/compressor.hpp"
+
+namespace dlcomp {
+
+class HybridCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "hybrid";
+  }
+  [[nodiscard]] bool lossy() const noexcept override { return true; }
+
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out) const override;
+
+  double decompress(std::span<const std::byte> stream,
+                    std::span<float> out) const override;
+
+  /// Which inner codec a compressed stream used (diagnostic).
+  static HybridChoice stream_choice(std::span<const std::byte> stream);
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,91 @@
+#include "compress/low_precision.hpp"
+
+#include <vector>
+
+#include "common/float_codec.hpp"
+#include "common/timer.hpp"
+#include "compress/format.hpp"
+
+namespace dlcomp {
+
+CompressionStats Fp16Compressor::compress(std::span<const float> input,
+                                          const CompressParams& params,
+                                          std::vector<std::byte>& out) const {
+  (void)params;  // fixed-ratio: no error bound to honor
+  WallTimer timer;
+  const std::size_t start = out.size();
+
+  StreamHeader header;
+  header.codec = CodecId::kFp16;
+  header.element_count = input.size();
+  const std::size_t patch_at = append_header(out, header);
+  const std::size_t payload_start = out.size();
+
+  std::vector<std::uint16_t> half(input.size());
+  encode_fp16(input, half);
+  append_pod_span<std::uint16_t>(out, half);
+
+  patch_payload_bytes(out, patch_at, out.size() - payload_start);
+  CompressionStats stats;
+  stats.input_bytes = input.size_bytes();
+  stats.output_bytes = out.size() - start;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+double Fp16Compressor::decompress(std::span<const std::byte> stream,
+                                  std::span<float> out) const {
+  WallTimer timer;
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+  DLCOMP_CHECK(header.codec == CodecId::kFp16);
+  DLCOMP_CHECK(out.size() == header.element_count);
+
+  std::vector<std::uint16_t> half(out.size());
+  ByteReader reader(payload);
+  reader.read_span(std::span<std::uint16_t>(half));
+  decode_fp16(half, out);
+  return timer.seconds();
+}
+
+CompressionStats Fp8Compressor::compress(std::span<const float> input,
+                                         const CompressParams& params,
+                                         std::vector<std::byte>& out) const {
+  (void)params;
+  WallTimer timer;
+  const std::size_t start = out.size();
+
+  StreamHeader header;
+  header.codec = CodecId::kFp8;
+  header.element_count = input.size();
+  const std::size_t patch_at = append_header(out, header);
+  const std::size_t payload_start = out.size();
+
+  std::vector<std::uint8_t> bytes(input.size());
+  encode_fp8(input, bytes);
+  append_pod_span<std::uint8_t>(out, bytes);
+
+  patch_payload_bytes(out, patch_at, out.size() - payload_start);
+  CompressionStats stats;
+  stats.input_bytes = input.size_bytes();
+  stats.output_bytes = out.size() - start;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+double Fp8Compressor::decompress(std::span<const std::byte> stream,
+                                 std::span<float> out) const {
+  WallTimer timer;
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+  DLCOMP_CHECK(header.codec == CodecId::kFp8);
+  DLCOMP_CHECK(out.size() == header.element_count);
+
+  std::vector<std::uint8_t> bytes(out.size());
+  ByteReader reader(payload);
+  reader.read_span(std::span<std::uint8_t>(bytes));
+  decode_fp8(bytes, out);
+  return timer.seconds();
+}
+
+}  // namespace dlcomp

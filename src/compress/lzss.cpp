@@ -1,0 +1,124 @@
+#include "compress/lzss.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitstream.hpp"
+#include "common/error.hpp"
+
+namespace dlcomp::lzss {
+
+namespace {
+
+constexpr std::size_t kHashBits = 16;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+std::uint32_t hash4(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+std::size_t match_length(const std::byte* a, const std::byte* b,
+                         std::size_t limit) noexcept {
+  std::size_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+}  // namespace
+
+void compress_bytes(std::span<const std::byte> input, const Config& config,
+                    std::vector<std::byte>& out) {
+  DLCOMP_CHECK(config.window_bytes <= 65535);
+  // decompress_bytes assumes the project-wide fixed minimum match of 4.
+  DLCOMP_CHECK(config.min_match == 4);
+  DLCOMP_CHECK(config.max_match >= config.min_match);
+  DLCOMP_CHECK(config.max_match - config.min_match <= 255);
+
+  BitWriter writer;
+  const std::size_t n = input.size();
+
+  // head[h] = most recent position with hash h; prev[i % window] = chain.
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(config.window_bytes, -1);
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+
+    if (pos + 4 <= n) {
+      const std::uint32_t h = hash4(input.data() + pos);
+      std::int64_t candidate = head[h];
+      std::size_t probes = 0;
+      const std::size_t limit = std::min(config.max_match, n - pos);
+      while (candidate >= 0 && probes < config.chain_depth) {
+        const std::size_t dist = pos - static_cast<std::size_t>(candidate);
+        if (dist > config.window_bytes) break;
+        const std::size_t len = match_length(
+            input.data() + pos, input.data() + candidate, limit);
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == limit) break;
+        }
+        candidate = prev[static_cast<std::size_t>(candidate) % config.window_bytes];
+        ++probes;
+      }
+    }
+
+    if (best_len >= config.min_match) {
+      writer.write_bit(true);
+      writer.write(best_dist, 16);
+      writer.write(best_len - config.min_match, 8);
+      // Insert every covered position into the chains so later matches
+      // can reference inside this run.
+      const std::size_t end = std::min(pos + best_len, n >= 4 ? n - 3 : 0);
+      for (std::size_t i = pos; i < end; ++i) {
+        const std::uint32_t h = hash4(input.data() + i);
+        prev[i % config.window_bytes] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      pos += best_len;
+    } else {
+      writer.write_bit(false);
+      writer.write(std::to_integer<std::uint64_t>(input[pos]), 8);
+      if (pos + 4 <= n) {
+        const std::uint32_t h = hash4(input.data() + pos);
+        prev[pos % config.window_bytes] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+      }
+      ++pos;
+    }
+  }
+  writer.finish_into(out);
+}
+
+void decompress_bytes(std::span<const std::byte> stream,
+                      std::span<std::byte> out) {
+  BitReader reader(stream);
+  std::size_t pos = 0;
+  const std::size_t n = out.size();
+  // min_match must mirror the compressor; it is fixed at 4 project-wide.
+  constexpr std::size_t kMinMatch = 4;
+
+  while (pos < n) {
+    if (reader.read_bit()) {
+      const std::size_t dist = static_cast<std::size_t>(reader.read(16));
+      const std::size_t len = static_cast<std::size_t>(reader.read(8)) + kMinMatch;
+      if (dist == 0 || dist > pos || pos + len > n) {
+        throw FormatError("LZSS backref out of range");
+      }
+      // Byte-by-byte copy: overlapping self-references are legal.
+      for (std::size_t i = 0; i < len; ++i) {
+        out[pos + i] = out[pos + i - dist];
+      }
+      pos += len;
+    } else {
+      out[pos++] = static_cast<std::byte>(reader.read(8));
+    }
+  }
+}
+
+}  // namespace dlcomp::lzss

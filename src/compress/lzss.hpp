@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file lzss.hpp
+/// Byte-granular LZSS with hash-chain matching: the core of the
+/// generic-LZ (nvCOMP-LZ4-class) and Deflate-like baselines. Kept
+/// internal to the compress module; the public entry points are the
+/// Compressor implementations.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlcomp::lzss {
+
+struct Config {
+  std::size_t window_bytes = 65535;  ///< backref reach (16-bit distances)
+  std::size_t min_match = 4;             ///< shortest emitted match
+  std::size_t max_match = 259;           ///< longest emitted match
+  std::size_t chain_depth = 16;          ///< hash chain probes per position
+};
+
+/// Compresses raw bytes into an LZSS token bitstream (flag bit, literal
+/// byte, or 16-bit distance + 8-bit length). Appends to `out`.
+void compress_bytes(std::span<const std::byte> input, const Config& config,
+                    std::vector<std::byte>& out);
+
+/// Decompresses exactly out.size() bytes from a stream produced by
+/// compress_bytes with the same Config limits.
+void decompress_bytes(std::span<const std::byte> stream,
+                      std::span<std::byte> out);
+
+}  // namespace dlcomp::lzss

@@ -1,0 +1,81 @@
+#include "compress/quantizer.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+/// FNV-1a over a run of bytes; good enough for vector dedup sets.
+std::uint64_t hash_bytes(const void* data, std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::size_t count_unique_rows(std::span<const T> values, std::size_t dim) {
+  DLCOMP_CHECK(dim > 0);
+  const std::size_t rows = values.size() / dim;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(rows * 2);
+  std::size_t unique = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::uint64_t h = hash_bytes(values.data() + r * dim, dim * sizeof(T));
+    if (seen.insert(h).second) ++unique;
+  }
+  return unique;
+}
+
+}  // namespace
+
+void quantize(std::span<const float> input, double eb,
+              std::span<std::int32_t> codes) {
+  DLCOMP_CHECK(codes.size() == input.size());
+  DLCOMP_CHECK_MSG(eb > 0.0, "quantizer error bound must be positive");
+  const double inv = 1.0 / (2.0 * eb);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double scaled = static_cast<double>(input[i]) * inv;
+    DLCOMP_CHECK_MSG(
+        scaled >= static_cast<double>(std::numeric_limits<std::int32_t>::min()) &&
+            scaled <= static_cast<double>(std::numeric_limits<std::int32_t>::max()),
+        "quantization code overflow: value " << input[i] << " eb " << eb);
+    codes[i] = static_cast<std::int32_t>(std::llround(scaled));
+  }
+}
+
+void dequantize(std::span<const std::int32_t> codes, double eb,
+                std::span<float> output) {
+  DLCOMP_CHECK(output.size() == codes.size());
+  const double step = 2.0 * eb;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    output[i] = static_cast<float>(static_cast<double>(codes[i]) * step);
+  }
+}
+
+std::vector<std::int32_t> quantize(std::span<const float> input, double eb) {
+  std::vector<std::int32_t> codes(input.size());
+  quantize(input, eb, codes);
+  return codes;
+}
+
+std::size_t count_unique_vectors(std::span<const std::int32_t> codes,
+                                 std::size_t dim) {
+  return count_unique_rows(codes, dim);
+}
+
+std::size_t count_unique_vectors(std::span<const float> values,
+                                 std::size_t dim) {
+  return count_unique_rows(values, dim);
+}
+
+}  // namespace dlcomp

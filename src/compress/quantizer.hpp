@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file quantizer.hpp
+/// Error-bounded linear quantization: the first stage of the paper's
+/// hybrid compressor ("the quantization encoder converts floating-point
+/// numbers into discrete bins"). With absolute bound eb, bins are 2*eb
+/// wide, so |x - dequantize(quantize(x))| <= eb for all finite x within
+/// the representable code range.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dlcomp {
+
+/// Quantizes each value to round(x / (2*eb)). Throws if any code exceeds
+/// the int32 range (cannot happen for embedding-scale data with sane
+/// bounds; the check guards against eb underflow).
+void quantize(std::span<const float> input, double eb,
+              std::span<std::int32_t> codes);
+
+/// Reconstructs x' = code * 2 * eb.
+void dequantize(std::span<const std::int32_t> codes, double eb,
+                std::span<float> output);
+
+/// Convenience allocation form.
+std::vector<std::int32_t> quantize(std::span<const float> input, double eb);
+
+/// Counts distinct vectors of length `dim` in `codes` (row-granular).
+/// Used by the Homogenization Index: quantized pattern counting.
+std::size_t count_unique_vectors(std::span<const std::int32_t> codes,
+                                 std::size_t dim);
+
+/// Counts distinct float vectors (original pattern counting).
+std::size_t count_unique_vectors(std::span<const float> values,
+                                 std::size_t dim);
+
+}  // namespace dlcomp

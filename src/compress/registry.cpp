@@ -1,0 +1,65 @@
+#include "compress/registry.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "compress/cusz_like.hpp"
+#include "compress/deflate_like.hpp"
+#include "compress/fz_gpu_like.hpp"
+#include "compress/generic_lz.hpp"
+#include "compress/huffman_compressor.hpp"
+#include "compress/hybrid.hpp"
+#include "compress/low_precision.hpp"
+#include "compress/vector_lz.hpp"
+#include "compress/zfp_like.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+const CuszLikeCompressor kCusz;
+const FzGpuLikeCompressor kFzGpu;
+const VectorLzCompressor kVectorLz;
+const HuffmanCompressor kHuffman;
+const GenericLzCompressor kGenericLz;
+const DeflateLikeCompressor kDeflate;
+const Fp16Compressor kFp16;
+const Fp8Compressor kFp8;
+const HybridCompressor kHybrid;
+const ZfpLikeCompressor kZfp;
+
+constexpr std::array<std::string_view, 10> kAllNames = {
+    "cusz-like", "zfp-like", "fz-gpu-like", "vector-lz",  "huffman",
+    "generic-lz", "deflate-like", "fp16",   "fp8",        "hybrid",
+};
+
+constexpr std::array<std::string_view, 8> kPipelineNames = {
+    "cusz-like", "zfp-like", "fz-gpu-like", "vector-lz",
+    "huffman",   "generic-lz", "deflate-like", "hybrid",
+};
+
+}  // namespace
+
+const Compressor& get_compressor(std::string_view name) {
+  if (name == "zfp-like") return kZfp;
+  if (name == "cusz-like") return kCusz;
+  if (name == "fz-gpu-like") return kFzGpu;
+  if (name == "vector-lz") return kVectorLz;
+  if (name == "huffman") return kHuffman;
+  if (name == "generic-lz") return kGenericLz;
+  if (name == "deflate-like") return kDeflate;
+  if (name == "fp16") return kFp16;
+  if (name == "fp8") return kFp8;
+  if (name == "hybrid") return kHybrid;
+  throw Error("unknown compressor: " + std::string(name));
+}
+
+std::span<const std::string_view> all_compressor_names() noexcept {
+  return kAllNames;
+}
+
+std::span<const std::string_view> pipeline_compressor_names() noexcept {
+  return kPipelineNames;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file vector_lz.hpp
+/// The paper's vector-based LZ encoder (Sec. III-D/III-E). Differences
+/// from byte-granular LZ, exactly as the paper prescribes:
+///
+///  1. Fixed pattern length: matches are whole embedding vectors
+///     (params.vector_dim quantization codes), never partial runs -- if
+///     two vectors differ, the encoder leaps to the next vector instead
+///     of sliding byte-by-byte.
+///  2. Extended window: the window is measured in vectors
+///     (params.lz_window_vectors, default 128; Table VI sweeps 32..255),
+///     i.e. kilobytes of history for 32/64-element fp32 vectors.
+///
+/// Stage order: error-bounded quantization -> vector-granular matching ->
+/// fixed-width literal packing. Repeated lookups within a batch (the
+/// "unbalanced queries" phenomenon) become 1 + log2(window) bit matches.
+
+#include "compress/compressor.hpp"
+
+namespace dlcomp {
+
+class VectorLzCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "vector-lz";
+  }
+  [[nodiscard]] bool lossy() const noexcept override { return true; }
+
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out) const override;
+
+  double decompress(std::span<const std::byte> stream,
+                    std::span<float> out) const override;
+
+  /// Number of vector matches found in the last-compressed layout for a
+  /// given buffer (re-derived; helper for the Fig. 13 pattern analysis).
+  static std::size_t count_matches(std::span<const float> input,
+                                   const CompressParams& params);
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,144 @@
+#include "compress/zfp_like.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/bitstream.hpp"
+#include "common/timer.hpp"
+#include "compress/format.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+constexpr std::size_t kBlock = ZfpLikeCompressor::kBlockValues;
+
+/// Reversible integer Haar-style lifting over 4 coefficients. Sum/diff
+/// pairs grow the magnitude by at most 2 bits across both levels; the
+/// inverse is exact because s+d = 2a and s-d = 2b are always even.
+void forward_lift(std::array<std::int64_t, kBlock>& v) noexcept {
+  const std::int64_t s0 = v[0] + v[1];
+  const std::int64_t d0 = v[0] - v[1];
+  const std::int64_t s1 = v[2] + v[3];
+  const std::int64_t d1 = v[2] - v[3];
+  v[0] = s0 + s1;  // low-pass
+  v[1] = s0 - s1;
+  v[2] = d0;
+  v[3] = d1;
+}
+
+void inverse_lift(std::array<std::int64_t, kBlock>& v) noexcept {
+  const std::int64_t s0 = (v[0] + v[1]) / 2;
+  const std::int64_t s1 = (v[0] - v[1]) / 2;
+  const std::int64_t d0 = v[2];
+  const std::int64_t d1 = v[3];
+  v[0] = (s0 + d0) / 2;
+  v[1] = (s0 - d0) / 2;
+  v[2] = (s1 + d1) / 2;
+  v[3] = (s1 - d1) / 2;
+}
+
+/// Width (bits) of the zigzag form of the widest value in a group.
+unsigned group_width(std::span<const std::int64_t> values) noexcept {
+  std::uint64_t max_symbol = 0;
+  for (const auto v : values) {
+    max_symbol = std::max(max_symbol, zigzag_encode(v));
+  }
+  return bit_width_for(max_symbol);
+}
+
+}  // namespace
+
+CompressionStats ZfpLikeCompressor::compress(std::span<const float> input,
+                                             const CompressParams& params,
+                                             std::vector<std::byte>& out) const {
+  WallTimer timer;
+  const std::size_t start = out.size();
+  const double eb = resolve_error_bound(input, params);
+
+  StreamHeader header;
+  header.codec = CodecId::kZfpLike;
+  header.vector_dim = static_cast<std::uint16_t>(params.vector_dim);
+  header.element_count = input.size();
+  header.effective_error_bound = eb;
+  const std::size_t patch_at = append_header(out, header);
+  const std::size_t payload_start = out.size();
+
+  if (!input.empty()) {
+    BitWriter writer;
+    // Quantization step: 2*eb total bin width keeps |x - x'| <= eb; the
+    // lifting transform is exact on integers so no further error enters.
+    const double inv_step = 1.0 / (2.0 * eb);
+
+    for (std::size_t base = 0; base < input.size(); base += kBlock) {
+      std::array<std::int64_t, kBlock> q{};
+      const std::size_t count = std::min(kBlock, input.size() - base);
+      bool all_zero = true;
+      for (std::size_t i = 0; i < count; ++i) {
+        q[i] = std::llround(static_cast<double>(input[base + i]) * inv_step);
+        all_zero = all_zero && q[i] == 0;
+      }
+      if (all_zero) {
+        // Empty-block shortcut (ZFP's all-zero group test).
+        writer.write_bit(false);
+        continue;
+      }
+      writer.write_bit(true);
+      forward_lift(q);
+
+      // Two width groups: the low-pass coefficient and the details.
+      const unsigned low_bits = group_width({q.data(), 1});
+      const unsigned detail_bits = group_width({q.data() + 1, kBlock - 1});
+      writer.write(low_bits - 1, 6);    // widths in [1, 64]
+      writer.write(detail_bits - 1, 6);
+      writer.write(zigzag_encode(q[0]), low_bits);
+      for (std::size_t i = 1; i < kBlock; ++i) {
+        writer.write(zigzag_encode(q[i]), detail_bits);
+      }
+    }
+    writer.finish_into(out);
+  }
+
+  patch_payload_bytes(out, patch_at, out.size() - payload_start);
+  CompressionStats stats;
+  stats.input_bytes = input.size_bytes();
+  stats.output_bytes = out.size() - start;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+double ZfpLikeCompressor::decompress(std::span<const std::byte> stream,
+                                     std::span<float> out) const {
+  WallTimer timer;
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+  DLCOMP_CHECK(header.codec == CodecId::kZfpLike);
+  DLCOMP_CHECK(out.size() == header.element_count);
+  if (out.empty()) return timer.seconds();
+
+  BitReader reader(payload);
+  const double step = 2.0 * header.effective_error_bound;
+
+  for (std::size_t base = 0; base < out.size(); base += kBlock) {
+    const std::size_t count = std::min(kBlock, out.size() - base);
+    if (!reader.read_bit()) {
+      for (std::size_t i = 0; i < count; ++i) out[base + i] = 0.0f;
+      continue;
+    }
+    const unsigned low_bits = static_cast<unsigned>(reader.read(6)) + 1;
+    const unsigned detail_bits = static_cast<unsigned>(reader.read(6)) + 1;
+    std::array<std::int64_t, kBlock> q{};
+    q[0] = zigzag_decode(reader.read(low_bits));
+    for (std::size_t i = 1; i < kBlock; ++i) {
+      q[i] = zigzag_decode(reader.read(detail_bits));
+    }
+    inverse_lift(q);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[base + i] = static_cast<float>(static_cast<double>(q[i]) * step);
+    }
+  }
+  return timer.seconds();
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,109 @@
+#include "core/auto_tuner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "compress/registry.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+/// One probe training run; returns held-out accuracy and the forward CR.
+AutoTunerResult::Probe probe_run(const SyntheticClickDataset& dataset,
+                                 const AutoTunerConfig& config,
+                                 double error_bound) {
+  const DatasetSpec& spec = dataset.spec();
+  DlrmModel model(spec, config.model, config.seed);
+
+  const Compressor* codec =
+      error_bound > 0.0 ? &get_compressor(config.codec) : nullptr;
+
+  std::uint64_t raw = 0;
+  std::uint64_t wire = 0;
+  DlrmModel::TableTransform hook;
+  if (codec != nullptr) {
+    hook = [&](std::size_t, Matrix& lookups) {
+      CompressParams params;
+      params.error_bound = error_bound;
+      params.vector_dim = spec.embedding_dim;
+      std::vector<std::byte> stream;
+      const auto stats = codec->compress(lookups.flat(), params, stream);
+      codec->decompress(stream, lookups.flat());
+      raw += stats.input_bytes;
+      wire += stats.output_bytes;
+    };
+  }
+
+  for (std::size_t i = 0; i < config.probe_iterations; ++i) {
+    const SampleBatch batch = dataset.make_batch(config.probe_batch, i);
+    (void)model.train_step(batch, hook);
+  }
+
+  AutoTunerResult::Probe probe;
+  probe.error_bound = error_bound;
+  probe.accuracy =
+      model.evaluate_stream(dataset, config.probe_batch, config.eval_batches)
+          .accuracy;
+  probe.compression_ratio =
+      wire > 0 ? static_cast<double>(raw) / static_cast<double>(wire) : 1.0;
+  return probe;
+}
+
+}  // namespace
+
+AutoTunerResult auto_select_global_eb(const SyntheticClickDataset& dataset,
+                                      const AutoTunerConfig& config) {
+  DLCOMP_CHECK_MSG(!config.candidates.empty(), "no candidate bounds");
+  DLCOMP_CHECK_MSG(
+      std::is_sorted(config.candidates.begin(), config.candidates.end(),
+                     std::greater<double>{}),
+      "candidates must be sorted descending (largest bound first)");
+
+  AutoTunerResult result;
+  result.baseline_accuracy = probe_run(dataset, config, 0.0).accuracy;
+
+  // Largest-first: the first candidate inside tolerance maximizes the
+  // compression ratio among acceptable bounds.
+  for (const double eb : config.candidates) {
+    AutoTunerResult::Probe probe = probe_run(dataset, config, eb);
+    probe.within_tolerance =
+        probe.accuracy >= result.baseline_accuracy - config.accuracy_tolerance;
+    result.probes.push_back(probe);
+    if (probe.within_tolerance && result.selected_eb == 0.0) {
+      result.selected_eb = eb;
+      break;  // paper semantics: take the most generous acceptable bound
+    }
+  }
+  if (result.selected_eb == 0.0) {
+    // Nothing passed: fall back to the tightest candidate.
+    result.selected_eb = config.candidates.back();
+  }
+  return result;
+}
+
+double OnlineEbController::observe(double train_loss) {
+  ++iter_;
+  if (!initialized_) {
+    fast_ema_ = train_loss;
+    slow_ema_ = train_loss;
+    initialized_ = true;
+    return scale_;
+  }
+  fast_ema_ += config_.ema_alpha * (train_loss - fast_ema_);
+  slow_ema_ += 0.2 * config_.ema_alpha * (train_loss - slow_ema_);
+
+  if (iter_ > config_.warmup_iters &&
+      fast_ema_ > slow_ema_ * config_.trigger_ratio) {
+    // Compressed training is drifting above its own trend: halve the
+    // bound multiplier and restart the comparison window.
+    scale_ = std::max(config_.min_scale, scale_ * 0.5);
+    slow_ema_ = fast_ema_;
+    ++triggers_;
+  } else {
+    scale_ = std::min(1.0, scale_ * config_.recovery_per_step);
+  }
+  return scale_;
+}
+
+}  // namespace dlcomp

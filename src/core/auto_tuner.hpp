@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file auto_tuner.hpp
+/// Automated global error-bound selection -- the paper's stated future
+/// work ("a more advanced and automated approach for offline selection of
+/// a fixed global error-bound", Sec. VI), implemented here as a
+/// probe-training search: candidate bounds are evaluated by short
+/// training runs with the compression hooks active, and the largest bound
+/// whose held-out accuracy stays within tolerance of the uncompressed
+/// probe is selected.
+///
+/// Also provides the online companion: a feedback controller that watches
+/// the training-loss trend and tightens the bound multiplier when
+/// compressed training diverges from its own recent trend, recovering
+/// gradually afterwards.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "dlrm/model.hpp"
+
+namespace dlcomp {
+
+struct AutoTunerConfig {
+  /// Candidate bounds, evaluated from largest to smallest; the first one
+  /// within tolerance wins. Must be sorted descending.
+  std::vector<double> candidates = {0.08, 0.05, 0.03, 0.02, 0.01, 0.005};
+  /// Acceptable held-out accuracy drop versus the uncompressed probe
+  /// (absolute, e.g. 0.01 = one percentage point).
+  double accuracy_tolerance = 0.01;
+  /// Probe run length and batch size.
+  std::size_t probe_iterations = 150;
+  std::size_t probe_batch = 128;
+  std::size_t eval_batches = 4;
+  /// Codec used during probing.
+  std::string codec = "hybrid";
+  DlrmConfig model;
+  std::uint64_t seed = 1234;
+};
+
+struct AutoTunerResult {
+  double selected_eb = 0.0;
+  double baseline_accuracy = 0.0;
+  /// Per-candidate probe outcomes, in evaluation order.
+  struct Probe {
+    double error_bound = 0.0;
+    double accuracy = 0.0;
+    double compression_ratio = 0.0;
+    bool within_tolerance = false;
+  };
+  std::vector<Probe> probes;
+};
+
+/// Runs the search. Deterministic in (config.seed, dataset seed).
+AutoTunerResult auto_select_global_eb(const SyntheticClickDataset& dataset,
+                                      const AutoTunerConfig& config);
+
+/// Online error-bound controller (future-work companion): multiply the
+/// scheduler's scale by `scale()`; feed the training loss every
+/// iteration. When the smoothed loss rises above its recent trend by more
+/// than `trigger_ratio`, the controller halves its scale (bounded below
+/// by `min_scale`) and then relaxes back toward 1 at `recovery_per_step`.
+class OnlineEbController {
+ public:
+  struct Config {
+    double ema_alpha = 0.05;        ///< smoothing for the loss signal
+    double trigger_ratio = 1.05;    ///< smoothed/trend ratio that trips it
+    double min_scale = 0.25;
+    double recovery_per_step = 1.01;
+    std::size_t warmup_iters = 20;  ///< no triggering while the EMA settles
+  };
+
+  explicit OnlineEbController(const Config& config) : config_(config) {}
+
+  /// Feeds one iteration's training loss; returns the updated scale.
+  double observe(double train_loss);
+
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] std::size_t trigger_count() const noexcept { return triggers_; }
+
+ private:
+  Config config_;
+  double fast_ema_ = 0.0;
+  double slow_ema_ = 0.0;
+  bool initialized_ = false;
+  std::size_t iter_ = 0;
+  double scale_ = 1.0;
+  std::size_t triggers_ = 0;
+};
+
+}  // namespace dlcomp

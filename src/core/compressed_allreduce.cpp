@@ -1,0 +1,78 @@
+#include "core/compressed_allreduce.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace dlcomp {
+
+CompressedAllReduce::CompressedAllReduce(CompressedAllReduceConfig config)
+    : config_(std::move(config)) {
+  if (config_.codec != nullptr && !config_.throughput.has_value()) {
+    config_.throughput =
+        calibrated_throughput(std::string(config_.codec->name()).c_str());
+  }
+}
+
+AllReduceStats CompressedAllReduce::reduce(Communicator& comm,
+                                           std::span<float> data,
+                                           const std::string& phase) const {
+  AllReduceStats stats;
+  stats.raw_bytes = data.size_bytes();
+
+  if (config_.codec == nullptr) {
+    comm.all_reduce_sum(data, phase);
+    stats.wire_bytes = data.size_bytes();
+    return stats;
+  }
+  const auto world = static_cast<std::size_t>(comm.world());
+
+  // Compress the local contribution once; the same stream goes to every
+  // peer (an all-gather expressed over the variable all-to-all).
+  WallTimer compress_timer;
+  CompressParams params;
+  params.error_bound = config_.relative_eb;
+  params.eb_mode = EbMode::kRangeRelative;
+  std::vector<std::byte> stream;
+  config_.codec->compress(data, params, stream);
+  stats.compress_wall_seconds = compress_timer.seconds();
+  stats.wire_bytes = stream.size() * (world - 1);
+  stats.compression_ratio =
+      static_cast<double>(stats.raw_bytes) / static_cast<double>(stream.size());
+
+  if (config_.charge_modeled_time) {
+    comm.advance_compute(phase + "/compress",
+                         config_.device.codec_seconds(
+                             1, stats.raw_bytes, config_.throughput->compress_bps));
+  }
+
+  std::vector<std::vector<std::byte>> send(world, stream);
+  const auto received = comm.all_to_all_v(send, phase);
+
+  // Decompress every contribution (own stream included: all replicas must
+  // see identical post-compression values) and reduce in rank order.
+  WallTimer decompress_timer;
+  std::vector<float> scratch(data.size());
+  std::vector<double> acc(data.size(), 0.0);
+  for (std::size_t src = 0; src < world; ++src) {
+    config_.codec->decompress(received[src], scratch);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      acc[i] += static_cast<double>(scratch[i]);
+    }
+  }
+  stats.decompress_wall_seconds = decompress_timer.seconds();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(acc[i]);
+  }
+
+  if (config_.charge_modeled_time) {
+    comm.advance_compute(
+        phase + "/decompress",
+        config_.device.codec_seconds(1, stats.raw_bytes * world,
+                                     config_.throughput->decompress_bps));
+  }
+  return stats;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,208 @@
+#include "core/compressed_alltoall.hpp"
+
+#include <cstring>
+
+#include "common/byte_io.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+/// Directory layout prepended to each destination buffer:
+///   u32 chunk_count | u64 sizes[count] | payload (streams back-to-back,
+///   in chunk order).
+/// Offsets are implied by prefix sums of sizes, so the directory stays
+/// minimal (this is the per-destination metadata of the paper's stage 2).
+void write_directory(std::vector<std::byte>& out,
+                     std::span<const std::size_t> sizes) {
+  append_pod(out, static_cast<std::uint32_t>(sizes.size()));
+  for (const auto s : sizes) {
+    append_pod(out, static_cast<std::uint64_t>(s));
+  }
+}
+
+struct Directory {
+  std::vector<std::size_t> offsets;  // into payload
+  std::vector<std::size_t> sizes;
+  std::span<const std::byte> payload;
+};
+
+Directory read_directory(std::span<const std::byte> buffer) {
+  ByteReader reader(buffer);
+  const auto count = reader.read<std::uint32_t>();
+  Directory dir;
+  dir.offsets.reserve(count);
+  dir.sizes.reserve(count);
+  std::size_t cursor = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto size = static_cast<std::size_t>(reader.read<std::uint64_t>());
+    dir.offsets.push_back(cursor);
+    dir.sizes.push_back(size);
+    cursor += size;
+  }
+  dir.payload = buffer.subspan(reader.position());
+  if (dir.payload.size() != cursor) {
+    throw FormatError("all-to-all chunk directory inconsistent with payload");
+  }
+  return dir;
+}
+
+}  // namespace
+
+CompressedAllToAll::CompressedAllToAll(CompressedAllToAllConfig config)
+    : config_(std::move(config)) {
+  if (config_.codec != nullptr && !config_.throughput.has_value()) {
+    config_.throughput = calibrated_throughput(
+        std::string(config_.codec->name()).c_str());
+  }
+}
+
+A2AStats CompressedAllToAll::exchange(
+    Communicator& comm, const std::vector<std::vector<A2AChunkSpec>>& send,
+    const std::vector<std::vector<std::span<float>>>& recv,
+    const std::string& phase) const {
+  const auto world = static_cast<std::size_t>(comm.world());
+  DLCOMP_CHECK_MSG(send.size() == world, "need one chunk list per destination");
+  DLCOMP_CHECK_MSG(recv.size() == world, "need one output list per source");
+
+  A2AStats stats;
+
+  // ---- Stage (1): compress every chunk, packing per-destination buffers.
+  WallTimer compress_timer;
+  std::vector<std::vector<std::byte>> packed(world);
+
+  // Flatten (dest, chunk) pairs for one parallel sweep: the CPU analogue
+  // of the single fused compression kernel.
+  struct Piece {
+    std::size_t dest;
+    std::size_t index;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Piece> pieces;
+  for (std::size_t d = 0; d < world; ++d) {
+    for (std::size_t i = 0; i < send[d].size(); ++i) {
+      pieces.push_back({d, i, {}});
+    }
+  }
+
+  auto compress_piece = [&](Piece& piece) {
+    const A2AChunkSpec& chunk = send[piece.dest][piece.index];
+    if (config_.codec != nullptr) {
+      config_.codec->compress(chunk.data, chunk.params, piece.bytes);
+    } else {
+      // Raw exchange: payload is the float bytes themselves.
+      const auto* p = reinterpret_cast<const std::byte*>(chunk.data.data());
+      piece.bytes.assign(p, p + chunk.data.size_bytes());
+    }
+  };
+  if (config_.pool != nullptr && pieces.size() > 1) {
+    config_.pool->parallel_for(0, pieces.size(), 1,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 for (std::size_t i = lo; i < hi; ++i) {
+                                   compress_piece(pieces[i]);
+                                 }
+                               });
+  } else {
+    for (auto& piece : pieces) compress_piece(piece);
+  }
+
+  // Assemble per-destination buffers: directory + streams in chunk order.
+  {
+    std::vector<std::vector<std::size_t>> sizes(world);
+    for (std::size_t d = 0; d < world; ++d) {
+      sizes[d].resize(send[d].size(), 0);
+    }
+    for (const auto& piece : pieces) {
+      sizes[piece.dest][piece.index] = piece.bytes.size();
+    }
+    for (std::size_t d = 0; d < world; ++d) {
+      write_directory(packed[d], sizes[d]);
+    }
+    // `pieces` was built in (dest, index) order, so appending in sequence
+    // lands every stream behind its destination's directory in chunk
+    // order.
+    for (const auto& piece : pieces) {
+      packed[piece.dest].insert(packed[piece.dest].end(), piece.bytes.begin(),
+                                piece.bytes.end());
+    }
+  }
+  stats.compress_wall_seconds = compress_timer.seconds();
+
+  for (std::size_t d = 0; d < world; ++d) {
+    for (const auto& chunk : send[d]) {
+      stats.send_raw_bytes += chunk.data.size_bytes();
+    }
+    stats.send_wire_bytes += packed[d].size();
+  }
+
+  // Charge modelled codec time (single fused kernel writing into the
+  // send buffer, per the buffer optimization).
+  if (config_.charge_modeled_time && config_.codec != nullptr) {
+    stats.modeled_compress_seconds = config_.device.codec_seconds(
+        1, stats.send_raw_bytes, config_.throughput->compress_bps);
+    comm.advance_compute(phase + "/compress", stats.modeled_compress_seconds);
+  }
+
+  // ---- Stages (2) + (3): metadata exchange then payload exchange.
+  const auto received = comm.all_to_all_v(packed, phase);
+
+  // ---- Stage (4): decompress (parallel across received chunks).
+  WallTimer decompress_timer;
+  std::vector<Directory> dirs(world);
+  std::size_t recv_raw_bytes = 0;
+  for (std::size_t s = 0; s < world; ++s) {
+    dirs[s] = read_directory(received[s]);
+    DLCOMP_CHECK_MSG(dirs[s].sizes.size() == recv[s].size(),
+                     "rank " << comm.rank() << " expected " << recv[s].size()
+                             << " chunks from " << s << ", got "
+                             << dirs[s].sizes.size());
+    for (const auto& out : recv[s]) recv_raw_bytes += out.size() * sizeof(float);
+  }
+
+  struct RecvPiece {
+    std::size_t src;
+    std::size_t index;
+  };
+  std::vector<RecvPiece> recv_pieces;
+  for (std::size_t s = 0; s < world; ++s) {
+    for (std::size_t i = 0; i < recv[s].size(); ++i) {
+      recv_pieces.push_back({s, i});
+    }
+  }
+  auto decompress_piece = [&](const RecvPiece& piece) {
+    const auto& dir = dirs[piece.src];
+    const auto stream =
+        dir.payload.subspan(dir.offsets[piece.index], dir.sizes[piece.index]);
+    auto out = recv[piece.src][piece.index];
+    if (config_.codec != nullptr) {
+      config_.codec->decompress(stream, out);
+    } else {
+      DLCOMP_CHECK_MSG(stream.size() == out.size() * sizeof(float),
+                       "raw chunk size mismatch");
+      std::memcpy(out.data(), stream.data(), stream.size());
+    }
+  };
+  if (config_.pool != nullptr && recv_pieces.size() > 1) {
+    config_.pool->parallel_for(0, recv_pieces.size(), 1,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 for (std::size_t i = lo; i < hi; ++i) {
+                                   decompress_piece(recv_pieces[i]);
+                                 }
+                               });
+  } else {
+    for (const auto& piece : recv_pieces) decompress_piece(piece);
+  }
+  stats.decompress_wall_seconds = decompress_timer.seconds();
+
+  if (config_.charge_modeled_time && config_.codec != nullptr) {
+    stats.modeled_decompress_seconds = config_.device.codec_seconds(
+        1, recv_raw_bytes, config_.throughput->decompress_bps);
+    comm.advance_compute(phase + "/decompress",
+                         stats.modeled_decompress_seconds);
+  }
+  return stats;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file compute_model.hpp
+/// Calibrated GPU compute-time model for the non-communication phases of
+/// a DLRM training iteration. The CPU substrate executes the real math
+/// but at CPU speed; the simulated clocks are advanced by these modelled
+/// times instead, so the Fig. 1 / Fig. 12 breakdowns reflect an
+/// A100-class device against the 4 GB/s fabric the paper evaluates.
+/// Constants are effective (not peak) rates for small-batch kernels; see
+/// EXPERIMENTS.md for the calibration notes.
+
+#include <cstddef>
+#include <span>
+
+namespace dlcomp {
+
+struct ComputeModel {
+  /// Effective GEMM throughput for the small, narrow DLRM MLP layers.
+  double flops_per_second = 5e12;
+  /// Effective HBM bandwidth for gather/scatter-style kernels.
+  double hbm_bytes_per_second = 1.0e12;
+  /// Fixed per-kernel overhead folded into every phase.
+  double kernel_overhead_seconds = 4e-6;
+
+  /// Forward time of an MLP with layer widths `dims` on `batch` rows
+  /// (2*flops). Backward is ~2x forward; callers charge it separately.
+  [[nodiscard]] double mlp_seconds(std::size_t batch,
+                                   std::span<const std::size_t> dims) const noexcept {
+    double flops = 0.0;
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+      flops += 2.0 * static_cast<double>(batch) *
+               static_cast<double>(dims[l]) * static_cast<double>(dims[l + 1]);
+    }
+    return kernel_overhead_seconds + flops / flops_per_second;
+  }
+
+  /// Dot-product interaction among (features+1) vectors of width dim.
+  [[nodiscard]] double interaction_seconds(std::size_t batch,
+                                           std::size_t features,
+                                           std::size_t dim) const noexcept {
+    const double n = static_cast<double>(features + 1);
+    const double flops =
+        static_cast<double>(batch) * n * n * static_cast<double>(dim);
+    return kernel_overhead_seconds + flops / flops_per_second;
+  }
+
+  /// Bandwidth-bound gather/scatter (embedding lookup or update) moving
+  /// `bytes` through HBM (read + write).
+  [[nodiscard]] double memory_bound_seconds(std::size_t bytes) const noexcept {
+    return kernel_overhead_seconds +
+           2.0 * static_cast<double>(bytes) / hbm_bytes_per_second;
+  }
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,68 @@
+#include "core/eb_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+std::string_view to_string(DecayFunc f) noexcept {
+  switch (f) {
+    case DecayFunc::kNone: return "none";
+    case DecayFunc::kStepwise: return "stepwise";
+    case DecayFunc::kLogarithmic: return "logarithmic";
+    case DecayFunc::kLinear: return "linear";
+    case DecayFunc::kExponential: return "exponential";
+    case DecayFunc::kDrop: return "drop";
+  }
+  return "?";
+}
+
+ErrorBoundScheduler::ErrorBoundScheduler(const SchedulerConfig& config)
+    : config_(config) {
+  DLCOMP_CHECK_MSG(config_.initial_scale >= 1.0,
+                   "initial_scale must be >= 1 (it multiplies the base EB)");
+  DLCOMP_CHECK(config_.num_steps >= 1);
+}
+
+double ErrorBoundScheduler::scale_at(std::size_t iter) const {
+  if (config_.func == DecayFunc::kNone) return 1.0;
+  if (iter >= config_.decay_end_iter || config_.decay_end_iter == 0) return 1.0;
+
+  // Progress through the initial phase, in [0, 1).
+  const double t = static_cast<double>(iter) /
+                   static_cast<double>(config_.decay_end_iter);
+  const double span = config_.initial_scale - 1.0;
+
+  switch (config_.func) {
+    case DecayFunc::kStepwise: {
+      // Staircase: hold initial_scale, then step down num_steps times,
+      // landing on 1.0 at the end of the phase.
+      const auto step = static_cast<std::size_t>(
+          t * static_cast<double>(config_.num_steps));
+      const double fraction = static_cast<double>(step) /
+                              static_cast<double>(config_.num_steps);
+      return config_.initial_scale - span * fraction;
+    }
+    case DecayFunc::kLogarithmic: {
+      // Fast early descent, flattening out: f(t) = log(1+9t)/log(10).
+      const double f = std::log1p(9.0 * t) / std::log(10.0);
+      return config_.initial_scale - span * f;
+    }
+    case DecayFunc::kLinear:
+      return config_.initial_scale - span * t;
+    case DecayFunc::kExponential: {
+      // Slow early descent, steep at the end: f(t) = (e^(2t)-1)/(e^2-1).
+      const double f = std::expm1(2.0 * t) / std::expm1(2.0);
+      return config_.initial_scale - span * f;
+    }
+    case DecayFunc::kDrop:
+      return config_.initial_scale;  // falls to 1.0 only after the phase
+    case DecayFunc::kNone:
+      break;
+  }
+  return 1.0;
+}
+
+}  // namespace dlcomp

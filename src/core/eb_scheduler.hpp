@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file eb_scheduler.hpp
+/// Iteration-wise error-bound adjustment (paper Sec. III-C (1)): training
+/// is split into an initial phase, during which the error bound decays
+/// from initial_scale x base down to 1 x base via a chosen decay
+/// function, and a later phase with the bound held constant. The paper
+/// finds step-wise (staircase) decay gives the best compression-vs-
+/// convergence trade-off and adopts it as the default; the abrupt "Drop"
+/// variant is the Fig. 10 strawman.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dlcomp {
+
+enum class DecayFunc : std::uint8_t {
+  kNone,         ///< constant 1x (fixed global error bound)
+  kStepwise,     ///< staircase descent (paper default)
+  kLogarithmic,  ///< fast-then-slow continuous descent
+  kLinear,       ///< straight-line descent
+  kExponential,  ///< slow-then-fast continuous descent
+  kDrop,         ///< hold initial_scale, then jump to 1x (aggressive)
+};
+
+[[nodiscard]] std::string_view to_string(DecayFunc f) noexcept;
+
+struct SchedulerConfig {
+  DecayFunc func = DecayFunc::kStepwise;
+  /// Starting multiplier applied to each table's base error bound
+  /// (Fig. 10 evaluates 2x and 3x).
+  double initial_scale = 2.0;
+  /// Iteration at which the initial phase ends and the scale reaches 1.
+  std::size_t decay_end_iter = 1000;
+  /// Staircase step count for kStepwise.
+  std::size_t num_steps = 4;
+};
+
+class ErrorBoundScheduler {
+ public:
+  explicit ErrorBoundScheduler(const SchedulerConfig& config);
+
+  /// Multiplier to apply to base error bounds at iteration `iter`.
+  /// Monotonically non-increasing from initial_scale to exactly 1.0 at
+  /// decay_end_iter and beyond.
+  [[nodiscard]] double scale_at(std::size_t iter) const;
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept { return config_; }
+
+ private:
+  SchedulerConfig config_;
+};
+
+}  // namespace dlcomp

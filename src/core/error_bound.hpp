@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file error_bound.hpp
+/// Error-bound classes and configuration (Algorithm 1's globals). The
+/// paper's chosen operating point is LargeEB 0.05, MediumEB 0.03,
+/// SmallEB 0.01, i.e. global 0.03 with alpha = 5/3 and beta = 3.
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+/// Error-bound magnitude class assigned to an embedding table.
+enum class EbClass : std::uint8_t { kLarge, kMedium, kSmall };
+
+[[nodiscard]] constexpr const char* to_string(EbClass c) noexcept {
+  switch (c) {
+    case EbClass::kLarge: return "L";
+    case EbClass::kMedium: return "M";
+    case EbClass::kSmall: return "S";
+  }
+  return "?";
+}
+
+/// Algorithm 1 lines 1-4: LargeEB = global * alpha, MediumEB = global,
+/// SmallEB = global / beta.
+struct ErrorBoundConfig {
+  double global_eb = 0.03;
+  double alpha = 5.0 / 3.0;
+  double beta = 3.0;
+
+  [[nodiscard]] double eb_for(EbClass c) const {
+    DLCOMP_CHECK(global_eb > 0.0 && alpha >= 1.0 && beta >= 1.0);
+    switch (c) {
+      case EbClass::kLarge: return global_eb * alpha;
+      case EbClass::kMedium: return global_eb;
+      case EbClass::kSmall: return global_eb / beta;
+    }
+    throw Error("invalid EbClass");
+  }
+
+  /// The paper's final configuration (Sec. IV-B): 0.05 / 0.03 / 0.01.
+  static ErrorBoundConfig paper_default() {
+    return ErrorBoundConfig{0.03, 5.0 / 3.0, 3.0};
+  }
+};
+
+}  // namespace dlcomp

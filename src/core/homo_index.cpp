@@ -1,0 +1,31 @@
+#include "core/homo_index.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/quantizer.hpp"
+
+namespace dlcomp {
+
+HomoIndexResult compute_homo_index(std::span<const float> values,
+                                   std::size_t dim, double eb) {
+  DLCOMP_CHECK(dim > 0);
+  DLCOMP_CHECK_MSG(values.size() >= dim,
+                   "need at least one full vector to compute the index");
+
+  HomoIndexResult result;
+  result.original_patterns = count_unique_vectors(values, dim);
+
+  std::vector<std::int32_t> codes(values.size());
+  quantize(values, eb, codes);
+  result.quantized_patterns =
+      count_unique_vectors(std::span<const std::int32_t>(codes), dim);
+
+  const auto orig = static_cast<double>(result.original_patterns);
+  const auto quant = static_cast<double>(result.quantized_patterns);
+  result.homo_index = orig > 0.0 ? (orig - quant) / orig : 0.0;
+  result.pattern_retention = orig > 0.0 ? quant / orig : 1.0;
+  return result;
+}
+
+}  // namespace dlcomp

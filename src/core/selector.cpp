@@ -1,0 +1,79 @@
+#include "core/selector.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "compress/registry.hpp"
+
+namespace dlcomp {
+
+double eq2_speedup(double compression_ratio, double network_bandwidth_bps,
+                   double compress_bps, double decompress_bps) {
+  DLCOMP_CHECK(compression_ratio > 0.0);
+  DLCOMP_CHECK(network_bandwidth_bps > 0.0);
+  DLCOMP_CHECK(compress_bps > 0.0 && decompress_bps > 0.0);
+  const double denom = 1.0 / compression_ratio +
+                       network_bandwidth_bps *
+                           (1.0 / compress_bps + 1.0 / decompress_bps);
+  return 1.0 / denom;
+}
+
+SelectionResult CompressorSelector::select(
+    std::span<const float> sample, const CompressParams& params,
+    std::span<const std::string_view> candidate_names) const {
+  DLCOMP_CHECK_MSG(!candidate_names.empty(), "no candidate codecs supplied");
+  DLCOMP_CHECK_MSG(!sample.empty(), "empty sample");
+
+  SelectionResult result;
+  result.candidates.reserve(candidate_names.size());
+
+  for (const auto name : candidate_names) {
+    const Compressor& codec = get_compressor(name);
+    const RoundTrip rt = round_trip(codec, sample, params);
+
+    CandidateScore score;
+    score.codec = std::string(name);
+    score.compression_ratio = rt.compress_stats.ratio();
+    score.measured_compress_bps =
+        rt.compress_stats.throughput_bytes_per_second();
+    score.measured_decompress_bps =
+        rt.decompress_seconds > 0.0
+            ? static_cast<double>(rt.compress_stats.input_bytes) /
+                  rt.decompress_seconds
+            : 0.0;
+
+    if (config_.use_calibrated_throughput) {
+      const CodecThroughput calibrated =
+          calibrated_throughput(std::string(name).c_str());
+      score.compress_bps = calibrated.compress_bps;
+      score.decompress_bps = calibrated.decompress_bps;
+    } else {
+      score.compress_bps = score.measured_compress_bps;
+      score.decompress_bps = score.measured_decompress_bps;
+    }
+    // Degenerate timing measurements (too fast to time) fall back to the
+    // calibrated values so Eq. (2) stays well defined.
+    if (score.compress_bps <= 0.0 || score.decompress_bps <= 0.0) {
+      const CodecThroughput calibrated =
+          calibrated_throughput(std::string(name).c_str());
+      score.compress_bps = calibrated.compress_bps;
+      score.decompress_bps = calibrated.decompress_bps;
+    }
+
+    score.est_speedup =
+        eq2_speedup(score.compression_ratio,
+                    config_.network.bandwidth_bytes_per_second,
+                    score.compress_bps, score.decompress_bps);
+    result.candidates.push_back(score);
+  }
+
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    if (result.candidates[i].est_speedup >
+        result.candidates[result.best_index].est_speedup) {
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace dlcomp

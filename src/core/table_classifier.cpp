@@ -1,0 +1,14 @@
+#include "core/table_classifier.hpp"
+
+namespace dlcomp {
+
+EbClass classify_table(double homo_index,
+                       const ClassifierThresholds& thresholds) {
+  DLCOMP_CHECK_MSG(thresholds.large_threshold <= thresholds.small_threshold,
+                   "classifier thresholds out of order");
+  if (homo_index > thresholds.small_threshold) return EbClass::kSmall;
+  if (homo_index < thresholds.large_threshold) return EbClass::kLarge;
+  return EbClass::kMedium;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file table_classifier.hpp
+/// Algorithm 1's EMBClassification: maps a table's Homogenization Index
+/// to an error-bound class. Tables that homogenize heavily (high Eq.-1
+/// index: quantization collapses many distinct vectors) are
+/// information-fragile and get SMALL error bounds; tables whose vectors
+/// survive quantization distinct get LARGE bounds and donate compression
+/// ratio.
+
+#include "core/error_bound.hpp"
+#include "core/homo_index.hpp"
+
+namespace dlcomp {
+
+struct ClassifierThresholds {
+  /// Above this Eq.-1 homo index the table is fragile -> small EB
+  /// (Algorithm 1's S_EMB_hindex).
+  double small_threshold = 0.40;
+  /// Below this Eq.-1 homo index the table is robust -> large EB
+  /// (Algorithm 1's L_EMB_hindex).
+  double large_threshold = 0.10;
+};
+
+/// Classifies one table from its homo index.
+[[nodiscard]] EbClass classify_table(double homo_index,
+                                     const ClassifierThresholds& thresholds);
+
+/// Convenience overload.
+[[nodiscard]] inline EbClass classify_table(
+    const HomoIndexResult& result, const ClassifierThresholds& thresholds) {
+  return classify_table(result.homo_index, thresholds);
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,400 @@
+#include "core/trainer.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "compress/registry.hpp"
+#include "dlrm/interaction.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+/// Per-rank mutable state living for the whole training run.
+struct RankState {
+  std::unique_ptr<Mlp> bottom;
+  std::unique_ptr<Mlp> top;
+  std::vector<std::size_t> owned_tables;
+  // Flat gradient buffer reused across iterations for the MLP all-reduce.
+  std::vector<float> grad_scratch;
+};
+
+std::vector<std::size_t> bottom_dims(const DatasetSpec& spec,
+                                     const DlrmConfig& model) {
+  std::vector<std::size_t> dims{spec.num_dense};
+  dims.insert(dims.end(), model.bottom_hidden.begin(), model.bottom_hidden.end());
+  dims.push_back(spec.embedding_dim);
+  return dims;
+}
+
+std::vector<std::size_t> top_dims(const DatasetSpec& spec,
+                                  const DlrmConfig& model) {
+  std::vector<std::size_t> dims{
+      DotInteraction::output_dim(spec.num_tables(), spec.embedding_dim)};
+  dims.insert(dims.end(), model.top_hidden.begin(), model.top_hidden.end());
+  dims.push_back(1);
+  return dims;
+}
+
+/// Flattens MLP gradients into one buffer, all-reduces, averages by
+/// world, writes back.
+void allreduce_mlp_grads(Communicator& comm, RankState& state) {
+  auto views_b = state.bottom->grad_views();
+  auto views_t = state.top->grad_views();
+  std::size_t total = 0;
+  for (const auto& v : views_b) total += v.size();
+  for (const auto& v : views_t) total += v.size();
+  state.grad_scratch.resize(total);
+
+  std::size_t cursor = 0;
+  auto pack = [&](std::span<float> v) {
+    std::copy(v.begin(), v.end(), state.grad_scratch.begin() + cursor);
+    cursor += v.size();
+  };
+  for (auto& v : views_b) pack(v);
+  for (auto& v : views_t) pack(v);
+
+  comm.all_reduce_sum(state.grad_scratch, phases::kAllReduce);
+
+  const float inv_world = 1.0f / static_cast<float>(comm.world());
+  cursor = 0;
+  auto unpack = [&](std::span<float> v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = state.grad_scratch[cursor + i] * inv_world;
+    }
+    cursor += v.size();
+  };
+  for (auto& v : views_b) unpack(v);
+  for (auto& v : views_t) unpack(v);
+}
+
+/// Rank-0 held-out evaluation using its MLP replicas and the shared
+/// tables (no communication: shared memory makes every table visible).
+LossResult evaluate_full(Mlp& bottom, Mlp& top,
+                         std::span<EmbeddingTable> tables,
+                         const DatasetSpec& spec,
+                         const SyntheticClickDataset& dataset,
+                         std::size_t batch_size, std::size_t batches) {
+  LossResult total;
+  std::vector<Matrix> lookups(tables.size());
+  for (std::size_t i = 0; i < batches; ++i) {
+    const SampleBatch batch = dataset.make_eval_batch(batch_size, i);
+    const Matrix& z0 = bottom.forward(batch.dense);
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      lookups[t].resize(batch_size, spec.embedding_dim);
+      tables[t].lookup(batch.indices[t], lookups[t]);
+    }
+    Matrix feat(batch_size,
+                DotInteraction::output_dim(tables.size(), spec.embedding_dim));
+    DotInteraction::forward(z0, lookups, feat);
+    const Matrix& logits = top.forward(feat);
+    const LossResult r = bce_with_logits(logits.flat(), batch.labels);
+    total.loss += r.loss;
+    total.accuracy += r.accuracy;
+  }
+  total.loss /= static_cast<double>(batches);
+  total.accuracy /= static_cast<double>(batches);
+  return total;
+}
+
+}  // namespace
+
+HybridParallelTrainer::HybridParallelTrainer(TrainerConfig config)
+    : config_(std::move(config)) {
+  DLCOMP_CHECK(config_.world >= 1);
+  DLCOMP_CHECK(config_.iterations >= 1);
+}
+
+TrainingResult HybridParallelTrainer::train(
+    const SyntheticClickDataset& dataset) {
+  const DatasetSpec& spec = dataset.spec();
+  const std::size_t global_batch =
+      config_.global_batch > 0 ? config_.global_batch : spec.default_batch;
+  const auto world = static_cast<std::size_t>(config_.world);
+  DLCOMP_CHECK_MSG(global_batch % world == 0,
+                   "global batch " << global_batch
+                                   << " must divide by world " << world);
+  const std::size_t local_batch = global_batch / world;
+  const std::size_t dim = spec.embedding_dim;
+  const std::size_t num_tables = spec.num_tables();
+
+  const Compressor* codec = config_.compression.codec.empty()
+                                ? nullptr
+                                : &get_compressor(config_.compression.codec);
+  const ErrorBoundScheduler scheduler(config_.compression.scheduler);
+
+  // Per-table base error bounds.
+  std::vector<double> table_eb = config_.compression.table_eb;
+  if (table_eb.empty()) {
+    table_eb.assign(num_tables, config_.compression.global_eb);
+  }
+  DLCOMP_CHECK(table_eb.size() == num_tables);
+  std::vector<HybridChoice> table_choice = config_.compression.table_choice;
+  if (table_choice.empty()) {
+    table_choice.assign(num_tables, HybridChoice::kAuto);
+  }
+
+  // Shared state: embedding tables (owner-rank writes only) and the
+  // result aggregation slots.
+  std::vector<EmbeddingTable> tables = make_embedding_set(spec, config_.seed);
+  ThreadPool codec_pool(std::min<unsigned>(4, std::thread::hardware_concurrency()));
+
+  TrainingResult result;
+  std::atomic<std::uint64_t> fwd_raw{0};
+  std::atomic<std::uint64_t> fwd_wire{0};
+  std::atomic<std::uint64_t> bwd_raw{0};
+  std::atomic<std::uint64_t> bwd_wire{0};
+
+  const auto bdims = bottom_dims(spec, config_.model);
+  const auto tdims = top_dims(spec, config_.model);
+
+  WallTimer wall;
+  Cluster cluster(config_.world, config_.network);
+  cluster.run([&](Communicator& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+
+    // --- Per-rank setup: identical MLP replicas, table ownership map,
+    // one optimizer per owned table.
+    RankState state;
+    {
+      Rng rng(config_.seed);
+      auto rng_b = rng.fork({0xB0});
+      auto rng_t = rng.fork({0x70});
+      state.bottom = std::make_unique<Mlp>(bdims, rng_b);
+      state.top = std::make_unique<Mlp>(tdims, rng_t);
+    }
+    std::map<std::size_t, EmbeddingOptimizer> optimizers;
+    for (std::size_t t = rank; t < num_tables; t += world) {
+      state.owned_tables.push_back(t);
+      optimizers.emplace(t, EmbeddingOptimizer(config_.model.embedding_optimizer,
+                                               config_.model.learning_rate));
+    }
+    // Ownership map for every rank (to size receives).
+    std::vector<std::vector<std::size_t>> owned_by(world);
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      owned_by[t % world].push_back(t);
+    }
+
+    CompressedAllToAllConfig a2a_config;
+    a2a_config.codec = codec;
+    a2a_config.pool = &codec_pool;
+    a2a_config.device = config_.device;
+    const CompressedAllToAll a2a(a2a_config);
+
+    // Reused buffers.
+    std::vector<Matrix> owned_lookup(num_tables);   // B_glob x dim (owned only)
+    std::vector<Matrix> local_lookup(num_tables);   // B_loc x dim (all tables)
+    std::vector<Matrix> demb(num_tables);           // B_loc x dim
+    std::vector<Matrix> grad_assembled(num_tables); // B_glob x dim (owned only)
+    Matrix local_dense(local_batch, spec.num_dense);
+    std::vector<float> local_labels(local_batch);
+
+    for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+      const double eb_scale = scheduler.scale_at(iter);
+
+      // Every rank regenerates the same global batch deterministically.
+      const SampleBatch batch = dataset.make_batch(global_batch, iter);
+      const std::size_t row0 = rank * local_batch;
+      for (std::size_t b = 0; b < local_batch; ++b) {
+        for (std::size_t f = 0; f < spec.num_dense; ++f) {
+          local_dense(b, f) = batch.dense(row0 + b, f);
+        }
+        local_labels[b] = batch.labels[row0 + b];
+      }
+
+      // ---- Forward: bottom MLP on the local dense slice.
+      const Matrix& z0 = state.bottom->forward(local_dense);
+      comm.advance_compute(phases::kBottomMlp,
+                           config_.compute.mlp_seconds(local_batch, bdims));
+
+      // ---- Forward: owned-table lookups over the *global* batch.
+      std::size_t lookup_bytes = 0;
+      for (const std::size_t t : state.owned_tables) {
+        owned_lookup[t].resize(global_batch, dim);
+        tables[t].lookup(batch.indices[t], owned_lookup[t]);
+        lookup_bytes += owned_lookup[t].size() * sizeof(float);
+      }
+      comm.advance_compute(phases::kEmbLookup,
+                           config_.compute.memory_bound_seconds(lookup_bytes));
+
+      // ---- Forward all-to-all: owned lookups scatter to every rank.
+      std::vector<std::vector<A2AChunkSpec>> send_fwd(world);
+      for (std::size_t d = 0; d < world; ++d) {
+        for (const std::size_t t : state.owned_tables) {
+          A2AChunkSpec chunk;
+          chunk.data = std::span<const float>(
+              owned_lookup[t].data() + d * local_batch * dim,
+              local_batch * dim);
+          chunk.params.error_bound = table_eb[t] * eb_scale;
+          chunk.params.eb_mode = EbMode::kAbsolute;
+          chunk.params.vector_dim = dim;
+          chunk.params.hybrid_choice = table_choice[t];
+          send_fwd[d].push_back(chunk);
+        }
+      }
+      std::vector<std::vector<std::span<float>>> recv_fwd(world);
+      for (std::size_t s = 0; s < world; ++s) {
+        for (const std::size_t t : owned_by[s]) {
+          local_lookup[t].resize(local_batch, dim);
+          recv_fwd[s].push_back(local_lookup[t].flat());
+        }
+      }
+      const A2AStats fwd_stats =
+          a2a.exchange(comm, send_fwd, recv_fwd, phases::kAllToAllFwd);
+      fwd_raw.fetch_add(fwd_stats.send_raw_bytes, std::memory_order_relaxed);
+      fwd_wire.fetch_add(fwd_stats.send_wire_bytes, std::memory_order_relaxed);
+
+      // ---- Forward: interaction + top MLP + loss on the local slice.
+      Matrix feat(local_batch, DotInteraction::output_dim(num_tables, dim));
+      DotInteraction::forward(z0, local_lookup, feat);
+      comm.advance_compute(
+          phases::kInteraction,
+          config_.compute.interaction_seconds(local_batch, num_tables, dim));
+
+      const Matrix& logits = state.top->forward(feat);
+      comm.advance_compute(phases::kTopMlp,
+                           config_.compute.mlp_seconds(local_batch, tdims));
+
+      Matrix dlogits(local_batch, 1);
+      const LossResult loss =
+          bce_with_logits(logits.flat(), local_labels, dlogits.flat());
+
+      // ---- Backward: top MLP, interaction.
+      const Matrix dfeat = state.top->backward(dlogits);
+      comm.advance_compute(
+          phases::kTopMlp, 2.0 * config_.compute.mlp_seconds(local_batch, tdims));
+
+      Matrix dz0(local_batch, dim);
+      for (std::size_t t = 0; t < num_tables; ++t) {
+        demb[t].resize(local_batch, dim);
+      }
+      DotInteraction::backward(z0, local_lookup, dfeat, dz0,
+                               std::span<Matrix>(demb));
+      comm.advance_compute(
+          phases::kInteraction,
+          2.0 * config_.compute.interaction_seconds(local_batch, num_tables, dim));
+
+      // ---- Backward all-to-all: gradients return to table owners.
+      std::vector<std::vector<A2AChunkSpec>> send_bwd(world);
+      for (std::size_t d = 0; d < world; ++d) {
+        for (const std::size_t t : owned_by[d]) {
+          A2AChunkSpec chunk;
+          chunk.data = demb[t].flat();
+          chunk.params.error_bound = config_.compression.backward_relative_eb;
+          chunk.params.eb_mode = EbMode::kRangeRelative;
+          chunk.params.vector_dim = dim;
+          chunk.params.hybrid_choice = table_choice[t];
+          send_bwd[d].push_back(chunk);
+        }
+      }
+      std::vector<std::vector<std::span<float>>> recv_bwd(world);
+      for (const std::size_t t : state.owned_tables) {
+        grad_assembled[t].resize(global_batch, dim);
+      }
+      for (std::size_t s = 0; s < world; ++s) {
+        for (const std::size_t t : state.owned_tables) {
+          recv_bwd[s].push_back(std::span<float>(
+              grad_assembled[t].data() + s * local_batch * dim,
+              local_batch * dim));
+        }
+      }
+      if (config_.compression.compress_backward || codec == nullptr) {
+        const A2AStats bwd_stats =
+            a2a.exchange(comm, send_bwd, recv_bwd, phases::kAllToAllBwd);
+        bwd_raw.fetch_add(bwd_stats.send_raw_bytes, std::memory_order_relaxed);
+        bwd_wire.fetch_add(bwd_stats.send_wire_bytes, std::memory_order_relaxed);
+      } else {
+        // Backward compression disabled: raw exchange.
+        CompressedAllToAllConfig raw_config = a2a_config;
+        raw_config.codec = nullptr;
+        const CompressedAllToAll raw_a2a(raw_config);
+        const A2AStats bwd_stats =
+            raw_a2a.exchange(comm, send_bwd, recv_bwd, phases::kAllToAllBwd);
+        bwd_raw.fetch_add(bwd_stats.send_raw_bytes, std::memory_order_relaxed);
+        bwd_wire.fetch_add(bwd_stats.send_wire_bytes, std::memory_order_relaxed);
+      }
+
+      // ---- Backward: bottom MLP; embedding updates (global-batch mean:
+      // scale by 1/world, see header).
+      (void)state.bottom->backward(dz0);
+      comm.advance_compute(
+          phases::kBottomMlp,
+          2.0 * config_.compute.mlp_seconds(local_batch, bdims));
+
+      std::size_t update_bytes = 0;
+      const float lr_scale = 1.0f / static_cast<float>(world);
+      for (const std::size_t t : state.owned_tables) {
+        optimizers.at(t).apply(tables[t], batch.indices[t], grad_assembled[t],
+                               lr_scale);
+        update_bytes += grad_assembled[t].size() * sizeof(float);
+      }
+      comm.advance_compute(phases::kEmbUpdate,
+                           config_.compute.memory_bound_seconds(update_bytes));
+
+      // ---- MLP gradient all-reduce + step.
+      allreduce_mlp_grads(comm, state);
+      state.bottom->sgd_step(config_.model.learning_rate);
+      state.top->sgd_step(config_.model.learning_rate);
+
+      // ---- Bookkeeping (rank 0 records; all ranks barrier via eval).
+      const bool record =
+          config_.record_every == 0 || iter % std::max<std::size_t>(config_.record_every, 1) == 0 ||
+          iter + 1 == config_.iterations;
+      const bool eval_now =
+          config_.eval_every > 0 && (iter + 1) % config_.eval_every == 0;
+      if (record || eval_now) {
+        comm.barrier();  // quiesce table writes before rank 0 reads them
+        if (rank == 0) {
+          IterationRecord rec;
+          rec.iter = iter;
+          rec.train_loss = loss.loss;
+          rec.train_accuracy = loss.accuracy;
+          rec.forward_cr = fwd_stats.compression_ratio();
+          rec.eb_scale = eb_scale;
+          if (eval_now) {
+            rec.eval_accuracy =
+                evaluate_full(*state.bottom, *state.top, tables, spec, dataset,
+                              std::min<std::size_t>(global_batch, 512),
+                              config_.eval_batches)
+                    .accuracy;
+          }
+          result.history.push_back(rec);
+        }
+        comm.barrier();  // others wait for rank 0's eval before mutating
+      }
+    }
+
+    // Final held-out evaluation.
+    comm.barrier();
+    if (rank == 0) {
+      result.final_eval =
+          evaluate_full(*state.bottom, *state.top, tables, spec, dataset,
+                        std::min<std::size_t>(global_batch, 512),
+                        config_.eval_batches);
+    }
+    comm.barrier();
+  });
+
+  result.wall_seconds = wall.seconds();
+  result.makespan_seconds = cluster.makespan_seconds();
+  result.forward_raw_bytes = fwd_raw.load();
+  result.forward_wire_bytes = fwd_wire.load();
+  result.backward_raw_bytes = bwd_raw.load();
+  result.backward_wire_bytes = bwd_wire.load();
+
+  // Slowest rank's per-phase breakdown.
+  double latest = -1.0;
+  for (const auto& clock : cluster.clocks()) {
+    if (clock.now() > latest) {
+      latest = clock.now();
+      result.phase_seconds = clock.breakdown();
+    }
+  }
+  return result;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file trainer.hpp
+/// Hybrid-parallel DLRM trainer with compressed all-to-all -- the paper's
+/// full training pipeline on the simulated cluster:
+///   - embedding tables are model-parallel (table t lives on rank
+///     t % world; ranks without tables still participate, as happens when
+///     world > 26),
+///   - MLPs are data-parallel (replicated; gradients all-reduced),
+///   - forward lookups travel dest-ward through a compressed all-to-all,
+///     gradients travel back through a symmetric one,
+///   - per-table error bounds come from the offline analysis and decay
+///     iteration-wise through the scheduler (the dual-level strategy).
+///
+/// Math note: with compression disabled the distributed run is equivalent
+/// (up to float summation order) to single-process training on the global
+/// batch -- gradients are rescaled by 1/world so both MLP and embedding
+/// updates are global-batch means. The integration tests verify this.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/network_model.hpp"
+#include "core/compressed_alltoall.hpp"
+#include "core/compute_model.hpp"
+#include "core/eb_scheduler.hpp"
+#include "data/synthetic.hpp"
+#include "dlrm/loss.hpp"
+#include "dlrm/model.hpp"
+
+namespace dlcomp {
+
+/// What to compress and how hard.
+struct CompressionPolicy {
+  /// Registry codec name; empty string disables compression entirely.
+  std::string codec;
+
+  /// Per-table base absolute error bounds (forward lookups). Empty means
+  /// every table uses `global_eb`. Typically filled from
+  /// AnalysisReport::table_error_bounds().
+  std::vector<double> table_eb;
+  double global_eb = 0.02;
+
+  /// Per-table hybrid codec choices (only meaningful for codec="hybrid").
+  /// Empty means kAuto. Typically AnalysisReport::table_choices().
+  std::vector<HybridChoice> table_choice;
+
+  /// Iteration-wise decay of the forward error bounds.
+  SchedulerConfig scheduler{.func = DecayFunc::kNone};
+
+  /// Compress the backward (gradient) all-to-all too. Gradient bounds are
+  /// range-relative (see DESIGN.md): eb = backward_relative_eb * range.
+  bool compress_backward = true;
+  double backward_relative_eb = 0.01;
+};
+
+struct TrainerConfig {
+  int world = 4;
+  /// Global batch size; 0 uses the dataset default. Must divide by world.
+  std::size_t global_batch = 0;
+  std::size_t iterations = 200;
+  DlrmConfig model;
+  CompressionPolicy compression;
+
+  NetworkModel network;
+  ComputeModel compute;
+  DeviceModel device;
+
+  std::uint64_t seed = 42;
+  /// Record train loss/accuracy every N iterations (0 = every iteration).
+  std::size_t record_every = 10;
+  /// Evaluate on held-out batches every N iterations (0 = final only).
+  std::size_t eval_every = 0;
+  std::size_t eval_batches = 8;
+};
+
+struct IterationRecord {
+  std::size_t iter = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double eval_accuracy = -1.0;  ///< -1 when no eval ran at this point
+  double forward_cr = 0.0;      ///< compression ratio this iteration
+  double eb_scale = 1.0;        ///< scheduler multiplier this iteration
+};
+
+struct TrainingResult {
+  std::vector<IterationRecord> history;
+  LossResult final_eval;
+
+  /// Simulated per-phase seconds, summed over iterations, from the
+  /// slowest rank's clock.
+  std::map<std::string, double> phase_seconds;
+  double makespan_seconds = 0.0;  ///< simulated total (slowest rank)
+  double wall_seconds = 0.0;      ///< real CPU time of the whole run
+
+  std::uint64_t forward_raw_bytes = 0;
+  std::uint64_t forward_wire_bytes = 0;
+  std::uint64_t backward_raw_bytes = 0;
+  std::uint64_t backward_wire_bytes = 0;
+
+  [[nodiscard]] double forward_cr() const noexcept {
+    return forward_wire_bytes == 0
+               ? 1.0
+               : static_cast<double>(forward_raw_bytes) /
+                     static_cast<double>(forward_wire_bytes);
+  }
+  [[nodiscard]] double backward_cr() const noexcept {
+    return backward_wire_bytes == 0
+               ? 1.0
+               : static_cast<double>(backward_raw_bytes) /
+                     static_cast<double>(backward_wire_bytes);
+  }
+};
+
+class HybridParallelTrainer {
+ public:
+  explicit HybridParallelTrainer(TrainerConfig config);
+
+  /// Runs the full training loop on a fresh simulated cluster and model
+  /// state. Deterministic in (config.seed, dataset seed).
+  [[nodiscard]] TrainingResult train(const SyntheticClickDataset& dataset);
+
+ private:
+  TrainerConfig config_;
+};
+
+/// Phase-name constants shared by the trainer and the breakdown benches.
+namespace phases {
+inline constexpr const char* kBottomMlp = "bottom_mlp";
+inline constexpr const char* kEmbLookup = "emb_lookup";
+inline constexpr const char* kAllToAllFwd = "alltoall_fwd";
+inline constexpr const char* kInteraction = "interaction";
+inline constexpr const char* kTopMlp = "top_mlp";
+inline constexpr const char* kAllToAllBwd = "alltoall_bwd";
+inline constexpr const char* kAllReduce = "allreduce_mlp";
+inline constexpr const char* kEmbUpdate = "emb_update";
+}  // namespace phases
+
+}  // namespace dlcomp

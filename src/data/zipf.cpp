@@ -1,0 +1,43 @@
+#include "data/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent,
+                         std::uint64_t permute_seed)
+    : exponent_(exponent) {
+  DLCOMP_CHECK_MSG(n > 0, "ZipfSampler needs a non-empty domain");
+  DLCOMP_CHECK_MSG(exponent >= 0.0, "Zipf exponent must be non-negative");
+
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+
+  permute_.resize(n);
+  std::iota(permute_.begin(), permute_.end(), 0u);
+  Rng perm_rng(permute_seed);
+  perm_rng.shuffle(std::span<std::uint32_t>(permute_));
+}
+
+std::uint32_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  return permute_[std::min(rank, permute_.size() - 1)];
+}
+
+double ZipfSampler::top_probability() const noexcept {
+  return cdf_.empty() ? 0.0 : cdf_.front();
+}
+
+}  // namespace dlcomp

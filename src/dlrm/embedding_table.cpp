@@ -1,0 +1,79 @@
+#include "dlrm/embedding_table.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+EmbeddingTable EmbeddingTable::init_from_spec(const TableSpec& spec,
+                                              std::size_t dim, Rng& rng) {
+  EmbeddingTable table(spec.cardinality, dim);
+
+  auto draw = [&](Rng& source) {
+    return spec.value_dist == ValueDist::kGaussian
+               ? static_cast<float>(source.normal(0.0, spec.value_scale))
+               : source.uniform_float(-spec.value_scale, spec.value_scale);
+  };
+
+  if (spec.value_clusters == 0) {
+    for (auto& v : table.weights_.flat()) v = draw(rng);
+    return table;
+  }
+
+  // Clustered initialization: rows orbit one of `value_clusters`
+  // centroids with tiny jitter, modelling the near-duplicate vectors of
+  // trained tables (the Vector Homogenization source).
+  Matrix centroids(spec.value_clusters, dim);
+  for (auto& v : centroids.flat()) v = draw(rng);
+
+  for (std::size_t r = 0; r < spec.cardinality; ++r) {
+    const std::size_t c =
+        static_cast<std::size_t>(rng.next_below(spec.value_clusters));
+    const auto centroid = centroids.row(c);
+    auto row = table.weights_.row(r);
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = centroid[d] +
+               static_cast<float>(rng.normal(0.0, spec.cluster_jitter));
+    }
+  }
+  return table;
+}
+
+void EmbeddingTable::lookup(std::span<const std::uint32_t> indices,
+                            Matrix& out) const {
+  DLCOMP_CHECK(out.rows() == indices.size() && out.cols() == dim());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    DLCOMP_CHECK_MSG(indices[b] < rows(),
+                     "lookup index " << indices[b] << " out of range "
+                                     << rows());
+    std::memcpy(out.data() + b * dim(), weights_.data() + indices[b] * dim(),
+                dim() * sizeof(float));
+  }
+}
+
+std::vector<EmbeddingTable> make_embedding_set(const DatasetSpec& spec,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EmbeddingTable> tables;
+  tables.reserve(spec.num_tables());
+  for (std::size_t t = 0; t < spec.num_tables(); ++t) {
+    auto rng_t = rng.fork({0xE0, t});
+    tables.push_back(
+        EmbeddingTable::init_from_spec(spec.tables[t], spec.embedding_dim, rng_t));
+  }
+  return tables;
+}
+
+void EmbeddingTable::apply_gradients(std::span<const std::uint32_t> indices,
+                                     const Matrix& grads, float lr) {
+  DLCOMP_CHECK(grads.rows() == indices.size() && grads.cols() == dim());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    DLCOMP_CHECK(indices[b] < rows());
+    float* row = weights_.data() + indices[b] * dim();
+    const float* grad = grads.data() + b * dim();
+    for (std::size_t i = 0; i < dim(); ++i) row[i] -= lr * grad[i];
+  }
+}
+
+}  // namespace dlcomp

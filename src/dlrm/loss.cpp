@@ -1,0 +1,47 @@
+#include "dlrm/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+double sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+LossResult bce_with_logits(std::span<const float> logits,
+                           std::span<const float> labels,
+                           std::span<float> dlogits) {
+  DLCOMP_CHECK(logits.size() == labels.size());
+  DLCOMP_CHECK(dlogits.empty() || dlogits.size() == logits.size());
+  LossResult result;
+  if (logits.empty()) return result;
+
+  const double inv_batch = 1.0 / static_cast<double>(logits.size());
+  std::size_t correct = 0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double z = logits[i];
+    const double y = labels[i];
+    // log(1 + e^z) - z*y, computed stably.
+    const double log1pe = z > 0.0 ? z + std::log1p(std::exp(-z))
+                                  : std::log1p(std::exp(z));
+    total += log1pe - z * y;
+
+    const double p = sigmoid(z);
+    if ((p >= 0.5) == (y >= 0.5f)) ++correct;
+    if (!dlogits.empty()) {
+      dlogits[i] = static_cast<float>((p - y) * inv_batch);
+    }
+  }
+  result.loss = total * inv_batch;
+  result.accuracy = static_cast<double>(correct) * inv_batch;
+  return result;
+}
+
+}  // namespace dlcomp

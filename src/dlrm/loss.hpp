@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file loss.hpp
+/// Binary cross-entropy with logits plus CTR-style metrics. The
+/// numerically stable formulation works directly on logits; gradients are
+/// mean-reduced over the batch.
+
+#include <span>
+
+namespace dlcomp {
+
+struct LossResult {
+  double loss = 0.0;       ///< mean BCE over the batch
+  double accuracy = 0.0;   ///< fraction with thresholded prediction == label
+};
+
+/// Computes mean BCE-with-logits and accuracy; if `dlogits` is non-empty
+/// it receives dLoss/dlogit = (sigmoid(z) - y) / B.
+LossResult bce_with_logits(std::span<const float> logits,
+                           std::span<const float> labels,
+                           std::span<float> dlogits = {});
+
+/// Stable sigmoid.
+double sigmoid(double x) noexcept;
+
+}  // namespace dlcomp

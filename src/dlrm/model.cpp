@@ -1,0 +1,134 @@
+#include "dlrm/model.hpp"
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+std::vector<std::size_t> bottom_dims(const DatasetSpec& spec,
+                                     const DlrmConfig& config) {
+  std::vector<std::size_t> dims;
+  dims.push_back(spec.num_dense);
+  dims.insert(dims.end(), config.bottom_hidden.begin(),
+              config.bottom_hidden.end());
+  dims.push_back(spec.embedding_dim);
+  return dims;
+}
+
+std::vector<std::size_t> top_dims(const DatasetSpec& spec,
+                                  const DlrmConfig& config) {
+  std::vector<std::size_t> dims;
+  dims.push_back(
+      DotInteraction::output_dim(spec.num_tables(), spec.embedding_dim));
+  dims.insert(dims.end(), config.top_hidden.begin(), config.top_hidden.end());
+  dims.push_back(1);
+  return dims;
+}
+
+}  // namespace
+
+DlrmModel::DlrmModel(const DatasetSpec& spec, const DlrmConfig& config,
+                     std::uint64_t seed)
+    : spec_(spec),
+      config_(config),
+      bottom_([&] {
+        Rng rng(seed);
+        auto rng_b = rng.fork({0xB0});
+        const auto dims = bottom_dims(spec, config);
+        return Mlp(dims, rng_b);
+      }()),
+      top_([&] {
+        Rng rng(seed);
+        auto rng_t = rng.fork({0x70});
+        const auto dims = top_dims(spec, config);
+        return Mlp(dims, rng_t);
+      }()) {
+  Rng rng(seed);
+  tables_.reserve(spec_.num_tables());
+  optimizers_.reserve(spec_.num_tables());
+  for (std::size_t t = 0; t < spec_.num_tables(); ++t) {
+    auto rng_t = rng.fork({0xE0, t});
+    tables_.push_back(
+        EmbeddingTable::init_from_spec(spec_.tables[t], spec_.embedding_dim, rng_t));
+    optimizers_.emplace_back(config_.embedding_optimizer,
+                             config_.learning_rate);
+  }
+  lookups_.resize(spec_.num_tables());
+}
+
+const Matrix& DlrmModel::forward(const SampleBatch& batch,
+                                 const TableTransform& lookup_transform) {
+  const std::size_t B = batch.batch_size();
+  DLCOMP_CHECK(batch.indices.size() == tables_.size());
+
+  z0_ = bottom_.forward(batch.dense);
+
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    lookups_[t].resize(B, spec_.embedding_dim);
+    tables_[t].lookup(batch.indices[t], lookups_[t]);
+    if (lookup_transform) lookup_transform(t, lookups_[t]);
+  }
+
+  interaction_out_.resize(
+      B, DotInteraction::output_dim(tables_.size(), spec_.embedding_dim));
+  DotInteraction::forward(z0_, lookups_, interaction_out_);
+  return top_.forward(interaction_out_);
+}
+
+LossResult DlrmModel::train_step(const SampleBatch& batch,
+                                 const TableTransform& lookup_transform,
+                                 const TableTransform& grad_transform) {
+  const std::size_t B = batch.batch_size();
+  const Matrix& logits = forward(batch, lookup_transform);
+
+  Matrix dlogits(B, 1);
+  const LossResult result =
+      bce_with_logits(logits.flat(), batch.labels, dlogits.flat());
+
+  const Matrix dfeat = top_.backward(dlogits);
+
+  Matrix dz0(B, spec_.embedding_dim);
+  std::vector<Matrix> demb(tables_.size());
+  for (auto& d : demb) d.resize(B, spec_.embedding_dim);
+  DotInteraction::backward(z0_, lookups_, dfeat, dz0,
+                           std::span<Matrix>(demb));
+
+  if (grad_transform) {
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      grad_transform(t, demb[t]);
+    }
+  }
+
+  (void)bottom_.backward(dz0);
+
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    optimizers_[t].apply(tables_[t], batch.indices[t], demb[t]);
+  }
+  bottom_.sgd_step(config_.learning_rate);
+  top_.sgd_step(config_.learning_rate);
+  return result;
+}
+
+LossResult DlrmModel::evaluate(const SampleBatch& batch) {
+  const Matrix& logits = forward(batch, nullptr);
+  return bce_with_logits(logits.flat(), batch.labels);
+}
+
+LossResult DlrmModel::evaluate_stream(const SyntheticClickDataset& data,
+                                      std::size_t batch_size,
+                                      std::size_t batches) {
+  DLCOMP_CHECK(batches > 0);
+  LossResult total;
+  for (std::size_t i = 0; i < batches; ++i) {
+    const SampleBatch batch = data.make_eval_batch(batch_size, i);
+    const LossResult r = evaluate(batch);
+    total.loss += r.loss;
+    total.accuracy += r.accuracy;
+  }
+  total.loss /= static_cast<double>(batches);
+  total.accuracy /= static_cast<double>(batches);
+  return total;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file model.hpp
+/// Single-process DLRM reference model: bottom MLP + embedding lookups +
+/// dot interaction + top MLP + BCE loss, trained with SGD.
+///
+/// The lookup/gradient transform hooks are the compression injection
+/// points: round-tripping lookups (and optionally gradients) through an
+/// error-bounded codec here is mathematically identical to compressing
+/// the all-to-all payloads in the distributed pipeline, because the
+/// all-to-all itself only moves data. The accuracy experiments (Figs. 5,
+/// 8, 9, 10) run through these hooks; the distributed trainer in
+/// dlcomp::core reuses the same components for the timing experiments.
+
+#include <functional>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "dlrm/embedding_table.hpp"
+#include "dlrm/interaction.hpp"
+#include "dlrm/loss.hpp"
+#include "dlrm/mlp.hpp"
+#include "dlrm/optimizer.hpp"
+
+namespace dlcomp {
+
+struct DlrmConfig {
+  /// Bottom MLP hidden sizes (input = num_dense, output = embedding_dim
+  /// are appended automatically).
+  std::vector<std::size_t> bottom_hidden = {64, 32};
+  /// Top MLP hidden sizes (input = interaction width, output = 1).
+  std::vector<std::size_t> top_hidden = {64, 32};
+  float learning_rate = 0.1f;
+  /// Embedding-table update rule (MLPs always use SGD, as in DLRM).
+  EmbeddingOptimizerKind embedding_optimizer = EmbeddingOptimizerKind::kSgd;
+};
+
+class DlrmModel {
+ public:
+  /// Called per table to mutate the looked-up vectors (forward) or the
+  /// embedding gradients (backward) in place -- e.g. a compression
+  /// round-trip.
+  using TableTransform = std::function<void(std::size_t table, Matrix& data)>;
+
+  DlrmModel(const DatasetSpec& spec, const DlrmConfig& config,
+            std::uint64_t seed);
+
+  /// One SGD step on a batch. `lookup_transform` / `grad_transform` may
+  /// be null for exact (uncompressed) training.
+  LossResult train_step(const SampleBatch& batch,
+                        const TableTransform& lookup_transform = nullptr,
+                        const TableTransform& grad_transform = nullptr);
+
+  /// Forward-only evaluation (no transforms: inference is uncompressed).
+  LossResult evaluate(const SampleBatch& batch);
+
+  /// Mean evaluation over `batches` held-out batches.
+  LossResult evaluate_stream(const SyntheticClickDataset& data,
+                             std::size_t batch_size, std::size_t batches);
+
+  [[nodiscard]] std::size_t num_tables() const noexcept { return tables_.size(); }
+  [[nodiscard]] EmbeddingTable& table(std::size_t t) { return tables_.at(t); }
+  [[nodiscard]] const DatasetSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] Mlp& bottom_mlp() noexcept { return bottom_; }
+  [[nodiscard]] Mlp& top_mlp() noexcept { return top_; }
+
+  /// Looks up one table for a batch (helper for analysis passes that need
+  /// raw lookup tensors, e.g. Homo-Index sampling).
+  void lookup_table(std::size_t t, std::span<const std::uint32_t> indices,
+                    Matrix& out) const {
+    tables_[t].lookup(indices, out);
+  }
+
+ private:
+  /// Shared forward machinery; returns logits and fills caches needed for
+  /// backward when `training` is true.
+  const Matrix& forward(const SampleBatch& batch,
+                        const TableTransform& lookup_transform);
+
+  DatasetSpec spec_;
+  DlrmConfig config_;
+  Mlp bottom_;
+  Mlp top_;
+  std::vector<EmbeddingTable> tables_;
+  std::vector<EmbeddingOptimizer> optimizers_;  // one per table
+
+  // Forward caches.
+  Matrix z0_;
+  std::vector<Matrix> lookups_;
+  Matrix interaction_out_;
+};
+
+}  // namespace dlcomp

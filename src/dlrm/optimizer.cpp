@@ -1,0 +1,38 @@
+#include "dlrm/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+void EmbeddingOptimizer::apply(EmbeddingTable& table,
+                               std::span<const std::uint32_t> indices,
+                               const Matrix& grads, float grad_scale) {
+  DLCOMP_CHECK(grads.rows() == indices.size() && grads.cols() == table.dim());
+
+  if (kind_ == EmbeddingOptimizerKind::kSgd) {
+    // lr * (s * g) == (lr * s) * g: fold the scale into the step.
+    table.apply_gradients(indices, grads, lr_ * grad_scale);
+    return;
+  }
+
+  if (accumulator_.rows() != table.rows() ||
+      accumulator_.cols() != table.dim()) {
+    accumulator_.resize(table.rows(), table.dim());
+  }
+  const std::size_t dim = table.dim();
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    DLCOMP_CHECK(indices[b] < table.rows());
+    float* row = table.weights().data() + indices[b] * dim;
+    float* acc = accumulator_.data() + indices[b] * dim;
+    const float* grad = grads.data() + b * dim;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const float g = grad[i] * grad_scale;
+      acc[i] += g * g;
+      row[i] -= lr_ * g / (std::sqrt(acc[i]) + epsilon_);
+    }
+  }
+}
+
+}  // namespace dlcomp

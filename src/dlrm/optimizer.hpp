@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// Embedding-table optimizers. Production DLRM commonly trains embedding
+/// tables with (row-)sparse Adagrad while the dense MLPs use SGD; this
+/// module provides both so the trainer can mirror that setup. State is
+/// held outside EmbeddingTable so tables stay plain weight storage.
+
+#include <cstdint>
+#include <span>
+
+#include "dlrm/embedding_table.hpp"
+#include "tensor/matrix.hpp"
+
+namespace dlcomp {
+
+enum class EmbeddingOptimizerKind : std::uint8_t { kSgd, kAdagrad };
+
+/// Per-table optimizer state + update rule.
+class EmbeddingOptimizer {
+ public:
+  /// `table_rows`/`dim` size the Adagrad accumulator (allocated lazily on
+  /// the first update, so SGD carries no memory cost).
+  EmbeddingOptimizer(EmbeddingOptimizerKind kind, float learning_rate,
+                     float adagrad_epsilon = 1e-8f)
+      : kind_(kind), lr_(learning_rate), epsilon_(adagrad_epsilon) {}
+
+  [[nodiscard]] EmbeddingOptimizerKind kind() const noexcept { return kind_; }
+  [[nodiscard]] float learning_rate() const noexcept { return lr_; }
+
+  /// Applies `grads` (batch x dim) at `indices` to the table, with each
+  /// gradient row pre-multiplied by `grad_scale` (the distributed trainer
+  /// passes 1/world so updates are global-batch means regardless of the
+  /// rule). SGD: w -= lr*g. Adagrad: per-element accumulator G += g^2,
+  /// w -= lr * g / (sqrt(G) + eps). Duplicate indices accumulate
+  /// sequentially -- the standard "sparse Adagrad" of DLRM trainers.
+  void apply(EmbeddingTable& table, std::span<const std::uint32_t> indices,
+             const Matrix& grads, float grad_scale = 1.0f);
+
+ private:
+  EmbeddingOptimizerKind kind_;
+  float lr_;
+  float epsilon_;
+  Matrix accumulator_;  // lazily sized rows x dim for Adagrad
+};
+
+}  // namespace dlcomp

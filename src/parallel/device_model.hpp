@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file device_model.hpp
+/// Models the GPU execution characteristics the CPU substrate cannot
+/// measure directly: kernel launch overhead, device-memory copy bandwidth
+/// and sustained codec throughput. The paper's Fig. 15 buffer-optimization
+/// ablation and the Eq. (2) speedup model are evaluated against this
+/// model; see DESIGN.md "Hardware / data substitutions".
+
+#include <cstddef>
+
+namespace dlcomp {
+
+struct DeviceModel {
+  /// Cost of launching one kernel (driver + dispatch); the buffer
+  /// optimization exists precisely to amortize this (Sec. III-E).
+  double kernel_launch_seconds = 5e-6;
+
+  /// Device-to-device copy bandwidth, paid by the *non*-optimized path
+  /// when compressed chunks are gathered into the send buffer.
+  double d2d_copy_bytes_per_second = 600e9;
+
+  /// Time to push `bytes` through a codec sustaining `codec_bps`, spread
+  /// over `launches` kernel launches.
+  [[nodiscard]] double codec_seconds(std::size_t launches, std::size_t bytes,
+                                     double codec_bps) const noexcept {
+    return static_cast<double>(launches) * kernel_launch_seconds +
+           static_cast<double>(bytes) / codec_bps;
+  }
+
+  /// Time for a device-side memcpy of `bytes`.
+  [[nodiscard]] double copy_seconds(std::size_t bytes) const noexcept {
+    return static_cast<double>(bytes) / d2d_copy_bytes_per_second;
+  }
+};
+
+/// Paper-calibrated sustained codec throughputs (bytes/second), taken from
+/// the Fig. 11 discussion. Used only for *modelled* speedups; measured CPU
+/// throughputs are always reported alongside, clearly labelled.
+struct CodecThroughput {
+  double compress_bps = 0.0;
+  double decompress_bps = 0.0;
+};
+
+/// Throughputs reported in the paper (GB/s -> bytes/s):
+///   vector-LZ 40.5 / 205.4, optimized Huffman 78.4 / 38.9,
+///   nvCOMP Deflate 30.1 / 109.7, FZ-GPU 136 / 136.
+/// Values for codecs the paper does not quote are taken from the cited
+/// tools' own publications (cuSZ, nvCOMP-LZ4) and documented in
+/// EXPERIMENTS.md.
+CodecThroughput calibrated_throughput(const char* codec_name) noexcept;
+
+}  // namespace dlcomp

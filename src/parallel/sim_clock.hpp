@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file sim_clock.hpp
+/// Per-rank simulated clock with named phase accounting. Compute phases
+/// advance it by modelled kernel times, collectives advance it by modelled
+/// wire times; the per-phase sums feed the Fig. 1 / Fig. 12 breakdown
+/// benches.
+
+#include <map>
+#include <string>
+
+namespace dlcomp {
+
+class SimClock {
+ public:
+  /// Advances simulated time, attributing the interval to `phase`.
+  void advance(const std::string& phase, double seconds) {
+    now_ += seconds;
+    phase_seconds_[phase] += seconds;
+  }
+
+  /// Current simulated time (seconds since reset).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Seconds attributed to one phase so far.
+  [[nodiscard]] double phase_seconds(const std::string& phase) const {
+    const auto it = phase_seconds_.find(phase);
+    return it == phase_seconds_.end() ? 0.0 : it->second;
+  }
+
+  /// All phases and their accumulated seconds.
+  [[nodiscard]] const std::map<std::string, double>& breakdown() const noexcept {
+    return phase_seconds_;
+  }
+
+  void reset() {
+    now_ = 0.0;
+    phase_seconds_.clear();
+  }
+
+  /// Synchronization helper: jumps this clock forward to `t` if t is later
+  /// (used when a collective releases all ranks at the slowest rank's
+  /// arrival time). The skipped interval is attributed to `phase` (wait).
+  void sync_to(const std::string& phase, double t) {
+    if (t > now_) {
+      phase_seconds_[phase] += t - now_;
+      now_ = t;
+    }
+  }
+
+ private:
+  double now_ = 0.0;
+  std::map<std::string, double> phase_seconds_;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,19 @@
+#include "tensor/matrix.hpp"
+
+namespace dlcomp {
+
+Matrix Matrix::randn(Rng& rng, std::size_t rows, std::size_t cols, double mean,
+                     double stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return m;
+}
+
+Matrix Matrix::rand_uniform(Rng& rng, std::size_t rows, std::size_t cols,
+                            float lo, float hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.uniform_float(lo, hi);
+  return m;
+}
+
+}  // namespace dlcomp

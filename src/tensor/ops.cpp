@@ -1,0 +1,118 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace dlcomp {
+
+void matmul_nt(const Matrix& x, const Matrix& w, Matrix& y) {
+  DLCOMP_CHECK(x.cols() == w.cols());
+  DLCOMP_CHECK(y.rows() == x.rows() && y.cols() == w.rows());
+  const std::size_t batch = x.rows();
+  const std::size_t in = x.cols();
+  const std::size_t out = w.rows();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xr = x.data() + b * in;
+    float* yr = y.data() + b * out;
+    for (std::size_t o = 0; o < out; ++o) {
+      const float* wr = w.data() + o * in;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < in; ++i) acc += xr[i] * wr[i];
+      yr[o] = acc;
+    }
+  }
+}
+
+void matmul_nn(const Matrix& dy, const Matrix& w, Matrix& dx) {
+  DLCOMP_CHECK(dy.cols() == w.rows());
+  DLCOMP_CHECK(dx.rows() == dy.rows() && dx.cols() == w.cols());
+  const std::size_t batch = dy.rows();
+  const std::size_t out = dy.cols();
+  const std::size_t in = w.cols();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* dyr = dy.data() + b * out;
+    float* dxr = dx.data() + b * in;
+    for (std::size_t i = 0; i < in; ++i) dxr[i] = 0.0f;
+    for (std::size_t o = 0; o < out; ++o) {
+      const float g = dyr[o];
+      if (g == 0.0f) continue;
+      const float* wr = w.data() + o * in;
+      for (std::size_t i = 0; i < in; ++i) dxr[i] += g * wr[i];
+    }
+  }
+}
+
+void matmul_tn_accum(const Matrix& dy, const Matrix& x, Matrix& dw) {
+  DLCOMP_CHECK(dy.rows() == x.rows());
+  DLCOMP_CHECK(dw.rows() == dy.cols() && dw.cols() == x.cols());
+  const std::size_t batch = dy.rows();
+  const std::size_t out = dy.cols();
+  const std::size_t in = x.cols();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* dyr = dy.data() + b * out;
+    const float* xr = x.data() + b * in;
+    for (std::size_t o = 0; o < out; ++o) {
+      const float g = dyr[o];
+      if (g == 0.0f) continue;
+      float* dwr = dw.data() + o * in;
+      for (std::size_t i = 0; i < in; ++i) dwr[i] += g * xr[i];
+    }
+  }
+}
+
+void add_bias(Matrix& y, std::span<const float> bias) {
+  DLCOMP_CHECK(bias.size() == y.cols());
+  for (std::size_t b = 0; b < y.rows(); ++b) {
+    float* yr = y.data() + b * y.cols();
+    for (std::size_t o = 0; o < y.cols(); ++o) yr[o] += bias[o];
+  }
+}
+
+void bias_grad_accum(const Matrix& dy, std::span<float> db) {
+  DLCOMP_CHECK(db.size() == dy.cols());
+  for (std::size_t b = 0; b < dy.rows(); ++b) {
+    const float* dyr = dy.data() + b * dy.cols();
+    for (std::size_t o = 0; o < dy.cols(); ++o) db[o] += dyr[o];
+  }
+}
+
+void relu_inplace(Matrix& x) noexcept {
+  for (auto& v : x.flat()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+}
+
+void relu_bwd(const Matrix& activated, Matrix& dy) noexcept {
+  const auto act = activated.flat();
+  auto grad = dy.flat();
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (act[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  DLCOMP_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double mean_squared_error(std::span<const float> a, std::span<const float> b) {
+  DLCOMP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double max_abs_error(std::span<const float> a, std::span<const float> b) {
+  DLCOMP_CHECK(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file ops.hpp
+/// Dense kernels used by the DLRM MLPs and interaction layer. Weight
+/// matrices are stored (out_features x in_features), so the forward pass
+/// is Y = X * W^T + b. The three GEMM orientations below cover forward,
+/// input-gradient and weight-gradient passes without materializing
+/// transposes.
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace dlcomp {
+
+/// Y = X (B x in) * W^T (in x out); Y must be (B x out).
+void matmul_nt(const Matrix& x, const Matrix& w, Matrix& y);
+
+/// dX = dY (B x out) * W (out x in); dX must be (B x in).
+void matmul_nn(const Matrix& dy, const Matrix& w, Matrix& dx);
+
+/// dW += dY^T (out x B) * X (B x in); dW must be (out x in).
+/// Accumulates so gradients from multiple microbatches can be summed.
+void matmul_tn_accum(const Matrix& dy, const Matrix& x, Matrix& dw);
+
+/// Adds bias (length = y.cols()) to every row of y.
+void add_bias(Matrix& y, std::span<const float> bias);
+
+/// Accumulates column sums of dy into db (length = dy.cols()).
+void bias_grad_accum(const Matrix& dy, std::span<float> db);
+
+/// In-place ReLU; writes activation mask consumers can reuse via relu_bwd.
+void relu_inplace(Matrix& x) noexcept;
+
+/// dX = dY where the forward activation was positive, 0 elsewhere.
+/// `activated` is the post-ReLU forward output.
+void relu_bwd(const Matrix& activated, Matrix& dy) noexcept;
+
+/// y += alpha * x (flat).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// Mean squared difference between two equal-length spans.
+double mean_squared_error(std::span<const float> a, std::span<const float> b);
+
+/// Maximum absolute difference between two equal-length spans.
+double max_abs_error(std::span<const float> a, std::span<const float> b);
+
+}  // namespace dlcomp

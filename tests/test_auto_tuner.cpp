@@ -1,0 +1,133 @@
+// Tests for the automated error-bound selection (the paper's future-work
+// extension) and the online feedback controller.
+
+#include <gtest/gtest.h>
+
+#include "core/auto_tuner.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(AutoTuner, SelectsAGenerousBoundWithinTolerance) {
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(6, 8);
+  const SyntheticClickDataset data(spec, 90);
+
+  AutoTunerConfig config;
+  config.candidates = {0.05, 0.02, 0.005};
+  config.accuracy_tolerance = 0.05;  // generous: small bounds cannot fail
+  config.probe_iterations = 60;
+  config.model.bottom_hidden = {16};
+  config.model.top_hidden = {16};
+  config.model.learning_rate = 0.2f;
+
+  const AutoTunerResult result = auto_select_global_eb(data, config);
+  EXPECT_GT(result.selected_eb, 0.0);
+  EXPECT_GT(result.baseline_accuracy, 0.5);
+  ASSERT_FALSE(result.probes.empty());
+  // Probes run largest-first and stop at the first acceptable bound.
+  EXPECT_DOUBLE_EQ(result.probes.front().error_bound, 0.05);
+  EXPECT_DOUBLE_EQ(result.selected_eb, result.probes.back().error_bound);
+  EXPECT_TRUE(result.probes.back().within_tolerance);
+  // Lossy probes actually compressed.
+  EXPECT_GT(result.probes.back().compression_ratio, 1.0);
+}
+
+TEST(AutoTuner, ImpossibleToleranceFallsBackToTightest) {
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(4, 8);
+  const SyntheticClickDataset data(spec, 91);
+
+  AutoTunerConfig config;
+  config.candidates = {0.5, 0.2};  // absurd bounds for 0.1-scale values
+  config.accuracy_tolerance = -1.0;  // nothing can pass a negative bar
+  config.probe_iterations = 30;
+  config.model.bottom_hidden = {8};
+  config.model.top_hidden = {8};
+
+  const AutoTunerResult result = auto_select_global_eb(data, config);
+  EXPECT_DOUBLE_EQ(result.selected_eb, 0.2);  // tightest candidate
+  EXPECT_EQ(result.probes.size(), 2u);
+  for (const auto& probe : result.probes) {
+    EXPECT_FALSE(probe.within_tolerance);
+  }
+}
+
+TEST(AutoTuner, UnsortedCandidatesRejected) {
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(4, 8);
+  const SyntheticClickDataset data(spec, 92);
+  AutoTunerConfig config;
+  config.candidates = {0.01, 0.05};
+  EXPECT_THROW(auto_select_global_eb(data, config), Error);
+}
+
+TEST(AutoTuner, DeterministicSelection) {
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(4, 8);
+  const SyntheticClickDataset data(spec, 93);
+  AutoTunerConfig config;
+  config.candidates = {0.03, 0.01};
+  config.probe_iterations = 30;
+  config.model.bottom_hidden = {8};
+  config.model.top_hidden = {8};
+  const AutoTunerResult a = auto_select_global_eb(data, config);
+  const AutoTunerResult b = auto_select_global_eb(data, config);
+  EXPECT_DOUBLE_EQ(a.selected_eb, b.selected_eb);
+  EXPECT_DOUBLE_EQ(a.baseline_accuracy, b.baseline_accuracy);
+}
+
+TEST(OnlineController, StableLossKeepsScaleAtOne) {
+  OnlineEbController controller({});
+  for (int i = 0; i < 200; ++i) {
+    controller.observe(0.5);
+  }
+  EXPECT_DOUBLE_EQ(controller.scale(), 1.0);
+  EXPECT_EQ(controller.trigger_count(), 0u);
+}
+
+TEST(OnlineController, DecreasingLossKeepsScaleAtOne) {
+  OnlineEbController controller({});
+  double loss = 0.7;
+  for (int i = 0; i < 300; ++i) {
+    controller.observe(loss);
+    loss *= 0.999;
+  }
+  EXPECT_DOUBLE_EQ(controller.scale(), 1.0);
+}
+
+TEST(OnlineController, LossSpikeTightensThenRecovers) {
+  OnlineEbController::Config config;
+  config.warmup_iters = 10;
+  OnlineEbController controller(config);
+
+  for (int i = 0; i < 50; ++i) controller.observe(0.5);
+  // Sustained divergence.
+  double after_spike = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    after_spike = controller.observe(0.8);
+  }
+  EXPECT_GE(controller.trigger_count(), 1u);
+  EXPECT_LT(after_spike, 1.0);
+
+  // Loss settles again: the scale relaxes back toward 1.
+  double recovered = after_spike;
+  for (int i = 0; i < 500; ++i) {
+    recovered = controller.observe(0.5);
+  }
+  EXPECT_GT(recovered, after_spike);
+  EXPECT_DOUBLE_EQ(recovered, 1.0);
+}
+
+TEST(OnlineController, ScaleNeverBelowFloor) {
+  OnlineEbController::Config config;
+  config.warmup_iters = 5;
+  config.min_scale = 0.25;
+  OnlineEbController controller(config);
+  double loss = 0.3;
+  for (int i = 0; i < 500; ++i) {
+    loss *= 1.02;  // runaway divergence
+    const double scale = controller.observe(loss);
+    ASSERT_GE(scale, 0.25);
+  }
+  EXPECT_GE(controller.trigger_count(), 2u);
+}
+
+}  // namespace
+}  // namespace dlcomp

@@ -1,0 +1,140 @@
+// Tests for bit-granular IO, varints and zigzag codes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitstream.hpp"
+#include "common/rng.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter w;
+  const std::vector<bool> bits = {true, false, true, true, false, false, true};
+  for (const bool b : bits) w.write_bit(b);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const bool b : bits) {
+    EXPECT_EQ(r.read_bit(), b);
+  }
+}
+
+TEST(BitStream, MixedWidthRoundTrip) {
+  BitWriter w;
+  w.write(0x5, 3);
+  w.write(0xABCD, 16);
+  w.write(1, 1);
+  w.write(0xFFFFFFFFFFFFFFFFULL, 64);
+  w.write(0, 5);
+  w.write(0x123456789ULL, 35);
+  const auto bytes = w.finish();
+
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(3), 0x5u);
+  EXPECT_EQ(r.read(16), 0xABCDu);
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(64), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(r.read(5), 0u);
+  EXPECT_EQ(r.read(35), 0x123456789ULL);
+}
+
+TEST(BitStream, ValueMaskedToWidth) {
+  BitWriter w;
+  w.write(0xFF, 4);  // only low 4 bits survive
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(4), 0xFu);
+}
+
+TEST(BitStream, OverrunThrows) {
+  BitWriter w;
+  w.write(3, 2);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  (void)r.read(2);
+  // Remaining padding bits within the final byte are readable zeros; a
+  // read past the byte array must throw.
+  (void)r.read(6);
+  EXPECT_THROW(r.read(1), FormatError);
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter w;
+  w.write(1, 7);
+  w.write(1, 13);
+  EXPECT_EQ(w.bit_count(), 20u);
+}
+
+class BitStreamRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitStreamRandomized, RandomRoundTrip) {
+  const unsigned max_width = GetParam();
+  Rng rng(1000 + max_width);
+  std::vector<std::pair<std::uint64_t, unsigned>> fields;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(max_width));
+    std::uint64_t value = rng.next_u64();
+    if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+    fields.emplace_back(value, width);
+    w.write(value, width);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& [value, width] : fields) {
+    ASSERT_EQ(r.read(width), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitStreamRandomized,
+                         ::testing::Values(1u, 3u, 8u, 17u, 33u, 64u));
+
+TEST(Varint, RoundTripBoundaries) {
+  const std::vector<std::uint64_t> values = {
+      0,   1,    127,  128,   255,   16383, 16384,
+      1ull << 32, 1ull << 47, ~0ull, 42};
+  std::vector<std::byte> buffer;
+  for (const auto v : values) append_varint(buffer, v);
+  std::size_t pos = 0;
+  for (const auto v : values) {
+    EXPECT_EQ(read_varint(buffer, pos), v);
+  }
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(Varint, TruncatedThrows) {
+  std::vector<std::byte> buffer;
+  append_varint(buffer, 300);
+  buffer.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW(read_varint(buffer, pos), FormatError);
+}
+
+TEST(Zigzag, RoundTripAndOrdering) {
+  const std::vector<std::int64_t> values = {0, -1, 1, -2, 2, -100, 100,
+                                            INT32_MIN, INT32_MAX};
+  for (const auto v : values) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes map to small codes.
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+}
+
+TEST(BitWidth, ComputesMinimalWidth) {
+  EXPECT_EQ(bit_width_for(0), 1u);
+  EXPECT_EQ(bit_width_for(1), 1u);
+  EXPECT_EQ(bit_width_for(2), 2u);
+  EXPECT_EQ(bit_width_for(3), 2u);
+  EXPECT_EQ(bit_width_for(4), 3u);
+  EXPECT_EQ(bit_width_for(255), 8u);
+  EXPECT_EQ(bit_width_for(256), 9u);
+  EXPECT_EQ(bit_width_for(~0ull), 64u);
+}
+
+}  // namespace
+}  // namespace dlcomp

@@ -1,0 +1,124 @@
+// Tests for table classification (Algorithm 1) and the iteration-wise
+// error-bound scheduler.
+
+#include <gtest/gtest.h>
+
+#include "core/eb_scheduler.hpp"
+#include "core/error_bound.hpp"
+#include "core/table_classifier.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(ErrorBoundConfigTest, PaperOperatingPoint) {
+  const auto config = ErrorBoundConfig::paper_default();
+  EXPECT_NEAR(config.eb_for(EbClass::kLarge), 0.05, 1e-12);
+  EXPECT_NEAR(config.eb_for(EbClass::kMedium), 0.03, 1e-12);
+  EXPECT_NEAR(config.eb_for(EbClass::kSmall), 0.01, 1e-12);
+}
+
+TEST(ErrorBoundConfigTest, ToStringLabels) {
+  EXPECT_STREQ(to_string(EbClass::kLarge), "L");
+  EXPECT_STREQ(to_string(EbClass::kMedium), "M");
+  EXPECT_STREQ(to_string(EbClass::kSmall), "S");
+}
+
+TEST(Classifier, AlgorithmOneMapping) {
+  const ClassifierThresholds thresholds{.small_threshold = 0.4,
+                                        .large_threshold = 0.1};
+  // Heavy homogenization -> fragile -> small EB.
+  EXPECT_EQ(classify_table(0.8, thresholds), EbClass::kSmall);
+  // No homogenization -> robust -> large EB.
+  EXPECT_EQ(classify_table(0.05, thresholds), EbClass::kLarge);
+  // In between -> medium.
+  EXPECT_EQ(classify_table(0.25, thresholds), EbClass::kMedium);
+  // Boundary values are medium (strict inequalities in Algorithm 1).
+  EXPECT_EQ(classify_table(0.4, thresholds), EbClass::kMedium);
+  EXPECT_EQ(classify_table(0.1, thresholds), EbClass::kMedium);
+}
+
+TEST(Classifier, BadThresholdsThrow) {
+  const ClassifierThresholds bad{.small_threshold = 0.1,
+                                 .large_threshold = 0.4};
+  EXPECT_THROW(classify_table(0.2, bad), Error);
+}
+
+TEST(Scheduler, NoneIsConstantOne) {
+  ErrorBoundScheduler s({.func = DecayFunc::kNone, .initial_scale = 3.0,
+                         .decay_end_iter = 100});
+  EXPECT_DOUBLE_EQ(s.scale_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.scale_at(50), 1.0);
+}
+
+class SchedulerDecay : public ::testing::TestWithParam<DecayFunc> {};
+
+TEST_P(SchedulerDecay, StartsHighEndsAtOneMonotonically) {
+  const SchedulerConfig config{.func = GetParam(), .initial_scale = 2.0,
+                               .decay_end_iter = 100, .num_steps = 4};
+  const ErrorBoundScheduler s(config);
+
+  EXPECT_NEAR(s.scale_at(0), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.scale_at(100), 1.0);
+  EXPECT_DOUBLE_EQ(s.scale_at(10000), 1.0);
+
+  double prev = s.scale_at(0);
+  for (std::size_t i = 1; i <= 120; ++i) {
+    const double cur = s.scale_at(i);
+    ASSERT_LE(cur, prev + 1e-12) << "not monotone at " << i;
+    ASSERT_GE(cur, 1.0 - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Funcs, SchedulerDecay,
+                         ::testing::Values(DecayFunc::kStepwise,
+                                           DecayFunc::kLogarithmic,
+                                           DecayFunc::kLinear,
+                                           DecayFunc::kExponential,
+                                           DecayFunc::kDrop));
+
+TEST(Scheduler, StepwiseIsAStaircase) {
+  const ErrorBoundScheduler s({.func = DecayFunc::kStepwise,
+                               .initial_scale = 3.0,
+                               .decay_end_iter = 400,
+                               .num_steps = 4});
+  // Within one step the scale is flat.
+  EXPECT_DOUBLE_EQ(s.scale_at(0), s.scale_at(99));
+  // Steps descend by span/num_steps = 0.5.
+  EXPECT_NEAR(s.scale_at(100) - s.scale_at(0), -0.5, 1e-9);
+  EXPECT_NEAR(s.scale_at(399), 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.scale_at(400), 1.0);
+}
+
+TEST(Scheduler, DropHoldsThenJumps) {
+  const ErrorBoundScheduler s({.func = DecayFunc::kDrop, .initial_scale = 2.0,
+                               .decay_end_iter = 50});
+  EXPECT_DOUBLE_EQ(s.scale_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.scale_at(49), 2.0);
+  EXPECT_DOUBLE_EQ(s.scale_at(50), 1.0);
+}
+
+TEST(Scheduler, LogDecaysFasterThanLinearEarly) {
+  const SchedulerConfig base{.initial_scale = 2.0, .decay_end_iter = 100};
+  SchedulerConfig log_config = base;
+  log_config.func = DecayFunc::kLogarithmic;
+  SchedulerConfig lin_config = base;
+  lin_config.func = DecayFunc::kLinear;
+  const ErrorBoundScheduler log_s(log_config);
+  const ErrorBoundScheduler lin_s(lin_config);
+  EXPECT_LT(log_s.scale_at(20), lin_s.scale_at(20));
+}
+
+TEST(Scheduler, InvalidConfigThrows) {
+  EXPECT_THROW(ErrorBoundScheduler({.initial_scale = 0.5}), Error);
+  EXPECT_THROW(ErrorBoundScheduler({.num_steps = 0}), Error);
+}
+
+TEST(Scheduler, DecayFuncNames) {
+  EXPECT_EQ(to_string(DecayFunc::kStepwise), "stepwise");
+  EXPECT_EQ(to_string(DecayFunc::kDrop), "drop");
+  EXPECT_EQ(to_string(DecayFunc::kNone), "none");
+}
+
+}  // namespace
+}  // namespace dlcomp

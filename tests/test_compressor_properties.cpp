@@ -1,0 +1,256 @@
+// Property tests across the whole codec registry: every lossy
+// error-bounded codec must honor its bound on every workload shape; every
+// lossless codec must be bit-exact; streams must be self-describing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/format.hpp"
+#include "compress/hybrid.hpp"
+#include "compress/registry.hpp"
+
+namespace dlcomp {
+namespace {
+
+struct Workload {
+  const char* name;
+  std::vector<float> data;
+};
+
+std::vector<Workload> make_workloads() {
+  std::vector<Workload> loads;
+  Rng rng(99);
+
+  {
+    Workload w{"gaussian", {}};
+    w.data.resize(2048);
+    for (auto& v : w.data) v = static_cast<float>(rng.normal(0.0, 0.15));
+    loads.push_back(std::move(w));
+  }
+  {
+    Workload w{"uniform", {}};
+    w.data.resize(2048);
+    for (auto& v : w.data) v = rng.uniform_float(-0.4f, 0.4f);
+    loads.push_back(std::move(w));
+  }
+  {
+    // Repeated embedding vectors (dim 32) from a small pool.
+    Workload w{"repeated-vectors", {}};
+    std::vector<std::vector<float>> pool(6, std::vector<float>(32));
+    for (auto& vec : pool) {
+      for (auto& v : vec) v = static_cast<float>(rng.normal(0.0, 0.25));
+    }
+    for (int b = 0; b < 64; ++b) {
+      const auto& vec = pool[rng.next_below(pool.size())];
+      w.data.insert(w.data.end(), vec.begin(), vec.end());
+    }
+    loads.push_back(std::move(w));
+  }
+  {
+    Workload w{"constant", std::vector<float>(512, 0.125f)};
+    loads.push_back(std::move(w));
+  }
+  {
+    Workload w{"alternating-sign", {}};
+    for (int i = 0; i < 1024; ++i) {
+      w.data.push_back(i % 2 == 0 ? 0.3f : -0.3f);
+    }
+    loads.push_back(std::move(w));
+  }
+  {
+    Workload w{"tiny", {0.1f, -0.2f, 0.3f}};
+    loads.push_back(std::move(w));
+  }
+  return loads;
+}
+
+using CodecEb = std::tuple<std::string, double>;
+
+class ErrorBoundedCodecs : public ::testing::TestWithParam<CodecEb> {};
+
+TEST_P(ErrorBoundedCodecs, BoundHoldsOnEveryWorkload) {
+  const auto& [name, eb] = GetParam();
+  const Compressor& codec = get_compressor(name);
+
+  for (const auto& load : make_workloads()) {
+    CompressParams params;
+    params.error_bound = eb;
+    params.vector_dim = 32;
+    const RoundTrip rt = round_trip(codec, load.data, params);
+    ASSERT_EQ(rt.reconstructed.size(), load.data.size());
+    for (std::size_t i = 0; i < load.data.size(); ++i) {
+      ASSERT_LE(std::fabs(rt.reconstructed[i] - load.data[i]),
+                eb * (1.0 + 1e-6))
+          << "codec " << name << " workload " << load.name << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ErrorBoundedCodecs,
+    ::testing::Combine(::testing::Values(std::string("huffman"),
+                                         std::string("zfp-like"),
+                                         std::string("vector-lz"),
+                                         std::string("cusz-like"),
+                                         std::string("fz-gpu-like"),
+                                         std::string("hybrid")),
+                       ::testing::Values(0.005, 0.01, 0.03, 0.05)),
+    [](const auto& info) {
+      std::string tag = std::get<0>(info.param) + "_eb" +
+                        std::to_string(std::get<1>(info.param)).substr(2, 3);
+      for (auto& c : tag) {
+        if (c == '-') c = '_';
+      }
+      return tag;
+    });
+
+class LosslessCodecs : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LosslessCodecs, BitExactOnEveryWorkload) {
+  const Compressor& codec = get_compressor(GetParam());
+  EXPECT_FALSE(codec.lossy());
+  for (const auto& load : make_workloads()) {
+    const RoundTrip rt = round_trip(codec, load.data, CompressParams{});
+    for (std::size_t i = 0; i < load.data.size(); ++i) {
+      ASSERT_EQ(rt.reconstructed[i], load.data[i]) << load.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, LosslessCodecs,
+                         ::testing::Values("generic-lz", "deflate-like"));
+
+TEST(Registry, AllNamesResolveAndMatch) {
+  for (const auto name : all_compressor_names()) {
+    const Compressor& codec = get_compressor(name);
+    EXPECT_EQ(codec.name(), name);
+  }
+  EXPECT_THROW(get_compressor("no-such-codec"), Error);
+}
+
+TEST(Registry, PipelineSubset) {
+  for (const auto name : pipeline_compressor_names()) {
+    (void)get_compressor(name);  // must resolve
+  }
+}
+
+TEST(StreamFormat, SelfDescribingCount) {
+  Rng rng(5);
+  std::vector<float> input(777);
+  for (auto& v : input) v = static_cast<float>(rng.normal(0.0, 0.1));
+  for (const auto name : all_compressor_names()) {
+    const Compressor& codec = get_compressor(name);
+    std::vector<std::byte> stream;
+    CompressParams params;
+    params.vector_dim = 32;
+    codec.compress(input, params, stream);
+    EXPECT_EQ(decompressed_count(stream), input.size()) << name;
+  }
+}
+
+TEST(StreamFormat, RejectsGarbage) {
+  std::vector<std::byte> garbage(64, std::byte{0x5A});
+  EXPECT_THROW(decompressed_count(garbage), FormatError);
+}
+
+TEST(StreamFormat, RejectsTruncatedPayload) {
+  std::vector<float> input(100, 1.0f);
+  const Compressor& codec = get_compressor("huffman");
+  std::vector<std::byte> stream;
+  codec.compress(input, CompressParams{}, stream);
+  stream.resize(stream.size() / 2);
+  std::vector<float> out(100);
+  EXPECT_THROW(codec.decompress(stream, out), FormatError);
+}
+
+TEST(StreamFormat, WrongOutputSizeRejected) {
+  std::vector<float> input(64, 0.5f);
+  const Compressor& codec = get_compressor("huffman");
+  std::vector<std::byte> stream;
+  codec.compress(input, CompressParams{}, stream);
+  std::vector<float> wrong(63);
+  EXPECT_THROW(codec.decompress(stream, wrong), Error);
+}
+
+TEST(LowPrecision, FixedRatios) {
+  std::vector<float> input(4096, 1.5f);
+  const Compressor& fp16 = get_compressor("fp16");
+  const Compressor& fp8 = get_compressor("fp8");
+  std::vector<std::byte> s16;
+  std::vector<std::byte> s8;
+  const auto st16 = fp16.compress(input, {}, s16);
+  const auto st8 = fp8.compress(input, {}, s8);
+  EXPECT_NEAR(st16.ratio(), 2.0, 0.05);
+  EXPECT_NEAR(st8.ratio(), 4.0, 0.1);
+}
+
+TEST(Hybrid, ForcedChoicesRoundTrip) {
+  Rng rng(6);
+  std::vector<float> input(64 * 32);
+  for (auto& v : input) v = static_cast<float>(rng.normal(0.0, 0.2));
+  const HybridCompressor hybrid;
+
+  for (const auto choice :
+       {HybridChoice::kVectorLz, HybridChoice::kHuffman, HybridChoice::kAuto}) {
+    CompressParams params;
+    params.error_bound = 0.01;
+    params.vector_dim = 32;
+    params.hybrid_choice = choice;
+    std::vector<std::byte> stream;
+    hybrid.compress(input, params, stream);
+    if (choice != HybridChoice::kAuto) {
+      EXPECT_EQ(HybridCompressor::stream_choice(stream), choice);
+    }
+    std::vector<float> out(input.size());
+    hybrid.decompress(stream, out);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      ASSERT_LE(std::fabs(out[i] - input[i]), 0.01 * (1 + 1e-9));
+    }
+  }
+}
+
+TEST(Hybrid, AutoPicksSmallerStream) {
+  // Heavily repeated vectors: vector-LZ must win the auto selection.
+  Rng rng(7);
+  std::vector<float> base(32);
+  for (auto& v : base) v = static_cast<float>(rng.normal(0.0, 0.3));
+  std::vector<float> input;
+  for (int i = 0; i < 128; ++i) {
+    input.insert(input.end(), base.begin(), base.end());
+  }
+  const HybridCompressor hybrid;
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  params.hybrid_choice = HybridChoice::kAuto;
+  std::vector<std::byte> stream;
+  hybrid.compress(input, params, stream);
+  EXPECT_EQ(HybridCompressor::stream_choice(stream), HybridChoice::kVectorLz);
+}
+
+TEST(CompressAppends, StreamsConcatenateCleanly) {
+  // compress() must append, so multiple streams can share one buffer.
+  std::vector<float> a(128, 0.25f);
+  std::vector<float> b(64, -0.5f);
+  const Compressor& codec = get_compressor("huffman");
+  std::vector<std::byte> buffer;
+  CompressParams params;
+  const auto stats_a = codec.compress(a, params, buffer);
+  const std::size_t first_size = buffer.size();
+  EXPECT_EQ(stats_a.output_bytes, first_size);
+  codec.compress(b, params, buffer);
+
+  std::vector<float> out_a(a.size());
+  std::vector<float> out_b(b.size());
+  codec.decompress(std::span<const std::byte>(buffer).first(first_size), out_a);
+  codec.decompress(std::span<const std::byte>(buffer).subspan(first_size), out_b);
+  EXPECT_NEAR(out_a[0], 0.25f, 0.011);
+  EXPECT_NEAR(out_b[0], -0.5f, 0.011);
+}
+
+}  // namespace
+}  // namespace dlcomp

@@ -1,0 +1,110 @@
+// Tests for the software FP16 / FP8-E4M3 codecs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/float_codec.hpp"
+#include "common/rng.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  const std::vector<float> exact = {0.0f,  -0.0f, 1.0f,   -1.0f, 0.5f,
+                                    2.0f,  1.5f,  -3.25f, 1024.0f,
+                                    0.125f, 65504.0f};
+  for (const float v : exact) {
+    EXPECT_EQ(fp16_to_float(float_to_fp16(v)), v) << v;
+  }
+}
+
+TEST(Fp16, RelativeErrorBounded) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform_float(-100.0f, 100.0f);
+    const float r = fp16_to_float(float_to_fp16(v));
+    // binary16 has 11 significand bits: rel error <= 2^-11.
+    EXPECT_NEAR(r, v, std::fabs(v) * 0x1.0p-11f + 1e-7f) << v;
+  }
+}
+
+TEST(Fp16, OverflowToInfinity) {
+  const float big = 1e6f;
+  const float r = fp16_to_float(float_to_fp16(big));
+  EXPECT_TRUE(std::isinf(r));
+  EXPECT_GT(r, 0.0f);
+  EXPECT_TRUE(std::isinf(fp16_to_float(float_to_fp16(-1e6f))));
+}
+
+TEST(Fp16, SubnormalsRepresented) {
+  const float tiny = 3.0e-6f;  // below fp16 min normal (6.1e-5)
+  const float r = fp16_to_float(float_to_fp16(tiny));
+  EXPECT_GT(r, 0.0f);
+  EXPECT_NEAR(r, tiny, 6e-8f);
+}
+
+TEST(Fp16, NanPreserved) {
+  EXPECT_TRUE(std::isnan(fp16_to_float(float_to_fp16(std::nanf("")))));
+}
+
+TEST(Fp8, ExactSmallValuesRoundTrip) {
+  const std::vector<float> exact = {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1.25f,
+                                    -3.5f, 448.0f, -448.0f, 0.25f};
+  for (const float v : exact) {
+    EXPECT_EQ(fp8_e4m3_to_float(float_to_fp8_e4m3(v)), v) << v;
+  }
+}
+
+TEST(Fp8, SaturatesAt448) {
+  EXPECT_EQ(fp8_e4m3_to_float(float_to_fp8_e4m3(1000.0f)), 448.0f);
+  EXPECT_EQ(fp8_e4m3_to_float(float_to_fp8_e4m3(-1000.0f)), -448.0f);
+}
+
+TEST(Fp8, RelativeErrorBounded) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform_float(-400.0f, 400.0f);
+    const float r = fp8_e4m3_to_float(float_to_fp8_e4m3(v));
+    // 4 significand bits (incl. implicit): rel error <= 2^-4 generously.
+    EXPECT_NEAR(r, v, std::fabs(v) * 0.0625f + 0.002f) << v;
+  }
+}
+
+TEST(Fp8, NanEncoding) {
+  EXPECT_TRUE(std::isnan(fp8_e4m3_to_float(float_to_fp8_e4m3(std::nanf("")))));
+}
+
+TEST(Fp8, SubnormalLadder) {
+  // E4M3 subnormals: k * 2^-9 for k in 1..7.
+  for (int k = 1; k <= 7; ++k) {
+    const float v = static_cast<float>(k) * 0x1.0p-9f;
+    EXPECT_EQ(fp8_e4m3_to_float(float_to_fp8_e4m3(v)), v) << k;
+  }
+}
+
+TEST(BulkCodecs, RoundTripArrays) {
+  Rng rng(3);
+  std::vector<float> input(1000);
+  for (auto& v : input) v = rng.uniform_float(-10.0f, 10.0f);
+
+  std::vector<std::uint16_t> half(input.size());
+  std::vector<float> out16(input.size());
+  encode_fp16(input, half);
+  decode_fp16(half, out16);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_NEAR(out16[i], input[i], std::fabs(input[i]) * 0x1.0p-11f + 1e-7f);
+  }
+
+  std::vector<std::uint8_t> bytes(input.size());
+  std::vector<float> out8(input.size());
+  encode_fp8(input, bytes);
+  decode_fp8(bytes, out8);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_NEAR(out8[i], input[i], std::fabs(input[i]) * 0.0625f + 0.002f);
+  }
+}
+
+}  // namespace
+}  // namespace dlcomp

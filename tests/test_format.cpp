@@ -1,0 +1,145 @@
+// Tests for the stream format, byte IO and table printer utilities.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/byte_io.hpp"
+#include "common/table_printer.hpp"
+#include "compress/format.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(StreamHeaderTest, RoundTrip) {
+  StreamHeader h;
+  h.codec = CodecId::kVectorLz;
+  h.flags = 0x5;
+  h.vector_dim = 64;
+  h.element_count = 123456789ULL;
+  h.effective_error_bound = 0.0125;
+
+  std::vector<std::byte> buffer;
+  const std::size_t patch_at = append_header(buffer, h);
+  // Payload of 7 bytes.
+  for (int i = 0; i < 7; ++i) buffer.push_back(std::byte{0xAB});
+  patch_payload_bytes(buffer, patch_at, 7);
+
+  std::span<const std::byte> payload;
+  const StreamHeader parsed = parse_header(buffer, payload);
+  EXPECT_EQ(parsed.codec, CodecId::kVectorLz);
+  EXPECT_EQ(parsed.flags, 0x5);
+  EXPECT_EQ(parsed.vector_dim, 64);
+  EXPECT_EQ(parsed.element_count, 123456789ULL);
+  EXPECT_DOUBLE_EQ(parsed.effective_error_bound, 0.0125);
+  EXPECT_EQ(payload.size(), 7u);
+  EXPECT_EQ(payload[0], std::byte{0xAB});
+}
+
+TEST(StreamHeaderTest, PatchFlagsRewritesInPlace) {
+  StreamHeader h;
+  h.codec = CodecId::kGenericLz;
+  std::vector<std::byte> buffer;
+  const std::size_t patch_at = append_header(buffer, h);
+  patch_flags(buffer, patch_at, kFlagStoredRaw);
+  patch_payload_bytes(buffer, patch_at, 0);
+
+  std::span<const std::byte> payload;
+  const StreamHeader parsed = parse_header(buffer, payload);
+  EXPECT_EQ(parsed.flags, kFlagStoredRaw);
+}
+
+TEST(StreamHeaderTest, BadMagicRejected) {
+  std::vector<std::byte> buffer(StreamHeader::kBytes, std::byte{0x00});
+  std::span<const std::byte> payload;
+  EXPECT_THROW(parse_header(buffer, payload), FormatError);
+}
+
+TEST(StreamHeaderTest, TruncatedHeaderRejected) {
+  StreamHeader h;
+  std::vector<std::byte> buffer;
+  append_header(buffer, h);
+  buffer.resize(buffer.size() / 2);
+  std::span<const std::byte> payload;
+  EXPECT_THROW(parse_header(buffer, payload), FormatError);
+}
+
+TEST(StreamHeaderTest, PayloadLongerThanBufferRejected) {
+  StreamHeader h;
+  std::vector<std::byte> buffer;
+  const std::size_t patch_at = append_header(buffer, h);
+  patch_payload_bytes(buffer, patch_at, 100);  // payload missing
+  std::span<const std::byte> payload;
+  EXPECT_THROW(parse_header(buffer, payload), FormatError);
+}
+
+TEST(ByteIo, PodRoundTrip) {
+  std::vector<std::byte> buffer;
+  append_pod(buffer, std::uint32_t{0xDEADBEEF});
+  append_pod(buffer, double{3.5});
+  append_pod(buffer, std::int16_t{-7});
+
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.read<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(reader.read<double>(), 3.5);
+  EXPECT_EQ(reader.read<std::int16_t>(), -7);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteIo, SpanRoundTrip) {
+  const std::vector<float> values = {1.0f, -2.0f, 0.5f};
+  std::vector<std::byte> buffer;
+  append_pod_span<float>(buffer, values);
+
+  std::vector<float> out(3);
+  ByteReader reader(buffer);
+  reader.read_span(std::span<float>(out));
+  EXPECT_EQ(out, values);
+}
+
+TEST(ByteIo, UnderflowThrows) {
+  std::vector<std::byte> buffer;
+  append_pod(buffer, std::uint16_t{5});
+  ByteReader reader(buffer);
+  EXPECT_THROW(reader.read<std::uint64_t>(), FormatError);
+}
+
+TEST(ByteIo, TakeAndSkip) {
+  std::vector<std::byte> buffer(10, std::byte{0x11});
+  buffer[7] = std::byte{0x77};
+  ByteReader reader(buffer);
+  reader.skip(6);
+  const auto slice = reader.take(2);
+  EXPECT_EQ(slice[1], std::byte{0x77});
+  EXPECT_EQ(reader.remaining(), 2u);
+  EXPECT_THROW(reader.take(3), FormatError);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "long-header"});
+  table.add_row({"wide-cell-content", "x"});
+  const std::string out = table.to_string();
+  // Three lines: header, separator, row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  // Every line has equal length (alignment).
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, ArityMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dlcomp

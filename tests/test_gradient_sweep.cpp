@@ -1,0 +1,123 @@
+// Parameterized finite-difference gradient sweeps across layer shapes:
+// the property "analytic gradient == numeric gradient" must hold for
+// every (batch, dim, features) combination the trainer can produce,
+// including degenerate ones.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dlrm/interaction.hpp"
+#include "dlrm/mlp.hpp"
+
+namespace dlcomp {
+namespace {
+
+using InteractionShape = std::tuple<int, int, int>;  // batch, dim, features
+
+class InteractionGradientSweep
+    : public ::testing::TestWithParam<InteractionShape> {};
+
+TEST_P(InteractionGradientSweep, AnalyticMatchesNumeric) {
+  const auto [batch_i, dim_i, features_i] = GetParam();
+  const auto batch = static_cast<std::size_t>(batch_i);
+  const auto dim = static_cast<std::size_t>(dim_i);
+  const auto features = static_cast<std::size_t>(features_i);
+
+  Rng rng(100 + batch + dim * 7 + features * 31);
+  Matrix z0 = Matrix::rand_uniform(rng, batch, dim, -1.0f, 1.0f);
+  std::vector<Matrix> emb;
+  for (std::size_t f = 0; f < features; ++f) {
+    emb.push_back(Matrix::rand_uniform(rng, batch, dim, -1.0f, 1.0f));
+  }
+  const std::size_t width = DotInteraction::output_dim(features, dim);
+  const Matrix weights = Matrix::rand_uniform(rng, batch, width, -1.0f, 1.0f);
+
+  auto objective = [&]() {
+    Matrix out(batch, width);
+    DotInteraction::forward(z0, emb, out);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      total += out.flat()[i] * weights.flat()[i];
+    }
+    return total;
+  };
+
+  Matrix dz0(batch, dim);
+  std::vector<Matrix> demb(features, Matrix(batch, dim));
+  DotInteraction::backward(z0, emb, weights, dz0, demb);
+
+  // Spot-check a handful of coordinates per tensor (full sweeps are in
+  // the dedicated interaction test; this guards the shape space).
+  const double h = 1e-3;
+  auto check = [&](Matrix& target, const Matrix& grad, std::size_t i) {
+    const float saved = target.flat()[i];
+    target.flat()[i] = saved + static_cast<float>(h);
+    const double up = objective();
+    target.flat()[i] = saved - static_cast<float>(h);
+    const double down = objective();
+    target.flat()[i] = saved;
+    ASSERT_NEAR(grad.flat()[i], (up - down) / (2 * h), 3e-2);
+  };
+  for (const std::size_t i :
+       {std::size_t{0}, z0.size() / 2, z0.size() - 1}) {
+    check(z0, dz0, i);
+  }
+  for (std::size_t f = 0; f < features; ++f) {
+    check(emb[f], demb[f], emb[f].size() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, InteractionGradientSweep,
+    ::testing::Values(InteractionShape{1, 1, 1}, InteractionShape{1, 8, 3},
+                      InteractionShape{4, 4, 1}, InteractionShape{3, 16, 5},
+                      InteractionShape{2, 8, 8}, InteractionShape{5, 2, 2},
+                      InteractionShape{8, 32, 4}));
+
+using MlpShape = std::vector<std::size_t>;
+
+class MlpGradientSweep : public ::testing::TestWithParam<MlpShape> {};
+
+TEST_P(MlpGradientSweep, InputGradientMatchesNumeric) {
+  const MlpShape dims = GetParam();
+  Rng rng(17);
+  Mlp mlp(dims, rng);
+  const std::size_t batch = 3;
+  Matrix x = Matrix::rand_uniform(rng, batch, dims.front(), -1.0f, 1.0f);
+
+  auto objective = [&]() {
+    const Matrix& y = mlp.forward(x);
+    double total = 0.0;
+    for (const float v : y.flat()) total += v;
+    return total;
+  };
+
+  (void)objective();
+  Matrix ones(batch, dims.back(), 1.0f);
+  const Matrix dx = mlp.backward(ones);
+
+  const double h = 1e-3;
+  for (const std::size_t i :
+       {std::size_t{0}, x.size() / 3, x.size() - 1}) {
+    const float saved = x.flat()[i];
+    x.flat()[i] = saved + static_cast<float>(h);
+    const double up = objective();
+    x.flat()[i] = saved - static_cast<float>(h);
+    const double down = objective();
+    x.flat()[i] = saved;
+    ASSERT_NEAR(dx.flat()[i], (up - down) / (2 * h), 3e-2) << "dims index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MlpGradientSweep,
+    ::testing::Values(MlpShape{2, 1}, MlpShape{4, 4}, MlpShape{5, 8, 3},
+                      MlpShape{13, 64, 32, 16}, MlpShape{7, 1, 7},
+                      MlpShape{3, 2, 2, 2, 1}));
+
+}  // namespace
+}  // namespace dlcomp

@@ -1,0 +1,86 @@
+// Tests for the Homogenization Index (Eq. 1).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/error.hpp"
+#include "core/homo_index.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(HomoIndex, NoCollapseGivesZero) {
+  // Widely separated vectors: quantization cannot merge them.
+  std::vector<float> values;
+  for (int v = 0; v < 10; ++v) {
+    for (int d = 0; d < 4; ++d) {
+      values.push_back(static_cast<float>(v));
+    }
+  }
+  const auto r = compute_homo_index(values, 4, 0.01);
+  EXPECT_EQ(r.original_patterns, 10u);
+  EXPECT_EQ(r.quantized_patterns, 10u);
+  EXPECT_DOUBLE_EQ(r.homo_index, 0.0);
+  EXPECT_DOUBLE_EQ(r.pattern_retention, 1.0);
+}
+
+TEST(HomoIndex, FullCollapseApproachesOne) {
+  // All vectors within eb of each other collapse into one pattern.
+  Rng rng(1);
+  std::vector<float> values;
+  for (int v = 0; v < 16; ++v) {
+    for (int d = 0; d < 4; ++d) {
+      values.push_back(0.5f + static_cast<float>(rng.uniform(-1e-4, 1e-4)));
+    }
+  }
+  const auto r = compute_homo_index(values, 4, 0.05);
+  EXPECT_EQ(r.quantized_patterns, 1u);
+  EXPECT_GT(r.original_patterns, 1u);
+  EXPECT_NEAR(r.homo_index, 1.0, 0.1);
+}
+
+TEST(HomoIndex, PartialCollapseCounts) {
+  // Two clusters of vectors: 6 distinct inputs -> 2 quantized patterns.
+  std::vector<float> values;
+  const float centers[2] = {0.0f, 1.0f};
+  for (int c = 0; c < 2; ++c) {
+    for (int v = 0; v < 3; ++v) {
+      for (int d = 0; d < 2; ++d) {
+        values.push_back(centers[c] + 0.001f * static_cast<float>(v + 1));
+      }
+    }
+  }
+  const auto r = compute_homo_index(values, 2, 0.05);
+  EXPECT_EQ(r.original_patterns, 6u);
+  EXPECT_EQ(r.quantized_patterns, 2u);
+  EXPECT_NEAR(r.homo_index, 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(r.pattern_retention, 2.0 / 6.0, 1e-9);
+}
+
+TEST(HomoIndex, TightBoundPreservesPatterns) {
+  Rng rng(2);
+  std::vector<float> values(64 * 8);
+  for (auto& v : values) v = rng.uniform_float(-1.0f, 1.0f);
+  const auto loose = compute_homo_index(values, 8, 0.5);
+  const auto tight = compute_homo_index(values, 8, 1e-6);
+  EXPECT_GE(loose.homo_index, tight.homo_index);
+  EXPECT_EQ(tight.quantized_patterns, tight.original_patterns);
+}
+
+TEST(HomoIndex, IdentityAndRetentionAreComplementary) {
+  Rng rng(3);
+  std::vector<float> values(128 * 4);
+  for (auto& v : values) v = static_cast<float>(rng.normal(0.0, 0.05));
+  const auto r = compute_homo_index(values, 4, 0.02);
+  EXPECT_NEAR(r.homo_index + r.pattern_retention, 1.0, 1e-12);
+}
+
+TEST(HomoIndex, RequiresAtLeastOneVector) {
+  std::vector<float> values(3, 0.0f);
+  EXPECT_THROW(compute_homo_index(values, 4, 0.01), Error);
+}
+
+}  // namespace
+}  // namespace dlcomp

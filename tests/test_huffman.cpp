@@ -1,0 +1,163 @@
+// Tests for the canonical Huffman codec and the Huffman compressor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/huffman_coding.hpp"
+#include "compress/huffman_compressor.hpp"
+
+namespace dlcomp {
+namespace {
+
+std::vector<std::uint32_t> roundtrip_symbols(
+    std::span<const std::uint32_t> symbols) {
+  const HuffmanCodec codec = HuffmanCodec::build(symbols);
+
+  std::vector<std::byte> table;
+  codec.serialize_table(table);
+  BitWriter writer;
+  codec.encode(symbols, writer);
+  const auto bits = writer.finish();
+
+  ByteReader table_reader(table);
+  const HuffmanCodec decoded_codec =
+      HuffmanCodec::deserialize_table(table_reader);
+  std::vector<std::uint32_t> out(symbols.size());
+  BitReader reader(bits);
+  decoded_codec.decode(reader, out);
+  return out;
+}
+
+TEST(HuffmanCodec, SingleSymbolAlphabet) {
+  const std::vector<std::uint32_t> symbols(100, 7);
+  EXPECT_EQ(roundtrip_symbols(symbols), symbols);
+}
+
+TEST(HuffmanCodec, TwoSymbolAlphabet) {
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 50; ++i) {
+    symbols.push_back(i % 2 == 0 ? 3u : 9u);
+  }
+  EXPECT_EQ(roundtrip_symbols(symbols), symbols);
+}
+
+TEST(HuffmanCodec, SkewedDistributionCompresses) {
+  // 90% zeros: entropy ~0.47 bits; Huffman gets close from above.
+  Rng rng(1);
+  std::vector<std::uint32_t> symbols(20000);
+  for (auto& s : symbols) {
+    s = rng.next_double() < 0.9 ? 0u : 1u + static_cast<std::uint32_t>(
+                                                rng.next_below(7));
+  }
+  const HuffmanCodec codec = HuffmanCodec::build(symbols);
+  BitWriter writer;
+  codec.encode(symbols, writer);
+  const double bits_per_symbol =
+      static_cast<double>(writer.bit_count()) / symbols.size();
+  EXPECT_LT(bits_per_symbol, 1.6);
+  EXPECT_EQ(roundtrip_symbols(symbols), symbols);
+}
+
+TEST(HuffmanCodec, LargeRandomAlphabet) {
+  Rng rng(2);
+  std::vector<std::uint32_t> symbols(30000);
+  for (auto& s : symbols) {
+    s = static_cast<std::uint32_t>(rng.next_below(1000));
+  }
+  EXPECT_EQ(roundtrip_symbols(symbols), symbols);
+}
+
+TEST(HuffmanCodec, SparseSymbolValues) {
+  // Symbol *values* can be arbitrary u32; only the alphabet must be seen.
+  const std::vector<std::uint32_t> symbols = {0u, ~0u, 1u << 31, 12345u,
+                                              ~0u, 0u,  12345u};
+  EXPECT_EQ(roundtrip_symbols(symbols), symbols);
+}
+
+TEST(HuffmanCodec, MeanCodeBitsReflectsSkew) {
+  std::vector<std::uint32_t> balanced;
+  for (int i = 0; i < 1024; ++i) {
+    balanced.push_back(static_cast<std::uint32_t>(i % 4));
+  }
+  const auto codec = HuffmanCodec::build(balanced);
+  EXPECT_NEAR(codec.mean_code_bits(), 2.0, 1e-9);
+}
+
+TEST(HuffmanCodec, UnknownSymbolThrowsOnEncode) {
+  const std::vector<std::uint32_t> train = {1, 2, 3};
+  const auto codec = HuffmanCodec::build(train);
+  const std::vector<std::uint32_t> bad = {4};
+  BitWriter w;
+  EXPECT_THROW(codec.encode(bad, w), Error);
+}
+
+TEST(HuffmanCodec, CorruptTableRejected) {
+  std::vector<std::byte> garbage = {std::byte{3}, std::byte{1}, std::byte{2},
+                                    std::byte{3}, std::byte{0},  // zero length
+                                    std::byte{1}, std::byte{1}};
+  ByteReader reader(garbage);
+  EXPECT_THROW(HuffmanCodec::deserialize_table(reader), FormatError);
+}
+
+TEST(HuffmanCompressorTest, RoundTripWithinErrorBound) {
+  Rng rng(3);
+  std::vector<float> input(4096);
+  for (auto& v : input) v = static_cast<float>(rng.normal(0.0, 0.2));
+
+  const HuffmanCompressor codec;
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  const RoundTrip rt = round_trip(codec, input, params);
+
+  ASSERT_EQ(rt.reconstructed.size(), input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_LE(std::fabs(rt.reconstructed[i] - input[i]), 0.01 * (1 + 1e-9));
+  }
+  EXPECT_GT(rt.compress_stats.ratio(), 2.0);  // Gaussian data compresses
+}
+
+TEST(HuffmanCompressorTest, EmptyInput) {
+  const HuffmanCompressor codec;
+  CompressParams params;
+  std::vector<std::byte> stream;
+  const auto stats = codec.compress({}, params, stream);
+  EXPECT_EQ(stats.input_bytes, 0u);
+  EXPECT_EQ(decompressed_count(stream), 0u);
+  std::vector<float> out;
+  codec.decompress(stream, out);  // must not throw
+}
+
+TEST(HuffmanCompressorTest, ConcentratedDataBeatsDispersedData) {
+  // The Fig. 13 effect: concentrated (low-entropy) tables compress much
+  // better under the entropy coder than dispersed ones.
+  Rng rng(4);
+  std::vector<float> concentrated(8192);
+  std::vector<float> dispersed(8192);
+  for (auto& v : concentrated) v = static_cast<float>(rng.normal(0.0, 0.02));
+  for (auto& v : dispersed) v = rng.uniform_float(-0.5f, 0.5f);
+
+  const HuffmanCompressor codec;
+  CompressParams params;
+  params.error_bound = 0.01;
+  const auto rt_c = round_trip(codec, concentrated, params);
+  const auto rt_d = round_trip(codec, dispersed, params);
+  EXPECT_GT(rt_c.compress_stats.ratio(), 2.0 * rt_d.compress_stats.ratio());
+}
+
+TEST(HuffmanCompressorTest, StatsPopulated) {
+  std::vector<float> input(1024, 0.5f);
+  const HuffmanCompressor codec;
+  CompressParams params;
+  std::vector<std::byte> stream;
+  const auto stats = codec.compress(input, params, stream);
+  EXPECT_EQ(stats.input_bytes, input.size() * sizeof(float));
+  EXPECT_EQ(stats.output_bytes, stream.size());
+  EXPECT_GT(stats.ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace dlcomp

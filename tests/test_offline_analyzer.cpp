@@ -1,0 +1,115 @@
+// Tests for the offline analysis stage.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include <set>
+
+#include "core/offline_analyzer.hpp"
+
+namespace dlcomp {
+namespace {
+
+class OfflineAnalyzerFixture : public ::testing::Test {
+ protected:
+  OfflineAnalyzerFixture()
+      : spec_(DatasetSpec::criteo_kaggle_like(20000)),
+        dataset_(spec_, 77),
+        tables_(make_embedding_set(spec_, 77)) {}
+
+  DatasetSpec spec_;
+  SyntheticClickDataset dataset_;
+  std::vector<EmbeddingTable> tables_;
+};
+
+TEST_F(OfflineAnalyzerFixture, ReportCoversEveryTable) {
+  AnalyzerConfig config;
+  config.sample_batches = 2;
+  const OfflineAnalyzer analyzer(config);
+  const AnalysisReport report = analyzer.analyze(dataset_, tables_);
+  ASSERT_EQ(report.tables.size(), spec_.num_tables());
+  for (std::size_t t = 0; t < report.tables.size(); ++t) {
+    EXPECT_EQ(report.tables[t].table_id, t);
+    EXPECT_GT(report.tables[t].homo.original_patterns, 0u);
+    EXPECT_GE(report.tables[t].homo.original_patterns,
+              report.tables[t].homo.quantized_patterns);
+    EXPECT_GT(report.tables[t].assigned_eb, 0.0);
+    EXPECT_FALSE(report.tables[t].selection.candidates.empty());
+  }
+}
+
+TEST_F(OfflineAnalyzerFixture, ErrorBoundsMatchClasses) {
+  AnalyzerConfig config;
+  config.sample_batches = 2;
+  const OfflineAnalyzer analyzer(config);
+  const AnalysisReport report = analyzer.analyze(dataset_, tables_);
+  for (const auto& t : report.tables) {
+    EXPECT_DOUBLE_EQ(t.assigned_eb, config.eb_config.eb_for(t.eb_class));
+  }
+  const auto ebs = report.table_error_bounds();
+  ASSERT_EQ(ebs.size(), spec_.num_tables());
+  for (std::size_t t = 0; t < ebs.size(); ++t) {
+    EXPECT_DOUBLE_EQ(ebs[t], report.tables[t].assigned_eb);
+  }
+}
+
+TEST_F(OfflineAnalyzerFixture, ClassesAreDiverse) {
+  // The whole point of table-wise configuration: tables should not all
+  // land in one class on a Criteo-shaped workload.
+  AnalyzerConfig config;
+  config.sample_batches = 2;
+  const OfflineAnalyzer analyzer(config);
+  const AnalysisReport report = analyzer.analyze(dataset_, tables_);
+  std::set<EbClass> classes;
+  for (const auto& t : report.tables) classes.insert(t.eb_class);
+  EXPECT_GE(classes.size(), 2u);
+}
+
+TEST_F(OfflineAnalyzerFixture, ChoicesAreDiverse) {
+  AnalyzerConfig config;
+  config.sample_batches = 2;
+  const OfflineAnalyzer analyzer(config);
+  const AnalysisReport report = analyzer.analyze(dataset_, tables_);
+  const auto choices = report.table_choices();
+  std::set<HybridChoice> kinds(choices.begin(), choices.end());
+  // Both encoders should win somewhere (paper Table V: stark contrast in
+  // per-table winners).
+  EXPECT_TRUE(kinds.count(HybridChoice::kVectorLz) == 1 ||
+              kinds.count(HybridChoice::kHuffman) == 1);
+}
+
+TEST_F(OfflineAnalyzerFixture, FalsePredictionIsCommon) {
+  // Paper Sec. III-B (1): Lorenzo prediction hurts on embedding batches
+  // for most tables.
+  AnalyzerConfig config;
+  config.sample_batches = 2;
+  const OfflineAnalyzer analyzer(config);
+  const AnalysisReport report = analyzer.analyze(dataset_, tables_);
+  std::size_t false_pred = 0;
+  for (const auto& t : report.tables) {
+    if (t.false_prediction) ++false_pred;
+  }
+  EXPECT_GT(false_pred, report.tables.size() / 2);
+}
+
+TEST_F(OfflineAnalyzerFixture, SkewedTablesHomogenizeMore) {
+  AnalyzerConfig config;
+  config.sample_batches = 2;
+  const OfflineAnalyzer analyzer(config);
+  const AnalysisReport report = analyzer.analyze(dataset_, tables_);
+
+  // Table 0 is tiny and hot (19-ish unique lookups per batch in the
+  // paper); table 2 is huge with weak skew.
+  EXPECT_LT(report.tables[0].homo.original_patterns,
+            report.tables[2].homo.original_patterns);
+}
+
+TEST_F(OfflineAnalyzerFixture, MismatchedTablesThrow) {
+  AnalyzerConfig config;
+  const OfflineAnalyzer analyzer(config);
+  std::vector<EmbeddingTable> wrong;
+  EXPECT_THROW(analyzer.analyze(dataset_, wrong), Error);
+}
+
+}  // namespace
+}  // namespace dlcomp

@@ -1,0 +1,153 @@
+// Tests for the embedding optimizers (SGD / sparse Adagrad).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/trainer.hpp"
+#include "dlrm/model.hpp"
+#include "dlrm/optimizer.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(EmbeddingOptimizerTest, SgdMatchesPlainApplyGradients) {
+  EmbeddingTable a(4, 2);
+  EmbeddingTable b(4, 2);
+  a.weights().fill(1.0f);
+  b.weights().fill(1.0f);
+
+  const std::vector<std::uint32_t> idx = {1, 3, 1};
+  Matrix grads(3, 2);
+  float k = 0.1f;
+  for (auto& g : grads.flat()) g = k += 0.1f;
+
+  EmbeddingOptimizer sgd(EmbeddingOptimizerKind::kSgd, 0.5f);
+  sgd.apply(a, idx, grads, 0.25f);
+  b.apply_gradients(idx, grads, 0.5f * 0.25f);
+
+  for (std::size_t i = 0; i < a.weights().size(); ++i) {
+    ASSERT_FLOAT_EQ(a.weights().flat()[i], b.weights().flat()[i]);
+  }
+}
+
+TEST(EmbeddingOptimizerTest, AdagradFirstStepIsNormalized) {
+  EmbeddingTable table(2, 1);
+  table.weights().fill(0.0f);
+  EmbeddingOptimizer adagrad(EmbeddingOptimizerKind::kAdagrad, 0.1f);
+
+  const std::vector<std::uint32_t> idx = {0};
+  Matrix grads(1, 1);
+  grads(0, 0) = 4.0f;  // any magnitude: first step is ~lr in size
+  adagrad.apply(table, idx, grads);
+  // G = 16, step = lr * 4 / (sqrt(16)+eps) ~= lr.
+  EXPECT_NEAR(table.weights()(0, 0), -0.1f, 1e-5f);
+}
+
+TEST(EmbeddingOptimizerTest, AdagradStepsShrinkOverTime) {
+  EmbeddingTable table(1, 1);
+  table.weights().fill(0.0f);
+  EmbeddingOptimizer adagrad(EmbeddingOptimizerKind::kAdagrad, 0.1f);
+  const std::vector<std::uint32_t> idx = {0};
+  Matrix grads(1, 1);
+  grads(0, 0) = 1.0f;
+
+  float prev = 0.0f;
+  float prev_step = 1e9f;
+  for (int i = 0; i < 5; ++i) {
+    adagrad.apply(table, idx, grads);
+    const float step = std::fabs(table.weights()(0, 0) - prev);
+    ASSERT_LT(step, prev_step);
+    prev = table.weights()(0, 0);
+    prev_step = step;
+  }
+}
+
+TEST(EmbeddingOptimizerTest, AdagradUntouchedRowsStayPut) {
+  Rng rng(1);
+  EmbeddingTable table(8, 4);
+  table.weights() = Matrix::randn(rng, 8, 4, 0.0, 0.1);
+  const Matrix before = table.weights();
+
+  EmbeddingOptimizer adagrad(EmbeddingOptimizerKind::kAdagrad, 0.1f);
+  const std::vector<std::uint32_t> idx = {2};
+  Matrix grads(1, 4, 1.0f);
+  adagrad.apply(table, idx, grads);
+
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      if (r == 2) {
+        ASSERT_NE(table.weights()(r, c), before(r, c));
+      } else {
+        ASSERT_EQ(table.weights()(r, c), before(r, c));
+      }
+    }
+  }
+}
+
+TEST(EmbeddingOptimizerTest, GradScaleAffectsAdagradAccumulator) {
+  EmbeddingTable a(1, 1);
+  EmbeddingTable b(1, 1);
+  EmbeddingOptimizer opt_a(EmbeddingOptimizerKind::kAdagrad, 0.1f);
+  EmbeddingOptimizer opt_b(EmbeddingOptimizerKind::kAdagrad, 0.1f);
+  const std::vector<std::uint32_t> idx = {0};
+  Matrix g2(1, 1);
+  g2(0, 0) = 2.0f;
+  Matrix g1(1, 1);
+  g1(0, 0) = 1.0f;
+
+  // Scaling the gradient by 0.5 must equal feeding the halved gradient --
+  // this is what makes distributed (1/world-scaled) Adagrad match
+  // single-process Adagrad on the mean gradient.
+  opt_a.apply(a, idx, g2, 0.5f);
+  opt_b.apply(b, idx, g1, 1.0f);
+  EXPECT_FLOAT_EQ(a.weights()(0, 0), b.weights()(0, 0));
+}
+
+TEST(DlrmWithAdagrad, TrainsAndLearns) {
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(6, 8);
+  const SyntheticClickDataset data(spec, 21);
+  DlrmConfig config;
+  config.bottom_hidden = {16};
+  config.top_hidden = {16};
+  config.learning_rate = 0.1f;
+  config.embedding_optimizer = EmbeddingOptimizerKind::kAdagrad;
+  DlrmModel model(spec, config, 33);
+
+  const LossResult before = model.evaluate_stream(data, 256, 4);
+  for (int i = 0; i < 300; ++i) {
+    const SampleBatch batch = data.make_batch(128, static_cast<std::uint64_t>(i));
+    (void)model.train_step(batch);
+  }
+  const LossResult after = model.evaluate_stream(data, 256, 4);
+  EXPECT_LT(after.loss, before.loss * 0.95);
+  EXPECT_GT(after.accuracy, 0.6);
+}
+
+TEST(TrainerWithAdagrad, DistributedMatchesSingleProcessAtWorldOne) {
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(4, 8);
+  const SyntheticClickDataset data(spec, 5);
+
+  TrainerConfig config;
+  config.world = 1;
+  config.global_batch = 64;
+  config.iterations = 8;
+  config.model.bottom_hidden = {8};
+  config.model.top_hidden = {8};
+  config.model.learning_rate = 0.1f;
+  config.model.embedding_optimizer = EmbeddingOptimizerKind::kAdagrad;
+  config.record_every = 1;
+  config.seed = 9;
+  const TrainingResult distributed = HybridParallelTrainer(config).train(data);
+
+  DlrmModel reference(spec, config.model, config.seed);
+  for (std::size_t i = 0; i < config.iterations; ++i) {
+    const SampleBatch batch = data.make_batch(64, i);
+    const LossResult r = reference.train_step(batch);
+    ASSERT_DOUBLE_EQ(distributed.history[i].train_loss, r.loss) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dlcomp

@@ -1,0 +1,126 @@
+// Tests for error-bounded quantization: the error-bound invariant is the
+// foundation the whole lossy stack rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "compress/compressor.hpp"
+#include "compress/quantizer.hpp"
+
+namespace dlcomp {
+namespace {
+
+class QuantizerErrorBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantizerErrorBound, ReconstructionWithinBound) {
+  const double eb = GetParam();
+  Rng rng(42);
+  std::vector<float> input(10000);
+  for (auto& v : input) v = rng.uniform_float(-5.0f, 5.0f);
+
+  std::vector<std::int32_t> codes(input.size());
+  quantize(input, eb, codes);
+  std::vector<float> output(input.size());
+  dequantize(codes, eb, output);
+
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_LE(std::fabs(input[i] - output[i]), eb * (1.0 + 1e-9))
+        << "element " << i << " value " << input[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, QuantizerErrorBound,
+                         ::testing::Values(0.001, 0.005, 0.01, 0.02, 0.03,
+                                           0.05, 0.1, 0.5));
+
+TEST(Quantizer, ZeroMapsToZeroCode) {
+  const std::vector<float> input = {0.0f, 0.004f, -0.004f};
+  const auto codes = quantize(input, 0.01);
+  EXPECT_EQ(codes[0], 0);
+  EXPECT_EQ(codes[1], 0);  // inside half a bin
+  EXPECT_EQ(codes[2], 0);
+}
+
+TEST(Quantizer, NonPositiveBoundThrows) {
+  std::vector<float> input = {1.0f};
+  std::vector<std::int32_t> codes(1);
+  EXPECT_THROW(quantize(input, 0.0, codes), Error);
+  EXPECT_THROW(quantize(input, -0.1, codes), Error);
+}
+
+TEST(Quantizer, OverflowGuard) {
+  std::vector<float> input = {1e30f};
+  std::vector<std::int32_t> codes(1);
+  EXPECT_THROW(quantize(input, 1e-9, codes), Error);
+}
+
+TEST(Quantizer, VectorHomogenizationUnderQuantization) {
+  // Two vectors within eb of each other collapse to identical codes --
+  // the paper's Vector Homogenization effect.
+  const std::size_t dim = 4;
+  std::vector<float> values = {0.100f, 0.200f, 0.300f, 0.400f,
+                               0.104f, 0.196f, 0.304f, 0.401f};
+  EXPECT_EQ(count_unique_vectors(std::span<const float>(values), dim), 2u);
+  const auto codes = quantize(values, 0.01);
+  EXPECT_EQ(
+      count_unique_vectors(std::span<const std::int32_t>(codes), dim), 1u);
+}
+
+TEST(Quantizer, UniqueVectorCounting) {
+  const std::size_t dim = 2;
+  const std::vector<float> values = {1.0f, 2.0f, 1.0f, 2.0f, 3.0f, 4.0f};
+  EXPECT_EQ(count_unique_vectors(std::span<const float>(values), dim), 2u);
+}
+
+TEST(ResolveErrorBound, AbsolutePassesThrough) {
+  CompressParams params;
+  params.error_bound = 0.02;
+  params.eb_mode = EbMode::kAbsolute;
+  const std::vector<float> data = {1.0f, -10.0f};
+  EXPECT_DOUBLE_EQ(resolve_error_bound(data, params), 0.02);
+}
+
+TEST(ResolveErrorBound, RangeRelativeScales) {
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.eb_mode = EbMode::kRangeRelative;
+  const std::vector<float> data = {-1.0f, 3.0f};  // range 4
+  EXPECT_NEAR(resolve_error_bound(data, params), 0.04, 1e-12);
+}
+
+TEST(ResolveErrorBound, ConstantBufferStaysPositive) {
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.eb_mode = EbMode::kRangeRelative;
+  const std::vector<float> data = {2.0f, 2.0f, 2.0f};
+  EXPECT_GT(resolve_error_bound(data, params), 0.0);
+}
+
+TEST(RangeRelativeQuantization, ErrorScalesWithMagnitude) {
+  // Gradient-style data: tiny values; a relative bound must not zero them
+  // out wholesale the way an absolute 0.02 bound would.
+  Rng rng(7);
+  std::vector<float> grads(1000);
+  for (auto& g : grads) g = static_cast<float>(rng.normal(0.0, 1e-3));
+
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.eb_mode = EbMode::kRangeRelative;
+  const double eb = resolve_error_bound(grads, params);
+  EXPECT_LT(eb, 1e-3);  // far below the data scale
+
+  std::vector<std::int32_t> codes(grads.size());
+  quantize(grads, eb, codes);
+  std::size_t nonzero = 0;
+  for (const auto c : codes) {
+    if (c != 0) ++nonzero;
+  }
+  EXPECT_GT(nonzero, grads.size() / 2);
+}
+
+}  // namespace
+}  // namespace dlcomp

@@ -1,0 +1,126 @@
+// Tests for Eq. (2) and the offline compressor selector (Algorithm 2).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/selector.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(Eq2, HandComputedValue) {
+  // CR=10, B=4 GB/s, Tc=40 GB/s, Td=200 GB/s:
+  // denom = 0.1 + 4*(1/40 + 1/200) = 0.1 + 4*0.03 = 0.22 -> 4.5454...
+  const double s = eq2_speedup(10.0, 4e9, 40e9, 200e9);
+  EXPECT_NEAR(s, 1.0 / 0.22, 1e-9);
+}
+
+TEST(Eq2, InfinitelyFastCodecApproachesCr) {
+  const double s = eq2_speedup(8.0, 4e9, 1e18, 1e18);
+  EXPECT_NEAR(s, 8.0, 1e-6);
+}
+
+TEST(Eq2, SlowCodecCanLoseToNoCompression) {
+  // Codec slower than the network: speedup < 1 despite CR > 1.
+  const double s = eq2_speedup(2.0, 4e9, 2e9, 2e9);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(Eq2, MonotoneInCompressionRatio) {
+  const double lo = eq2_speedup(2.0, 4e9, 50e9, 50e9);
+  const double hi = eq2_speedup(20.0, 4e9, 50e9, 50e9);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(Eq2, InvalidArgsThrow) {
+  EXPECT_THROW(eq2_speedup(0.0, 4e9, 1e9, 1e9), Error);
+  EXPECT_THROW(eq2_speedup(2.0, 0.0, 1e9, 1e9), Error);
+  EXPECT_THROW(eq2_speedup(2.0, 4e9, 0.0, 1e9), Error);
+}
+
+class SelectorFixture : public ::testing::Test {
+ protected:
+  static std::vector<float> repeated_batch() {
+    Rng rng(1);
+    std::vector<float> base(32);
+    for (auto& v : base) v = static_cast<float>(rng.normal(0.0, 0.3));
+    std::vector<float> out;
+    for (int i = 0; i < 128; ++i) {
+      out.insert(out.end(), base.begin(), base.end());
+    }
+    return out;
+  }
+
+  static std::vector<float> concentrated_batch() {
+    Rng rng(2);
+    std::vector<float> out(128 * 32);
+    for (auto& v : out) v = static_cast<float>(rng.normal(0.0, 0.01));
+    return out;
+  }
+};
+
+TEST_F(SelectorFixture, ScoresEveryCandidate) {
+  const CompressorSelector selector({});
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  const std::vector<std::string_view> candidates = {"vector-lz", "huffman"};
+  const SelectionResult result =
+      selector.select(repeated_batch(), params, candidates);
+  ASSERT_EQ(result.candidates.size(), 2u);
+  for (const auto& c : result.candidates) {
+    EXPECT_GT(c.compression_ratio, 1.0) << c.codec;
+    EXPECT_GT(c.est_speedup, 0.0) << c.codec;
+    EXPECT_GT(c.compress_bps, 0.0) << c.codec;
+  }
+}
+
+TEST_F(SelectorFixture, RepeatedVectorsFavorVectorLz) {
+  const CompressorSelector selector({});
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  const std::vector<std::string_view> candidates = {"vector-lz", "huffman"};
+  const SelectionResult result =
+      selector.select(repeated_batch(), params, candidates);
+  EXPECT_EQ(result.best().codec, "vector-lz");
+}
+
+TEST_F(SelectorFixture, ConcentratedValuesFavorHuffman) {
+  // Near-constant values, all vectors distinct: entropy coding wins.
+  const CompressorSelector selector({});
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  const std::vector<std::string_view> candidates = {"vector-lz", "huffman"};
+  const SelectionResult result =
+      selector.select(concentrated_batch(), params, candidates);
+  EXPECT_EQ(result.best().codec, "huffman");
+}
+
+TEST_F(SelectorFixture, MeasuredThroughputModeWorks) {
+  SelectorConfig config;
+  config.use_calibrated_throughput = false;
+  const CompressorSelector selector(config);
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  const std::vector<std::string_view> candidates = {"vector-lz", "huffman"};
+  const SelectionResult result =
+      selector.select(repeated_batch(), params, candidates);
+  for (const auto& c : result.candidates) {
+    EXPECT_GT(c.est_speedup, 0.0);
+  }
+}
+
+TEST_F(SelectorFixture, EmptyCandidatesThrow) {
+  const CompressorSelector selector({});
+  EXPECT_THROW(
+      selector.select(repeated_batch(), CompressParams{}, {}), Error);
+}
+
+}  // namespace
+}  // namespace dlcomp

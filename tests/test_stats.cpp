@@ -1,0 +1,96 @@
+// Tests for summary statistics, histograms and entropy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dlcomp {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const std::vector<float> values = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, KurtosisSeparatesGaussianFromUniform) {
+  Rng rng(4);
+  std::vector<float> gaussian(50000);
+  std::vector<float> uniform(50000);
+  for (auto& v : gaussian) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& v : uniform) v = rng.uniform_float(-1.0f, 1.0f);
+
+  const Summary g = summarize(gaussian);
+  const Summary u = summarize(uniform);
+  EXPECT_NEAR(g.excess_kurtosis, 0.0, 0.15);
+  EXPECT_NEAR(u.excess_kurtosis, -1.2, 0.1);
+  // This gap is exactly what the offline analyzer's Gaussian flag uses.
+  EXPECT_GT(g.excess_kurtosis, -0.6);
+  EXPECT_LT(u.excess_kurtosis, -0.6);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(50.0);   // clamped to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 0.0);
+}
+
+TEST(Histogram, EntropyUniformVsPeaked) {
+  Histogram flat(0.0, 4.0, 4);
+  for (int b = 0; b < 4; ++b) {
+    for (int i = 0; i < 100; ++i) flat.add(b + 0.5);
+  }
+  EXPECT_NEAR(flat.entropy_bits(), 2.0, 1e-9);
+
+  Histogram peaked(0.0, 4.0, 4);
+  for (int i = 0; i < 400; ++i) peaked.add(0.5);
+  EXPECT_NEAR(peaked.entropy_bits(), 0.0, 1e-9);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  h.add(0.5);
+  const std::string art = h.render(20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(Entropy, FrequencyVector) {
+  const std::vector<std::uint64_t> even = {1, 1, 1, 1};
+  EXPECT_NEAR(entropy_bits(even), 2.0, 1e-12);
+  const std::vector<std::uint64_t> single = {10, 0, 0};
+  EXPECT_NEAR(entropy_bits(single), 0.0, 1e-12);
+  EXPECT_EQ(entropy_bits({}), 0.0);
+}
+
+}  // namespace
+}  // namespace dlcomp

@@ -1,0 +1,163 @@
+// Tests for the paper's vector-based LZ compressor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/vector_lz.hpp"
+
+namespace dlcomp {
+namespace {
+
+/// Builds a batch of `batch` vectors of width `dim` drawn from a pool of
+/// `unique_vectors` distinct vectors -- the repeated-lookup pattern of
+/// skewed embedding tables.
+std::vector<float> repeated_vector_batch(std::size_t batch, std::size_t dim,
+                                         std::size_t unique_vectors,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> pool(unique_vectors,
+                                       std::vector<float>(dim));
+  for (auto& vec : pool) {
+    for (auto& v : vec) v = static_cast<float>(rng.normal(0.0, 0.3));
+  }
+  std::vector<float> out;
+  out.reserve(batch * dim);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto& vec = pool[rng.next_below(unique_vectors)];
+    out.insert(out.end(), vec.begin(), vec.end());
+  }
+  return out;
+}
+
+TEST(VectorLz, RoundTripWithinErrorBound) {
+  const auto input = repeated_vector_batch(256, 32, 20, 1);
+  const VectorLzCompressor codec;
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  const RoundTrip rt = round_trip(codec, input, params);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_LE(std::fabs(rt.reconstructed[i] - input[i]), 0.01 * (1 + 1e-9));
+  }
+}
+
+TEST(VectorLz, RepeatedVectorsCompressHard) {
+  // 256 vectors from a pool of 8: expect high ratio from vector matches.
+  const auto input = repeated_vector_batch(256, 32, 8, 2);
+  const VectorLzCompressor codec;
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  params.lz_window_vectors = 128;
+  const RoundTrip rt = round_trip(codec, input, params);
+  EXPECT_GT(rt.compress_stats.ratio(), 10.0);
+}
+
+TEST(VectorLz, UniqueVectorsDoNotCompress) {
+  Rng rng(3);
+  std::vector<float> input(256 * 32);
+  for (auto& v : input) v = rng.uniform_float(-1.0f, 1.0f);
+  const VectorLzCompressor codec;
+  CompressParams params;
+  params.error_bound = 0.001;  // tight bound: wide alphabet
+  params.vector_dim = 32;
+  const RoundTrip rt = round_trip(codec, input, params);
+  // No matches: ratio comes only from bit packing (32 bits -> ~11).
+  EXPECT_LT(rt.compress_stats.ratio(), 4.0);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_LE(std::fabs(rt.reconstructed[i] - input[i]), 0.001 * (1 + 1e-9));
+  }
+}
+
+class VectorLzWindow : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VectorLzWindow, RoundTripAcrossWindowSizes) {
+  const std::size_t window = GetParam();
+  const auto input = repeated_vector_batch(512, 16, 40, 4);
+  const VectorLzCompressor codec;
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 16;
+  params.lz_window_vectors = window;
+  const RoundTrip rt = round_trip(codec, input, params);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_LE(std::fabs(rt.reconstructed[i] - input[i]), 0.01 * (1 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, VectorLzWindow,
+                         ::testing::Values(1u, 32u, 64u, 128u, 255u, 1024u));
+
+TEST(VectorLz, LargerWindowFindsMoreMatches) {
+  // Pool of 100 unique vectors: a 16-vector window misses most repeats, a
+  // 255-vector window catches them (the paper's Table VI effect).
+  const auto input = repeated_vector_batch(512, 16, 100, 5);
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 16;
+
+  params.lz_window_vectors = 16;
+  const std::size_t matches_small =
+      VectorLzCompressor::count_matches(input, params);
+  params.lz_window_vectors = 255;
+  const std::size_t matches_large =
+      VectorLzCompressor::count_matches(input, params);
+  EXPECT_GT(matches_large, matches_small);
+}
+
+TEST(VectorLz, PartialTailVectorHandled) {
+  // 10 full vectors of dim 8 plus 5 dangling elements.
+  auto input = repeated_vector_batch(10, 8, 3, 6);
+  input.push_back(0.5f);
+  input.push_back(-0.25f);
+  input.push_back(0.125f);
+  input.push_back(0.0f);
+  input.push_back(1.0f);
+  const VectorLzCompressor codec;
+  CompressParams params;
+  params.error_bound = 0.005;
+  params.vector_dim = 8;
+  const RoundTrip rt = round_trip(codec, input, params);
+  ASSERT_EQ(rt.reconstructed.size(), input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_LE(std::fabs(rt.reconstructed[i] - input[i]), 0.005 * (1 + 1e-9));
+  }
+}
+
+TEST(VectorLz, HomogenizationIncreasesMatches) {
+  // Perturb repeated vectors by less than the error bound: quantization
+  // collapses them back into identical patterns -> matches survive.
+  auto input = repeated_vector_batch(128, 16, 4, 7);
+  Rng rng(8);
+  for (auto& v : input) {
+    v += static_cast<float>(rng.uniform(-0.004, 0.004));
+  }
+  CompressParams params;
+  params.error_bound = 0.02;  // perturbation « bin width
+  params.vector_dim = 16;
+  const std::size_t matches = VectorLzCompressor::count_matches(input, params);
+  EXPECT_GT(matches, 100u);  // nearly every vector matches
+}
+
+TEST(VectorLz, CountMatchesEmptyInput) {
+  CompressParams params;
+  EXPECT_EQ(VectorLzCompressor::count_matches({}, params), 0u);
+}
+
+TEST(VectorLz, SingleVectorInput) {
+  const auto input = repeated_vector_batch(1, 32, 1, 9);
+  const VectorLzCompressor codec;
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  const RoundTrip rt = round_trip(codec, input, params);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_LE(std::fabs(rt.reconstructed[i] - input[i]), 0.01 * (1 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace dlcomp

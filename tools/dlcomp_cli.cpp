@@ -1,0 +1,198 @@
+// dlcomp command-line driver: compress/decompress float tensors on disk,
+// run the offline analysis on a synthetic workload, and inspect streams.
+//
+// Usage:
+//   dlcomp compress   <codec> <eb> <dim> <in.f32> <out.dlcp>
+//   dlcomp decompress <in.dlcp> <out.f32>
+//   dlcomp inspect    <in.dlcp>
+//   dlcomp analyze    <kaggle|terabyte> <plan-out.txt> [sampling-eb]
+//   dlcomp codecs
+//
+// <in.f32> is a raw little-endian float32 file (e.g. from numpy's
+// tofile()); <out.dlcp> is a self-describing dlcomp stream.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/format.hpp"
+#include "compress/registry.hpp"
+#include "core/offline_analyzer.hpp"
+#include "core/report_io.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace dlcomp;
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw Error("cannot open: " + path);
+  is.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(is.tellg());
+  is.seekg(0);
+  std::vector<std::byte> data(size);
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  if (!is.good()) throw Error("read failed: " + path);
+  return data;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) throw Error("cannot open for writing: " + path);
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size()));
+  if (!os.good()) throw Error("write failed: " + path);
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc != 7) {
+    std::fprintf(stderr,
+                 "usage: dlcomp compress <codec> <eb> <dim> <in.f32> "
+                 "<out.dlcp>\n");
+    return 2;
+  }
+  const Compressor& codec = get_compressor(argv[2]);
+  CompressParams params;
+  params.error_bound = std::stod(argv[3]);
+  params.vector_dim = static_cast<std::size_t>(std::stoul(argv[4]));
+
+  const auto raw = read_file(argv[5]);
+  if (raw.size() % sizeof(float) != 0) {
+    throw Error("input size is not a multiple of 4 bytes");
+  }
+  std::vector<float> values(raw.size() / sizeof(float));
+  std::memcpy(values.data(), raw.data(), raw.size());
+
+  std::vector<std::byte> stream;
+  const CompressionStats stats = codec.compress(values, params, stream);
+  write_file(argv[6], stream);
+
+  std::printf("%s: %zu -> %zu bytes (%.2fx) in %.1f ms\n", argv[2],
+              stats.input_bytes, stats.output_bytes, stats.ratio(),
+              stats.seconds * 1e3);
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: dlcomp decompress <in.dlcp> <out.f32>\n");
+    return 2;
+  }
+  const auto stream = read_file(argv[2]);
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+
+  // Route by the codec id baked into the stream.
+  const Compressor* codec = nullptr;
+  for (const auto name : all_compressor_names()) {
+    const Compressor& candidate = get_compressor(name);
+    std::vector<std::byte> probe;  // cheap: match on id via a tiny compress
+    // Identify by id without a reverse map: compress one float and parse.
+    std::vector<float> one{0.0f};
+    candidate.compress(one, {}, probe);
+    std::span<const std::byte> unused;
+    if (parse_header(probe, unused).codec == header.codec) {
+      codec = &candidate;
+      break;
+    }
+  }
+  if (codec == nullptr) throw Error("stream codec not registered");
+
+  std::vector<float> values(header.element_count);
+  codec->decompress(stream, values);
+
+  write_file(argv[3],
+             {reinterpret_cast<const std::byte*>(values.data()),
+              values.size() * sizeof(float)});
+  std::printf("decompressed %llu floats with %s (eb %.6g)\n",
+              static_cast<unsigned long long>(header.element_count),
+              std::string(codec->name()).c_str(),
+              header.effective_error_bound);
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: dlcomp inspect <in.dlcp>\n");
+    return 2;
+  }
+  const auto stream = read_file(argv[2]);
+  std::span<const std::byte> payload;
+  const StreamHeader header = parse_header(stream, payload);
+  std::printf("codec id:      %d\n", static_cast<int>(header.codec));
+  std::printf("flags:         0x%02x%s\n", header.flags,
+              (header.flags & kFlagStoredRaw) ? " (stored raw)" : "");
+  std::printf("vector dim:    %u\n", header.vector_dim);
+  std::printf("elements:      %llu\n",
+              static_cast<unsigned long long>(header.element_count));
+  std::printf("error bound:   %.6g\n", header.effective_error_bound);
+  std::printf("payload bytes: %llu\n",
+              static_cast<unsigned long long>(header.payload_bytes));
+  std::printf("ratio:         %.2fx\n",
+              static_cast<double>(header.element_count * sizeof(float)) /
+                  static_cast<double>(stream.size()));
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc != 4 && argc != 5) {
+    std::fprintf(stderr,
+                 "usage: dlcomp analyze <kaggle|terabyte> <plan-out.txt> "
+                 "[sampling-eb]\n");
+    return 2;
+  }
+  const std::string which = argv[2];
+  const DatasetSpec spec = which == "kaggle"
+                               ? DatasetSpec::criteo_kaggle_like(50000)
+                               : DatasetSpec::criteo_terabyte_like(50000);
+  const SyntheticClickDataset dataset(spec, 2024);
+  const auto tables = make_embedding_set(spec, 2024);
+
+  AnalyzerConfig config;
+  config.sample_batches = 4;
+  config.sampling_eb = argc == 5 ? std::stod(argv[4])
+                                 : (which == "kaggle" ? 0.01 : 0.005);
+  const AnalysisReport report =
+      OfflineAnalyzer(config).analyze(dataset, tables);
+  const CompressionPlan plan = make_plan(report);
+  save_plan(argv[3], plan);
+  std::printf("analyzed %zu tables of %s; plan written to %s\n",
+              plan.tables.size(), spec.name.c_str(), argv[3]);
+  return 0;
+}
+
+int cmd_codecs() {
+  std::printf("registered codecs:\n");
+  for (const auto name : all_compressor_names()) {
+    const Compressor& codec = get_compressor(name);
+    std::printf("  %-14s %s\n", std::string(name).c_str(),
+                codec.lossy() ? "lossy (error-bounded or fixed-rate)"
+                              : "lossless");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string command = argc > 1 ? argv[1] : "";
+    if (command == "compress") return cmd_compress(argc, argv);
+    if (command == "decompress") return cmd_decompress(argc, argv);
+    if (command == "inspect") return cmd_inspect(argc, argv);
+    if (command == "analyze") return cmd_analyze(argc, argv);
+    if (command == "codecs") return cmd_codecs();
+    std::fprintf(stderr,
+                 "dlcomp -- error-bounded compression for DLRM training\n"
+                 "commands: compress decompress inspect analyze codecs\n");
+    return command.empty() ? 2 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
