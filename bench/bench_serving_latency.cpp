@@ -1,0 +1,86 @@
+// Serving-latency bench: tail latency and throughput of the online
+// inference subsystem across query arrival patterns, comparing exact
+// embedding serving against error-bounded compressed serving (the
+// DeepRecSys-style workload the ROADMAP's "heavy traffic" north star
+// calls for, with the paper's codecs on the embedding payloads).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/latency_recorder.hpp"
+#include "common/table_printer.hpp"
+#include "serve/simulator.hpp"
+
+namespace {
+
+using namespace dlcomp;
+
+struct CodecPath {
+  const char* label;
+  const char* codec;  // "" = exact
+  double eb;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_serving_latency",
+                "online serving extension (DeepRecSys-style load, "
+                "compressed embedding payloads)");
+
+  const std::size_t queries = bench::scaled(2000, 20000);
+
+  ServingConfig base;
+  base.load.qps = 2000.0;
+  base.load.num_queries = queries;
+  base.load.mean_query_size = 16;
+  base.load.max_query_size = 128;
+  base.scheduler.max_batch_samples = 256;
+  base.scheduler.max_delay_s = 0.002;
+  base.spec = DatasetSpec::small_training_proxy(26, 16);
+  base.seed = 1234;
+
+  const ArrivalPattern patterns[] = {ArrivalPattern::kPoisson,
+                                     ArrivalPattern::kBursty,
+                                     ArrivalPattern::kDiurnal};
+  const CodecPath paths[] = {
+      {"exact", "", 0.0},
+      {"hybrid eb=0.01", "hybrid", 0.01},
+      {"hybrid eb=0.05", "hybrid", 0.05},
+      {"fp16", "fp16", 0.0},
+  };
+
+  TablePrinter table({"pattern", "path", "p50 ms", "p95 ms", "p99 ms",
+                      "p99.9 ms", "achieved qps", "batch", "ratio",
+                      "max err"});
+  for (const ArrivalPattern pattern : patterns) {
+    for (const CodecPath& path : paths) {
+      ServingConfig config = base;
+      config.load.pattern = pattern;
+      config.engine.codec = path.codec;
+      config.engine.error_bound = path.eb;
+      const ServingReport r = ServingSimulator(config).run();
+      table.add_row(
+          {std::string(arrival_pattern_name(pattern)), path.label,
+           TablePrinter::num(r.latency.p50_s * 1e3, 3),
+           TablePrinter::num(r.latency.p95_s * 1e3, 3),
+           TablePrinter::num(r.latency.p99_s * 1e3, 3),
+           TablePrinter::num(r.latency.p999_s * 1e3, 3),
+           TablePrinter::num(r.achieved_qps, 0),
+           TablePrinter::num(r.mean_batch_samples, 1),
+           r.lookup_compression_ratio > 0.0
+               ? TablePrinter::num(r.lookup_compression_ratio, 2)
+               : std::string("-"),
+           r.lookup_compression_ratio > 0.0
+               ? TablePrinter::num(r.max_lookup_error, 5)
+               : std::string("-")});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "latency = simulated queueing delay + measured forward wall time; "
+      "achieved qps = queries / serve wall time.\n");
+  return 0;
+}

@@ -91,6 +91,24 @@ std::string Histogram::render(std::size_t max_width) const {
   return out;
 }
 
+double percentile(std::span<const float> values, double q) {
+  std::vector<float> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+double percentile_sorted(std::span<const float> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  DLCOMP_CHECK_MSG(q >= 0.0 && q <= 100.0, "q=" << q);
+  // Nearest rank: ceil(q/100 * N), clamped to [1, N]. The epsilon keeps
+  // q*N that is an exact integer from rounding up (e.g. 99.9% of 1000
+  // evaluating to 999.0000000000001).
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n - 1e-9));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
 double entropy_bits(std::span<const std::uint64_t> frequencies) {
   std::uint64_t total = 0;
   for (const auto f : frequencies) total += f;

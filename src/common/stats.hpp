@@ -60,4 +60,14 @@ class Histogram {
 /// Shannon entropy (bits/symbol) of an arbitrary symbol frequency list.
 double entropy_bits(std::span<const std::uint64_t> frequencies);
 
+/// Nearest-rank percentile of an unsorted sample: the smallest element
+/// such that at least q percent of the sample is <= it (q in [0, 100]).
+/// Copies and sorts internally; returns 0 for an empty sample. Used by
+/// LatencyRecorder (p50/p95/p99/p99.9) and the serving benches.
+double percentile(std::span<const float> values, double q);
+
+/// Same nearest-rank rule over an already ascending-sorted sample; no
+/// copy, O(1). Precondition (unchecked): `sorted` is sorted.
+double percentile_sorted(std::span<const float> sorted, double q);
+
 }  // namespace dlcomp

@@ -110,9 +110,20 @@ LossResult DlrmModel::train_step(const SampleBatch& batch,
   return result;
 }
 
-LossResult DlrmModel::evaluate(const SampleBatch& batch) {
-  const Matrix& logits = forward(batch, nullptr);
+LossResult DlrmModel::evaluate(const SampleBatch& batch,
+                               const TableTransform& lookup_transform) {
+  const Matrix& logits = forward(batch, lookup_transform);
   return bce_with_logits(logits.flat(), batch.labels);
+}
+
+void DlrmModel::predict(const SampleBatch& batch,
+                        std::span<float> probabilities,
+                        const TableTransform& lookup_transform) {
+  DLCOMP_CHECK(probabilities.size() == batch.batch_size());
+  const Matrix& logits = forward(batch, lookup_transform);
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    probabilities[i] = static_cast<float>(sigmoid(logits.flat()[i]));
+  }
 }
 
 LossResult DlrmModel::evaluate_stream(const SyntheticClickDataset& data,

@@ -13,6 +13,7 @@
 /// dlcomp::core reuses the same components for the timing experiments.
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "data/synthetic.hpp"
@@ -51,8 +52,17 @@ class DlrmModel {
                         const TableTransform& lookup_transform = nullptr,
                         const TableTransform& grad_transform = nullptr);
 
-  /// Forward-only evaluation (no transforms: inference is uncompressed).
-  LossResult evaluate(const SampleBatch& batch);
+  /// Forward-only evaluation. `lookup_transform` may round-trip the
+  /// looked-up vectors through a codec, which models serving from
+  /// compressed embedding payloads (exact evaluation passes null).
+  LossResult evaluate(const SampleBatch& batch,
+                      const TableTransform& lookup_transform = nullptr);
+
+  /// Forward-only scoring for the serving path: fills `probabilities`
+  /// (size == batch.batch_size()) with sigmoid(logit) per sample. Same
+  /// transform hook as evaluate().
+  void predict(const SampleBatch& batch, std::span<float> probabilities,
+               const TableTransform& lookup_transform = nullptr);
 
   /// Mean evaluation over `batches` held-out batches.
   LossResult evaluate_stream(const SyntheticClickDataset& data,

@@ -3,8 +3,9 @@
 /// \file thread_pool.hpp
 /// Fixed-size worker pool with a blocking wait. This is the CPU analogue
 /// of a GPU stream: the chunked compressor enqueues per-chunk codec work
-/// here ("multi-threading for compression and decompression", Sec. III-E)
-/// and the benches compare pooled against serial execution.
+/// here ("multi-threading for compression and decompression", Sec. III-E),
+/// the benches compare pooled against serial execution, and the serving
+/// simulator runs one inference-engine replica per worker on it.
 
 #include <condition_variable>
 #include <cstddef>

@@ -1,0 +1,68 @@
+#include "serve/batch_scheduler.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+BatchScheduler::BatchScheduler(SchedulerConfig config) : config_(config) {
+  DLCOMP_CHECK(config_.max_batch_samples > 0);
+  DLCOMP_CHECK(config_.max_delay_s >= 0.0);
+}
+
+std::vector<InferenceBatch> BatchScheduler::schedule(
+    std::span<const Query> queries) const {
+  std::vector<InferenceBatch> batches;
+
+  InferenceBatch pending;
+  std::size_t pending_samples = 0;
+
+  const auto flush = [&](double dispatch_s) {
+    pending.dispatch_s = dispatch_s;
+    batches.push_back(std::move(pending));
+    pending = InferenceBatch{};
+    pending_samples = 0;
+  };
+
+  double prev_arrival = 0.0;
+  for (const Query& q : queries) {
+    DLCOMP_CHECK_MSG(q.arrival_s >= prev_arrival,
+                     "queries must be sorted by arrival_s");
+    // Fail fast here, on the caller's thread: an empty query would later
+    // produce a zero-sample batch that throws inside a pool worker.
+    DLCOMP_CHECK_MSG(q.num_samples > 0, "query " << q.id << " has 0 samples");
+    prev_arrival = q.arrival_s;
+
+    // Deadline flush: the oldest pending query cannot wait until this
+    // arrival, so the batch went out when its delay budget expired.
+    if (!pending.queries.empty()) {
+      const double deadline =
+          pending.queries.front().arrival_s + config_.max_delay_s;
+      if (q.arrival_s > deadline) flush(deadline);
+    }
+
+    // Capacity flush: adding q would blow the sample budget, so the
+    // pending batch goes out now (at q's arrival, which is still within
+    // the oldest query's deadline because the check above passed).
+    if (!pending.queries.empty() &&
+        pending_samples + q.num_samples > config_.max_batch_samples) {
+      flush(q.arrival_s);
+    }
+
+    pending.queries.push_back(q);
+    pending_samples += q.num_samples;
+
+    // A single query at or above the budget ships immediately.
+    if (pending_samples >= config_.max_batch_samples) {
+      flush(q.arrival_s);
+    }
+  }
+
+  if (!pending.queries.empty()) {
+    flush(pending.queries.front().arrival_s + config_.max_delay_s);
+  }
+  return batches;
+}
+
+}  // namespace dlcomp

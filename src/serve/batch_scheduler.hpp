@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file batch_scheduler.hpp
+/// Deadline-bounded dynamic batching: coalesces an arrival-ordered query
+/// stream into inference batches, flushing when a batch reaches the
+/// sample budget or when holding it longer would push the oldest query
+/// past its batching deadline. This is the serving analogue of the
+/// training-side chunking policy: bigger batches amortize fixed per-call
+/// cost, the deadline caps the queueing term of tail latency.
+///
+/// Scheduling is a pure function of the query stream (simulated clock),
+/// so the policy is unit-testable; the ServingSimulator executes the
+/// resulting plan on the ThreadPool.
+
+#include <span>
+#include <vector>
+
+#include "serve/query.hpp"
+
+namespace dlcomp {
+
+struct SchedulerConfig {
+  /// Flush once a batch holds this many samples (single queries larger
+  /// than the budget become their own oversized batch).
+  std::size_t max_batch_samples = 256;
+  /// Max time a query may wait in the pending batch before dispatch.
+  double max_delay_s = 0.002;
+};
+
+/// A dispatchable unit: one or more whole queries scored together.
+struct InferenceBatch {
+  std::vector<Query> queries;
+  /// Dispatch time on the simulated clock; >= every member's arrival_s
+  /// and <= every member's arrival_s + max_delay_s.
+  double dispatch_s = 0.0;
+
+  [[nodiscard]] std::size_t total_samples() const noexcept {
+    std::size_t n = 0;
+    for (const Query& q : queries) n += q.num_samples;
+    return n;
+  }
+};
+
+class BatchScheduler {
+ public:
+  /// Validates the config (throws Error on zero budgets).
+  explicit BatchScheduler(SchedulerConfig config);
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Coalesces `queries` (must be sorted by arrival_s) into batches in
+  /// dispatch order. Every query lands in exactly one batch.
+  [[nodiscard]] std::vector<InferenceBatch> schedule(
+      std::span<const Query> queries) const;
+
+ private:
+  SchedulerConfig config_;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file inference_engine.hpp
+/// Forward-only DLRM scoring engine for the serving path. Optionally
+/// round-trips every embedding lookup through an error-bounded codec from
+/// the registry (the same TableTransform hook the training accuracy
+/// experiments use), which models serving where embedding shards travel
+/// compressed between parameter servers and inference nodes: reconstructed
+/// vectors differ from exact by at most the configured error bound per
+/// element, and the engine tracks the observed error and the bytes moved
+/// so compressed and exact serving can be compared on both axes.
+///
+/// An engine is NOT thread-safe (the model keeps forward caches); the
+/// ServingSimulator runs one engine replica per worker.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hpp"
+#include "data/synthetic.hpp"
+#include "dlrm/model.hpp"
+
+namespace dlcomp {
+
+struct EngineConfig {
+  /// Registry codec name for the embedding payload round-trip; empty
+  /// means exact (uncompressed) serving.
+  std::string codec;
+  /// Absolute per-element error bound for the codec.
+  double error_bound = 0.01;
+  /// Vector-LZ window, forwarded to CompressParams.
+  std::size_t lz_window_vectors = 128;
+};
+
+class InferenceEngine {
+ public:
+  /// Builds the model (weights deterministic in `seed`, so every replica
+  /// constructed with the same arguments scores identically).
+  InferenceEngine(const DatasetSpec& spec, const DlrmConfig& model_config,
+                  EngineConfig config, std::uint64_t seed);
+
+  /// Scores a batch: per-sample click probabilities, through the codec
+  /// round-trip when one is configured.
+  std::vector<float> run(const SampleBatch& batch);
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool compressed() const noexcept { return codec_ != nullptr; }
+  [[nodiscard]] DlrmModel& model() noexcept { return model_; }
+
+  /// The per-table lookup transform run() applies, bound to this engine's
+  /// error/byte accounting; null when serving exact. Exposed so tests can
+  /// apply it to a raw lookup matrix.
+  [[nodiscard]] DlrmModel::TableTransform lookup_transform();
+
+  /// Largest |exact - reconstructed| seen across all embedding elements
+  /// served so far (0 when exact).
+  [[nodiscard]] double max_lookup_error() const noexcept {
+    return max_lookup_error_;
+  }
+
+  /// Compression ratio of the embedding payloads served so far
+  /// (input bytes / compressed bytes; 0 when exact or nothing served).
+  [[nodiscard]] double lookup_compression_ratio() const noexcept;
+
+  [[nodiscard]] std::size_t samples_served() const noexcept {
+    return samples_served_;
+  }
+
+  /// Raw embedding payload byte counters (for fleet-level aggregation).
+  [[nodiscard]] std::size_t lookup_input_bytes() const noexcept {
+    return lookup_input_bytes_;
+  }
+  [[nodiscard]] std::size_t lookup_compressed_bytes() const noexcept {
+    return lookup_compressed_bytes_;
+  }
+
+ private:
+  EngineConfig config_;
+  DlrmModel model_;
+  const Compressor* codec_ = nullptr;  ///< registry singleton or null
+  CompressParams params_;
+
+  double max_lookup_error_ = 0.0;
+  std::size_t lookup_input_bytes_ = 0;
+  std::size_t lookup_compressed_bytes_ = 0;
+  std::size_t samples_served_ = 0;
+
+  // Scratch reused across run() calls to keep the hot path allocation-light.
+  std::vector<std::byte> stream_;
+  std::vector<float> recon_;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,160 @@
+#include "serve/load_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dlcomp {
+
+ArrivalPattern parse_arrival_pattern(std::string_view name) {
+  if (name == "poisson") return ArrivalPattern::kPoisson;
+  if (name == "bursty") return ArrivalPattern::kBursty;
+  if (name == "diurnal") return ArrivalPattern::kDiurnal;
+  throw Error("unknown arrival pattern: " + std::string(name) +
+              " (expected poisson|bursty|diurnal)");
+}
+
+std::string_view arrival_pattern_name(ArrivalPattern pattern) noexcept {
+  switch (pattern) {
+    case ArrivalPattern::kPoisson: return "poisson";
+    case ArrivalPattern::kBursty: return "bursty";
+    case ArrivalPattern::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Exponential draw with the given rate; rejects the measure-zero u == 0.
+double exp_draw(Rng& rng, double rate) {
+  double u = rng.next_double();
+  while (u <= 0.0) u = rng.next_double();
+  return -std::log(u) / rate;
+}
+
+/// Geometric query size with mean `mean`, clamped to [1, max].
+std::size_t size_draw(Rng& rng, std::size_t mean, std::size_t max) {
+  if (mean <= 1) return 1;
+  // Geometric on {1, 2, ...} with success prob 1/mean via inversion.
+  const double p = 1.0 / static_cast<double>(mean);
+  double u = rng.next_double();
+  while (u <= 0.0) u = rng.next_double();
+  const auto k = static_cast<std::size_t>(
+      std::ceil(std::log(u) / std::log1p(-p)));
+  return std::clamp<std::size_t>(k, 1, max);
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(LoadGenConfig config) : config_(config) {
+  DLCOMP_CHECK_MSG(config_.qps > 0.0, "qps=" << config_.qps);
+  DLCOMP_CHECK(config_.num_queries > 0);
+  DLCOMP_CHECK(config_.mean_query_size >= 1);
+  DLCOMP_CHECK(config_.max_query_size >= config_.mean_query_size);
+  if (config_.pattern == ArrivalPattern::kBursty) {
+    DLCOMP_CHECK_MSG(config_.burst_factor > 1.0,
+                     "burst_factor=" << config_.burst_factor);
+    DLCOMP_CHECK(config_.burst_fraction > 0.0 && config_.burst_fraction < 1.0);
+    DLCOMP_CHECK(config_.burst_mean_s > 0.0);
+    // The lull rate must stay positive for the long-run mean to be qps.
+    DLCOMP_CHECK_MSG(
+        config_.burst_factor * config_.burst_fraction < 1.0,
+        "burst_factor * burst_fraction must be < 1 to keep mean rate = qps");
+  }
+  if (config_.pattern == ArrivalPattern::kDiurnal) {
+    DLCOMP_CHECK(config_.diurnal_period_s > 0.0);
+    DLCOMP_CHECK(config_.diurnal_amplitude >= 0.0 &&
+                 config_.diurnal_amplitude < 1.0);
+  }
+}
+
+double LoadGenerator::rate_at(double t_s) const noexcept {
+  if (config_.pattern == ArrivalPattern::kDiurnal) {
+    const double phase =
+        2.0 * std::numbers::pi * t_s / config_.diurnal_period_s;
+    return config_.qps * (1.0 + config_.diurnal_amplitude * std::sin(phase));
+  }
+  return config_.qps;
+}
+
+std::vector<Query> LoadGenerator::generate() const {
+  Rng base(config_.seed);
+  Rng arrivals_rng = base.fork({0xA11});
+  Rng sizes_rng = base.fork({0x517E});
+
+  std::vector<Query> queries;
+  queries.reserve(config_.num_queries);
+
+  double t = 0.0;
+
+  // Bursty (MMPP) state: alternate exponential-length burst/lull epochs.
+  // Rates are solved so burst_fraction * high + (1 - burst_fraction) * low
+  // equals qps, i.e. the long-run mean load matches the other patterns.
+  bool in_burst = false;
+  double state_end_s = 0.0;
+  const double high_rate = config_.qps * config_.burst_factor;
+  const double low_rate =
+      config_.qps * (1.0 - config_.burst_factor * config_.burst_fraction) /
+      (1.0 - config_.burst_fraction);
+  const double lull_mean_s = config_.burst_mean_s *
+                             (1.0 - config_.burst_fraction) /
+                             config_.burst_fraction;
+
+  // Diurnal thinning envelope.
+  const double max_rate = config_.qps * (1.0 + config_.diurnal_amplitude);
+
+  for (std::uint64_t id = 0; id < config_.num_queries; ++id) {
+    switch (config_.pattern) {
+      case ArrivalPattern::kPoisson:
+        t += exp_draw(arrivals_rng, config_.qps);
+        break;
+
+      case ArrivalPattern::kBursty: {
+        // Draw the next arrival under the current state's rate; if it
+        // would land past the state boundary, restart from the boundary
+        // under the new state (valid by memorylessness of the
+        // exponential).
+        for (;;) {
+          if (t >= state_end_s) {
+            in_burst = !in_burst;
+            state_end_s =
+                t + exp_draw(arrivals_rng,
+                             1.0 / (in_burst ? config_.burst_mean_s
+                                             : lull_mean_s));
+          }
+          const double rate = in_burst ? high_rate : low_rate;
+          const double candidate = t + exp_draw(arrivals_rng, rate);
+          if (candidate <= state_end_s) {
+            t = candidate;
+            break;
+          }
+          t = state_end_s;
+        }
+        break;
+      }
+
+      case ArrivalPattern::kDiurnal:
+        // Thinning (Lewis-Shedler): candidates at the envelope rate,
+        // accepted with probability rate(t) / max_rate.
+        for (;;) {
+          t += exp_draw(arrivals_rng, max_rate);
+          if (arrivals_rng.next_double() * max_rate <= rate_at(t)) break;
+        }
+        break;
+    }
+
+    Query q;
+    q.id = id;
+    q.arrival_s = t;
+    q.num_samples =
+        size_draw(sizes_rng, config_.mean_query_size, config_.max_query_size);
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file load_generator.hpp
+/// Synthetic query-stream generator for the serving subsystem, after
+/// DeepRecSys's loadGenerator: configurable arrival process (Poisson,
+/// bursty MMPP, diurnal) and query-size distribution (geometric around a
+/// mean, capped). Generation is deterministic in the config seed so
+/// serving experiments are reproducible and schedulable offline.
+
+#include <vector>
+
+#include "serve/query.hpp"
+
+namespace dlcomp {
+
+struct LoadGenConfig {
+  ArrivalPattern pattern = ArrivalPattern::kPoisson;
+  /// Mean offered load, queries per second. All three patterns are
+  /// calibrated so the long-run mean rate equals `qps`.
+  double qps = 1000.0;
+  std::size_t num_queries = 1000;
+
+  /// Query sizes are geometric with this mean (DeepRecSys's variable
+  /// "query size" / candidate-set size), clamped to [1, max_query_size].
+  std::size_t mean_query_size = 32;
+  std::size_t max_query_size = 256;
+
+  /// Bursty (MMPP) knobs: inside a burst the rate is qps * burst_factor;
+  /// bursts cover `burst_fraction` of time with mean length burst_mean_s.
+  /// Requires burst_factor * burst_fraction < 1 so the lull rate stays
+  /// positive.
+  double burst_factor = 4.0;
+  double burst_fraction = 0.2;
+  double burst_mean_s = 0.05;
+
+  /// Diurnal knobs: rate(t) = qps * (1 + amplitude * sin(2*pi*t/period)).
+  double diurnal_period_s = 10.0;
+  double diurnal_amplitude = 0.8;
+
+  std::uint64_t seed = 2024;
+};
+
+class LoadGenerator {
+ public:
+  /// Validates the config (throws Error on nonsensical knobs).
+  explicit LoadGenerator(LoadGenConfig config);
+
+  [[nodiscard]] const LoadGenConfig& config() const noexcept { return config_; }
+
+  /// Generates the full query stream, sorted by (non-decreasing) arrival
+  /// time with ids 0..num_queries-1. Deterministic in the config.
+  [[nodiscard]] std::vector<Query> generate() const;
+
+  /// Instantaneous arrival rate at simulated time `t_s` for the diurnal
+  /// pattern (constant qps for Poisson; the MMPP rate is state-dependent
+  /// and not a function of time alone, so bursty also returns qps, the
+  /// long-run mean). Exposed for tests and the serving report.
+  [[nodiscard]] double rate_at(double t_s) const noexcept;
+
+ private:
+  LoadGenConfig config_;
+};
+
+}  // namespace dlcomp

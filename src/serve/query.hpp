@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file query.hpp
+/// Core vocabulary of the online serving subsystem. A recommendation
+/// query asks the model to score `num_samples` candidate items for one
+/// user (DeepRecSys's "query size"); the load generator stamps arrival
+/// times, the batch scheduler coalesces queries into inference batches.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dlcomp {
+
+/// One inference request in the simulated query stream.
+struct Query {
+  std::uint64_t id = 0;
+  /// Arrival time on the simulated clock, seconds since stream start.
+  double arrival_s = 0.0;
+  /// Candidate items to score (rows this query contributes to a batch).
+  std::size_t num_samples = 1;
+};
+
+/// Query arrival process shapes (DeepRecSys-style load generator).
+enum class ArrivalPattern : std::uint8_t {
+  kPoisson,  ///< homogeneous Poisson: i.i.d. exponential inter-arrivals
+  kBursty,   ///< two-state Markov-modulated Poisson (bursts and lulls)
+  kDiurnal,  ///< sinusoidally rate-modulated Poisson (traffic over a day)
+};
+
+/// Parses "poisson" / "bursty" / "diurnal"; throws Error otherwise.
+ArrivalPattern parse_arrival_pattern(std::string_view name);
+
+/// Stable name of a pattern (inverse of parse_arrival_pattern).
+std::string_view arrival_pattern_name(ArrivalPattern pattern) noexcept;
+
+}  // namespace dlcomp

@@ -1,0 +1,151 @@
+#include "serve/simulator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table_printer.hpp"
+#include "common/timer.hpp"
+#include "data/synthetic.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dlcomp {
+
+ServingSimulator::ServingSimulator(ServingConfig config)
+    : config_(std::move(config)) {
+  // Fail fast on bad knobs; run() reconstructs these cheaply.
+  (void)LoadGenerator(config_.load);
+  (void)BatchScheduler(config_.scheduler);
+  DLCOMP_CHECK(config_.spec.num_tables() > 0);
+}
+
+ServingReport ServingSimulator::run() {
+  const LoadGenerator generator(config_.load);
+  const BatchScheduler scheduler(config_.scheduler);
+  const std::vector<Query> queries = generator.generate();
+  const std::vector<InferenceBatch> batches = scheduler.schedule(queries);
+
+  unsigned replicas = config_.replicas;
+  if (replicas == 0) {
+    replicas = std::max(1u, std::thread::hardware_concurrency());
+  }
+  replicas = std::min<unsigned>(
+      replicas, static_cast<unsigned>(std::max<std::size_t>(1, batches.size())));
+
+  const SyntheticClickDataset dataset(config_.spec, config_.seed);
+
+  // One engine replica per worker; identical weights (same seed), private
+  // forward caches, so the fleet scores concurrently without locking.
+  std::vector<InferenceEngine> engines;
+  engines.reserve(replicas);
+  for (unsigned r = 0; r < replicas; ++r) {
+    engines.emplace_back(config_.spec, config_.model, config_.engine,
+                         config_.seed);
+  }
+
+  std::vector<LatencyRecorder> recorders(replicas);
+  std::vector<double> service_seconds(replicas, 0.0);
+
+  ThreadPool pool(replicas);
+  WallTimer wall;
+  for (unsigned r = 0; r < replicas; ++r) {
+    pool.submit([&, r] {
+      InferenceEngine& engine = engines[r];
+      LatencyRecorder& recorder = recorders[r];
+      // Round-robin assignment keeps the plan deterministic and the
+      // per-replica load balanced.
+      for (std::size_t b = r; b < batches.size(); b += replicas) {
+        const InferenceBatch& batch = batches[b];
+        const SampleBatch samples =
+            dataset.make_batch(batch.total_samples(), b);
+        WallTimer t;
+        (void)engine.run(samples);
+        const double service_s = t.seconds();
+        service_seconds[r] += service_s;
+        for (const Query& q : batch.queries) {
+          recorder.record(batch.dispatch_s - q.arrival_s + service_s);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  const double serve_wall_s = wall.seconds();
+  // Throughput counts only forward-pass time: the slowest replica's busy
+  // time bounds the fleet, and synthetic batch generation is a simulator
+  // artifact a real server would not pay.
+  const double busiest_replica_s =
+      *std::max_element(service_seconds.begin(), service_seconds.end());
+
+  LatencyRecorder merged;
+  for (const LatencyRecorder& r : recorders) merged.merge(r);
+
+  ServingReport report;
+  report.latency = merged.summary();
+  report.offered_qps = config_.load.qps;
+  report.achieved_qps =
+      busiest_replica_s > 0.0
+          ? static_cast<double>(queries.size()) / busiest_replica_s
+          : 0.0;
+  report.queries = queries.size();
+  report.batches = batches.size();
+  report.serve_wall_s = serve_wall_s;
+  report.sim_span_s = queries.empty() ? 0.0 : queries.back().arrival_s;
+
+  std::size_t samples = 0;
+  for (const InferenceBatch& b : batches) samples += b.total_samples();
+  report.samples = samples;
+  report.mean_batch_samples =
+      batches.empty() ? 0.0
+                      : static_cast<double>(samples) /
+                            static_cast<double>(batches.size());
+
+  double service_total = 0.0;
+  for (const double s : service_seconds) service_total += s;
+  report.mean_service_s =
+      batches.empty() ? 0.0
+                      : service_total / static_cast<double>(batches.size());
+
+  std::size_t in_bytes = 0;
+  std::size_t comp_bytes = 0;
+  for (const InferenceEngine& e : engines) {
+    report.max_lookup_error =
+        std::max(report.max_lookup_error, e.max_lookup_error());
+    in_bytes += e.lookup_input_bytes();
+    comp_bytes += e.lookup_compressed_bytes();
+  }
+  report.lookup_compression_ratio =
+      comp_bytes == 0 ? 0.0
+                      : static_cast<double>(in_bytes) /
+                            static_cast<double>(comp_bytes);
+  return report;
+}
+
+std::string format_serving_table(const ServingReport& exact,
+                                 const ServingReport& compressed) {
+  TablePrinter table({"path", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms",
+                      "mean ms", "achieved qps", "batch", "ratio",
+                      "max err"});
+  const auto row = [&](const char* name, const ServingReport& r) {
+    table.add_row({name, TablePrinter::num(r.latency.p50_s * 1e3, 3),
+                   TablePrinter::num(r.latency.p95_s * 1e3, 3),
+                   TablePrinter::num(r.latency.p99_s * 1e3, 3),
+                   TablePrinter::num(r.latency.p999_s * 1e3, 3),
+                   TablePrinter::num(r.latency.mean_s * 1e3, 3),
+                   TablePrinter::num(r.achieved_qps, 0),
+                   TablePrinter::num(r.mean_batch_samples, 1),
+                   r.lookup_compression_ratio > 0.0
+                       ? TablePrinter::num(r.lookup_compression_ratio, 2)
+                       : std::string("-"),
+                   r.lookup_compression_ratio > 0.0
+                       ? TablePrinter::num(r.max_lookup_error, 5)
+                       : std::string("-")});
+  };
+  row("exact", exact);
+  row("compressed", compressed);
+  return table.to_string();
+}
+
+}  // namespace dlcomp

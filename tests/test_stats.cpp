@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -82,6 +83,45 @@ TEST(Histogram, RenderProducesOneLinePerBin) {
   h.add(0.5);
   const std::string art = h.render(20);
   EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(Percentile, NearestRankKnownSample) {
+  // Canonical nearest-rank example: {15, 20, 35, 40, 50}.
+  const std::vector<float> v = {35.0f, 20.0f, 15.0f, 50.0f, 40.0f};  // unsorted
+  EXPECT_DOUBLE_EQ(percentile(v, 5.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 30.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 40.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 35.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 15.0);  // rank clamps to 1 => min
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const std::vector<float> one = {7.0f};
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 99.9), 7.0);
+}
+
+TEST(Percentile, TailRanksOnUniformGrid) {
+  // 1..1000: nearest rank of q% is exactly ceil(10*q).
+  std::vector<float> v(1000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(i + 1);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 500.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 95.0), 950.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 990.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.9), 999.0);
+}
+
+TEST(Percentile, SortedVariantMatchesAndRejectsBadQ) {
+  std::vector<float> v = {3.0f, 1.0f, 2.0f};
+  std::vector<float> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 33.0, 66.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, q), percentile_sorted(sorted, q));
+  }
+  EXPECT_THROW((void)percentile(v, -1.0), Error);
+  EXPECT_THROW((void)percentile(v, 100.5), Error);
 }
 
 TEST(Entropy, FrequencyVector) {

@@ -1,16 +1,19 @@
 // dlcomp command-line driver: compress/decompress float tensors on disk,
-// run the offline analysis on a synthetic workload, and inspect streams.
+// run the offline analysis on a synthetic workload, inspect streams, and
+// simulate online inference serving.
 //
 // Usage:
 //   dlcomp compress   <codec> <eb> <dim> <in.f32> <out.dlcp>
 //   dlcomp decompress <in.dlcp> <out.f32>
 //   dlcomp inspect    <in.dlcp>
 //   dlcomp analyze    <kaggle|terabyte> <plan-out.txt> [sampling-eb]
+//   dlcomp serve      [--pattern poisson|bursty|diurnal] [--qps N] ...
 //   dlcomp codecs
 //
 // <in.f32> is a raw little-endian float32 file (e.g. from numpy's
 // tofile()); <out.dlcp> is a self-describing dlcomp stream.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +25,7 @@
 #include "compress/registry.hpp"
 #include "core/offline_analyzer.hpp"
 #include "core/report_io.hpp"
+#include "serve/simulator.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
@@ -166,6 +170,100 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  ServingConfig config;
+  config.load.qps = 1000.0;
+  config.load.num_queries = 2000;
+  config.load.mean_query_size = 16;
+  config.load.max_query_size = 128;
+  config.scheduler.max_batch_samples = 256;
+  config.scheduler.max_delay_s = 0.002;
+  config.spec = DatasetSpec::small_training_proxy(26, 16);
+  std::string codec = "hybrid";
+  double eb = 0.01;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--pattern") {
+      config.load.pattern = parse_arrival_pattern(next());
+    } else if (flag == "--qps") {
+      config.load.qps = std::stod(next());
+    } else if (flag == "--queries") {
+      config.load.num_queries = std::stoul(next());
+    } else if (flag == "--query-size") {
+      config.load.mean_query_size = std::stoul(next());
+      config.load.max_query_size =
+          std::max(config.load.max_query_size, 8 * config.load.mean_query_size);
+    } else if (flag == "--max-batch") {
+      config.scheduler.max_batch_samples = std::stoul(next());
+    } else if (flag == "--max-delay-ms") {
+      config.scheduler.max_delay_s = std::stod(next()) * 1e-3;
+    } else if (flag == "--codec") {
+      codec = next();
+    } else if (flag == "--eb") {
+      eb = std::stod(next());
+    } else if (flag == "--dataset") {
+      const std::string which = next();
+      if (which == "kaggle") {
+        config.spec = DatasetSpec::criteo_kaggle_like(20000);
+      } else if (which == "terabyte") {
+        config.spec = DatasetSpec::criteo_terabyte_like(20000);
+      } else if (which == "small") {
+        config.spec = DatasetSpec::small_training_proxy(26, 16);
+      } else {
+        throw Error("unknown dataset: " + which +
+                    " (expected kaggle|terabyte|small)");
+      }
+    } else if (flag == "--replicas") {
+      config.replicas = static_cast<unsigned>(std::stoul(next()));
+    } else if (flag == "--seed") {
+      config.load.seed = std::stoull(next());
+      config.seed = config.load.seed;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: dlcomp serve [--pattern poisson|bursty|diurnal] [--qps N]\n"
+          "    [--queries N] [--query-size N] [--max-batch N]\n"
+          "    [--max-delay-ms X] [--codec NAME] [--eb X]\n"
+          "    [--dataset kaggle|terabyte|small] [--replicas N] [--seed N]\n");
+      return 2;
+    }
+  }
+
+  (void)get_compressor(codec);  // fail on unknown codecs before serving
+
+  std::printf(
+      "serving %s: %zu queries, pattern=%s, offered %.0f qps, "
+      "mean query size %zu, max batch %zu samples, max delay %.2f ms\n",
+      config.spec.name.c_str(), config.load.num_queries,
+      std::string(arrival_pattern_name(config.load.pattern)).c_str(),
+      config.load.qps, config.load.mean_query_size,
+      config.scheduler.max_batch_samples,
+      config.scheduler.max_delay_s * 1e3);
+
+  config.engine.codec.clear();
+  ServingReport exact = ServingSimulator(config).run();
+
+  config.engine.codec = codec;
+  config.engine.error_bound = eb;
+  ServingReport compressed = ServingSimulator(config).run();
+
+  std::printf("exact:      %s\n", format_latency(exact.latency).c_str());
+  std::printf("compressed: %s  (%s eb=%g)\n\n",
+              format_latency(compressed.latency).c_str(), codec.c_str(), eb);
+  std::printf("%s\n", format_serving_table(exact, compressed).c_str());
+  std::printf(
+      "achieved qps: exact %.0f, compressed %.0f (offered %.0f); "
+      "compressed max lookup error %.6g (bound %g)\n",
+      exact.achieved_qps, compressed.achieved_qps, exact.offered_qps,
+      compressed.max_lookup_error, eb);
+  return 0;
+}
+
 int cmd_codecs() {
   std::printf("registered codecs:\n");
   for (const auto name : all_compressor_names()) {
@@ -186,10 +284,12 @@ int main(int argc, char** argv) {
     if (command == "decompress") return cmd_decompress(argc, argv);
     if (command == "inspect") return cmd_inspect(argc, argv);
     if (command == "analyze") return cmd_analyze(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
     if (command == "codecs") return cmd_codecs();
     std::fprintf(stderr,
                  "dlcomp -- error-bounded compression for DLRM training\n"
-                 "commands: compress decompress inspect analyze codecs\n");
+                 "commands: compress decompress inspect analyze serve "
+                 "codecs\n");
     return command.empty() ? 2 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
