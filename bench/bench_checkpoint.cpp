@@ -1,0 +1,161 @@
+// Checkpoint size and throughput bench (beyond the paper: the same
+// per-table error-bounded codecs applied to at-rest model state).
+// Measures, against a lossless raw baseline:
+//   - checkpoint size, table compression ratio and save/load throughput
+//     for error-bounded codecs at several bounds,
+//   - delta vs full snapshot size over a training run (touched-row
+//     encoding exploits the Zipf query skew: most rows never move
+//     between saves).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "common/table_printer.hpp"
+#include "common/timer.hpp"
+#include "dlrm/model.hpp"
+#include "parallel/thread_pool.hpp"
+
+using namespace dlcomp;
+
+namespace {
+
+std::string bench_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "dlcomp_bench_ckpt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+double mbps(std::size_t bytes, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(bytes) / seconds / 1e6 : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("checkpoint size / throughput: lossless vs error-bounded",
+                "extension (Check-N-Run-style compressed checkpointing)");
+
+  const std::size_t tables = bench::scaled(16, 26);
+  const std::size_t dim = bench::scaled(16, 32);
+  const std::size_t train_steps = bench::scaled(20, 100);
+  const DatasetSpec spec = DatasetSpec::small_training_proxy(tables, dim);
+  const SyntheticClickDataset data(spec, 77);
+
+  DlrmModel model(spec, {}, 77);
+  for (std::size_t i = 0; i < train_steps; ++i) {
+    (void)model.train_step(data.make_batch(spec.default_batch, i));
+  }
+  std::size_t raw_table_bytes = 0;
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    raw_table_bytes += model.table(t).weights().size() * sizeof(float);
+  }
+  std::printf("model: %zu tables, dim %zu, %.1f MB of embedding state\n\n",
+              tables, dim, static_cast<double>(raw_table_bytes) / 1e6);
+
+  const std::string dir = bench_dir();
+  ThreadPool pool;
+
+  struct Config {
+    const char* label;
+    std::string codec;
+    double eb;
+  };
+  std::vector<Config> configs = {{"raw (lossless)", "", 0.0},
+                                 {"hybrid", "hybrid", 0.01},
+                                 {"hybrid", "hybrid", 0.05},
+                                 {"cusz-like", "cusz-like", 0.01},
+                                 {"cusz-like", "cusz-like", 0.05},
+                                 {"zfp-like", "zfp-like", 0.01}};
+
+  TablePrinter table({"codec", "eb", "file MB", "table CR", "save MB/s",
+                      "load MB/s", "max err"});
+  for (const auto& config : configs) {
+    CheckpointOptions options;
+    options.codec = config.codec;
+    options.global_eb = config.eb;
+    options.pool = &pool;
+    CheckpointWriter writer(options);
+    const std::string path = dir + "/bench.dlck";
+
+    WallTimer save_timer;
+    writer.save_full(path, make_model_state(model, train_steps, 77));
+    const double save_s = save_timer.seconds();
+
+    WallTimer load_timer;
+    const LoadedCheckpoint loaded = CheckpointReader(&pool).load(path);
+    const double load_s = load_timer.seconds();
+
+    double max_err = 0.0;
+    for (std::size_t t = 0; t < loaded.tables.size(); ++t) {
+      const auto live = model.table(t).weights().flat();
+      const auto& got = loaded.tables[t].values;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        max_err = std::max(max_err,
+                           static_cast<double>(std::abs(live[i] - got[i])));
+      }
+    }
+    const ContainerInfo info = inspect_checkpoint(path);
+    table.add_row(
+        {config.label, config.codec.empty() ? "-" : TablePrinter::num(config.eb, 3),
+         TablePrinter::num(static_cast<double>(info.file_bytes) / 1e6, 2),
+         TablePrinter::num(static_cast<double>(info.table_raw_bytes) /
+                               static_cast<double>(info.table_stored_bytes),
+                           2),
+         TablePrinter::num(mbps(raw_table_bytes, save_s), 1),
+         TablePrinter::num(mbps(raw_table_bytes, load_s), 1),
+         TablePrinter::num(max_err, 6)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // ---- Delta vs full snapshots across a training run.
+  std::printf("delta vs full snapshots (save every %zu steps, hybrid eb 0.01):\n",
+              bench::scaled(5ul, 20ul));
+  const std::size_t save_every = bench::scaled(5, 20);
+  const std::size_t legs = bench::scaled(4, 8);
+
+  CheckpointOptions options;
+  options.codec = "hybrid";
+  options.global_eb = 0.01;
+  options.pool = &pool;
+  CheckpointWriter writer(options);
+  DlrmModel delta_model(spec, {}, 99);
+
+  TablePrinter delta_table(
+      {"save", "kind", "file MB", "touched rows", "vs full"});
+  std::size_t step = 0;
+  std::size_t full_bytes = 0;
+  for (std::size_t leg = 0; leg <= legs; ++leg) {
+    if (leg > 0) {
+      for (std::size_t i = 0; i < save_every; ++i) {
+        (void)delta_model.train_step(data.make_batch(spec.default_batch, step++));
+      }
+    }
+    const std::string path = dir + "/leg" + std::to_string(leg) + ".dlck";
+    if (leg == 0) {
+      writer.save_full(path, make_model_state(delta_model, step, 99));
+    } else {
+      writer.save_delta(path, make_model_state(delta_model, step, 99));
+    }
+    const ContainerInfo info = inspect_checkpoint(path);
+    if (leg == 0) full_bytes = info.file_bytes;
+    delta_table.add_row(
+        {std::to_string(leg), leg == 0 ? "full" : "delta",
+         TablePrinter::num(static_cast<double>(info.file_bytes) / 1e6, 3),
+         leg == 0 ? "-" : std::to_string(info.delta_touched_rows),
+         TablePrinter::num(
+             100.0 * static_cast<double>(info.file_bytes) /
+                 static_cast<double>(full_bytes),
+             1) + "%"});
+  }
+  std::printf("%s\n", delta_table.to_string().c_str());
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -30,7 +30,7 @@ int main() {
   // 2. The batch scheduler trades latency for throughput: it coalesces
   //    queries until the batch is full or the oldest query's delay
   //    budget (here 2 ms) would be blown.
-  SchedulerConfig sched;
+  BatchSchedulerConfig sched;
   sched.max_batch_samples = 256;
   sched.max_delay_s = 0.002;
   const auto batches = BatchScheduler(sched).schedule(queries);

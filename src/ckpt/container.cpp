@@ -1,0 +1,120 @@
+#include "ckpt/container.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+std::size_t append_ckpt_header(std::vector<std::byte>& out,
+                               const CkptHeader& header) {
+  append_pod(out, kCkptMagic);
+  append_pod(out, kCkptVersion);
+  append_pod(out, static_cast<std::uint16_t>(header.kind));
+  append_pod(out, header.checkpoint_id);
+  append_pod(out, header.parent_id);
+  append_pod(out, header.iteration);
+  append_pod(out, header.seed);
+  const std::size_t field_offset = out.size();
+  append_pod(out, header.section_count);
+  return field_offset;
+}
+
+void patch_section_count(std::vector<std::byte>& out, std::size_t field_offset,
+                         std::uint32_t section_count) {
+  DLCOMP_CHECK(field_offset + sizeof(section_count) <= out.size());
+  std::memcpy(out.data() + field_offset, &section_count, sizeof(section_count));
+}
+
+CkptHeader parse_ckpt_header(ByteReader& reader) {
+  const auto magic = reader.read<std::uint32_t>();
+  if (magic != kCkptMagic) {
+    throw FormatError("bad checkpoint magic (not a .dlck container)");
+  }
+  const auto version = reader.read<std::uint16_t>();
+  if (version != kCkptVersion) {
+    throw FormatError("unsupported checkpoint version " +
+                      std::to_string(version) + " (expected " +
+                      std::to_string(kCkptVersion) + ")");
+  }
+  CkptHeader h;
+  const auto kind = reader.read<std::uint16_t>();
+  if (kind > static_cast<std::uint16_t>(CkptKind::kDelta)) {
+    throw FormatError("unknown checkpoint kind " + std::to_string(kind));
+  }
+  h.kind = static_cast<CkptKind>(kind);
+  h.checkpoint_id = reader.read<std::uint64_t>();
+  h.parent_id = reader.read<std::uint64_t>();
+  h.iteration = reader.read<std::uint64_t>();
+  h.seed = reader.read<std::uint64_t>();
+  h.section_count = reader.read<std::uint32_t>();
+  return h;
+}
+
+void append_section(std::vector<std::byte>& out, CkptSection type,
+                    std::uint32_t id, std::span<const std::byte> payload) {
+  append_pod(out, static_cast<std::uint8_t>(type));
+  append_pod(out, id);
+  append_pod(out, static_cast<std::uint64_t>(payload.size()));
+  append_pod(out, crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+SectionView read_section(ByteReader& reader) {
+  SectionView section;
+  const auto type = reader.read<std::uint8_t>();
+  if (type < static_cast<std::uint8_t>(CkptSection::kMeta) ||
+      type > static_cast<std::uint8_t>(CkptSection::kOptDelta)) {
+    throw FormatError("unknown checkpoint section type " + std::to_string(type));
+  }
+  section.type = static_cast<CkptSection>(type);
+  section.id = reader.read<std::uint32_t>();
+  const auto payload_bytes = reader.read<std::uint64_t>();
+  const auto stored_crc = reader.read<std::uint32_t>();
+  section.payload = reader.take(payload_bytes);
+  if (crc32(section.payload) != stored_crc) {
+    throw FormatError("checkpoint section CRC mismatch (type " +
+                      std::to_string(type) + ", id " +
+                      std::to_string(section.id) + ")");
+  }
+  return section;
+}
+
+void append_string(std::vector<std::byte>& out, std::string_view text) {
+  DLCOMP_CHECK_MSG(text.size() <= 0xFFFF,
+                   "string too long for checkpoint: " << text.size());
+  append_pod(out, static_cast<std::uint16_t>(text.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(text.data());
+  out.insert(out.end(), p, p + text.size());
+}
+
+std::string read_string(ByteReader& reader) {
+  const auto length = reader.read<std::uint16_t>();
+  const auto bytes = reader.take(length);
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+void write_container(const std::string& path, std::span<const std::byte> data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) throw Error("cannot open checkpoint for writing: " + path);
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size()));
+  if (!os.good()) throw Error("checkpoint write failed: " + path);
+}
+
+std::vector<std::byte> read_container(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw Error("cannot open checkpoint: " + path);
+  is.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(is.tellg());
+  is.seekg(0);
+  std::vector<std::byte> data(size);
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  if (!is.good()) throw Error("checkpoint read failed: " + path);
+  return data;
+}
+
+}  // namespace dlcomp

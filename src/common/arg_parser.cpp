@@ -1,0 +1,78 @@
+#include "common/arg_parser.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+ArgParser::ArgParser(int argc, char** argv, int first,
+                     std::initializer_list<std::string_view> value_flags,
+                     std::initializer_list<std::string_view> switches) {
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.emplace_back(arg);
+      continue;
+    }
+    if (std::find(switches.begin(), switches.end(), arg) != switches.end()) {
+      values_[std::string(arg)] = "";
+      continue;
+    }
+    if (std::find(value_flags.begin(), value_flags.end(), arg) ==
+        value_flags.end()) {
+      throw Error("unknown flag: " + std::string(arg));
+    }
+    if (i + 1 >= argc) {
+      throw Error("missing value for " + std::string(arg));
+    }
+    values_[std::string(arg)] = argv[++i];
+  }
+}
+
+bool ArgParser::has(std::string_view flag) const {
+  return values_.find(flag) != values_.end();
+}
+
+std::string ArgParser::str(std::string_view flag, std::string fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+double ArgParser::num(std::string_view flag, double fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw Error("bad number for " + std::string(flag) + ": " + it->second);
+  }
+}
+
+std::size_t ArgParser::uint(std::string_view flag, std::size_t fallback) const {
+  return static_cast<std::size_t>(u64(flag, fallback));
+}
+
+std::uint64_t ArgParser::u64(std::string_view flag,
+                             std::uint64_t fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  try {
+    // std::stoull accepts "-5" and wraps it to 2^64-5; reject explicitly.
+    if (it->second.find('-') != std::string::npos) {
+      throw std::invalid_argument("negative");
+    }
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw Error("bad integer for " + std::string(flag) + ": " + it->second);
+  }
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file arg_parser.hpp
+/// Minimal command-line parsing shared by the `dlcomp` subcommands, so
+/// each new subcommand stops hand-rolling its own flag loop. Grammar:
+/// `--flag value` for registered value flags, bare `--flag` for
+/// registered switches, anything else positional. Unknown flags and
+/// missing values throw Error; subcommands catch that, print their usage
+/// string and exit 2.
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlcomp {
+
+class ArgParser {
+ public:
+  /// Parses argv[first..argc). `value_flags` take one value each (last
+  /// occurrence wins); `switches` take none.
+  ArgParser(int argc, char** argv, int first,
+            std::initializer_list<std::string_view> value_flags,
+            std::initializer_list<std::string_view> switches = {});
+
+  /// True when the flag or switch appeared.
+  [[nodiscard]] bool has(std::string_view flag) const;
+
+  /// Value accessors with defaults; number parsing throws Error on
+  /// malformed input (naming the flag).
+  [[nodiscard]] std::string str(std::string_view flag,
+                                std::string fallback = "") const;
+  [[nodiscard]] double num(std::string_view flag, double fallback) const;
+  [[nodiscard]] std::size_t uint(std::string_view flag,
+                                 std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t u64(std::string_view flag,
+                                  std::uint64_t fallback) const;
+
+  /// Non-flag arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// Positional count convenience with bounds checking baked into at().
+  [[nodiscard]] const std::string& positional(std::size_t i) const {
+    return positionals_.at(i);
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+/// The checkpoint container stamps every section payload with a CRC so
+/// at-rest corruption is caught before any bytes reach a codec or a
+/// weight buffer.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dlcomp {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental update: feed `state` through successive chunks, starting
+/// from crc32_init() and finishing with crc32_final().
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+[[nodiscard]] inline std::uint32_t crc32_update(
+    std::uint32_t state, std::span<const std::byte> data) noexcept {
+  for (const std::byte b : data) {
+    state = detail::kCrc32Table[(state ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC of a whole buffer.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace dlcomp

@@ -6,10 +6,20 @@
 
 namespace dlcomp {
 
+namespace {
+
+/// Packs flag bits and the current format version into the wire byte.
+std::uint8_t versioned_flags(std::uint8_t flags) noexcept {
+  return static_cast<std::uint8_t>((flags & kFlagBitsMask) |
+                                   (kStreamVersion << 4));
+}
+
+}  // namespace
+
 std::size_t append_header(std::vector<std::byte>& out, const StreamHeader& h) {
   append_pod(out, StreamHeader::kMagic);
   append_pod(out, static_cast<std::uint8_t>(h.codec));
-  append_pod(out, h.flags);
+  append_pod(out, versioned_flags(h.flags));
   append_pod(out, h.vector_dim);
   append_pod(out, h.element_count);
   append_pod(out, h.effective_error_bound);
@@ -30,7 +40,7 @@ void patch_flags(std::vector<std::byte>& out, std::size_t field_offset,
   // payload_bytes(8); the flags byte sits 19 bytes before payload_bytes.
   constexpr std::size_t kFlagsBack = 2 + 8 + 8 + 1;
   DLCOMP_CHECK(field_offset >= kFlagsBack);
-  out[field_offset - kFlagsBack] = static_cast<std::byte>(flags);
+  out[field_offset - kFlagsBack] = static_cast<std::byte>(versioned_flags(flags));
 }
 
 StreamHeader parse_header(std::span<const std::byte> stream,
@@ -42,7 +52,14 @@ StreamHeader parse_header(std::span<const std::byte> stream,
   }
   StreamHeader h;
   h.codec = static_cast<CodecId>(reader.read<std::uint8_t>());
-  h.flags = reader.read<std::uint8_t>();
+  const std::uint8_t wire_flags = reader.read<std::uint8_t>();
+  const std::uint8_t version = wire_flags >> 4;
+  if (version != kStreamVersion) {
+    throw FormatError("unsupported stream format version " +
+                      std::to_string(version) + " (expected " +
+                      std::to_string(kStreamVersion) + ")");
+  }
+  h.flags = wire_flags & kFlagBitsMask;
   h.vector_dim = reader.read<std::uint16_t>();
   h.element_count = reader.read<std::uint64_t>();
   h.effective_error_bound = reader.read<double>();

@@ -7,6 +7,12 @@
 ///   u64 element_count | f64 effective_error_bound | u64 payload_bytes
 /// The payload follows immediately. `payload_bytes` lets chunked buffers
 /// carry several streams back-to-back.
+///
+/// The flags byte is split: the low nibble holds per-stream flag bits
+/// (kFlagStoredRaw, ...), the high nibble holds the format version.
+/// append_header stamps kStreamVersion automatically; parse_header
+/// rejects any other version, so layout changes can never be misread as
+/// garbage data.
 
 #include <cstddef>
 #include <cstdint>
@@ -59,6 +65,12 @@ void patch_flags(std::vector<std::byte>& out, std::size_t field_offset,
 /// Flag bit: payload is stored raw (no compression); used by the lossless
 /// baselines' stored-block fallback.
 inline constexpr std::uint8_t kFlagStoredRaw = 0x01;
+
+/// Low-nibble mask for flag bits; the high nibble is the format version.
+inline constexpr std::uint8_t kFlagBitsMask = 0x0F;
+
+/// Current stream format version, stored in the flags high nibble.
+inline constexpr std::uint8_t kStreamVersion = 1;
 
 /// Parses and validates a header at the start of `stream`; on return
 /// `payload` views exactly payload_bytes bytes after the header.

@@ -17,26 +17,40 @@ constexpr std::size_t kBlock = ZfpLikeCompressor::kBlockValues;
 /// Reversible integer Haar-style lifting over 4 coefficients. Sum/diff
 /// pairs grow the magnitude by at most 2 bits across both levels; the
 /// inverse is exact because s+d = 2a and s-d = 2b are always even.
+/// Sums and differences go through uint64 so corrupted streams carrying
+/// extreme coefficients wrap (two's complement) instead of hitting
+/// signed-overflow UB; valid streams never overflow, so results there
+/// are unchanged.
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) noexcept {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+std::int64_t wrap_sub(std::int64_t a, std::int64_t b) noexcept {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+
 void forward_lift(std::array<std::int64_t, kBlock>& v) noexcept {
-  const std::int64_t s0 = v[0] + v[1];
-  const std::int64_t d0 = v[0] - v[1];
-  const std::int64_t s1 = v[2] + v[3];
-  const std::int64_t d1 = v[2] - v[3];
-  v[0] = s0 + s1;  // low-pass
-  v[1] = s0 - s1;
+  const std::int64_t s0 = wrap_add(v[0], v[1]);
+  const std::int64_t d0 = wrap_sub(v[0], v[1]);
+  const std::int64_t s1 = wrap_add(v[2], v[3]);
+  const std::int64_t d1 = wrap_sub(v[2], v[3]);
+  v[0] = wrap_add(s0, s1);  // low-pass
+  v[1] = wrap_sub(s0, s1);
   v[2] = d0;
   v[3] = d1;
 }
 
 void inverse_lift(std::array<std::int64_t, kBlock>& v) noexcept {
-  const std::int64_t s0 = (v[0] + v[1]) / 2;
-  const std::int64_t s1 = (v[0] - v[1]) / 2;
+  const std::int64_t s0 = wrap_add(v[0], v[1]) / 2;
+  const std::int64_t s1 = wrap_sub(v[0], v[1]) / 2;
   const std::int64_t d0 = v[2];
   const std::int64_t d1 = v[3];
-  v[0] = (s0 + d0) / 2;
-  v[1] = (s0 - d0) / 2;
-  v[2] = (s1 + d1) / 2;
-  v[3] = (s1 - d1) / 2;
+  v[0] = wrap_add(s0, d0) / 2;
+  v[1] = wrap_sub(s0, d0) / 2;
+  v[2] = wrap_add(s1, d1) / 2;
+  v[3] = wrap_sub(s1, d1) / 2;
 }
 
 /// Width (bits) of the zigzag form of the widest value in a group.

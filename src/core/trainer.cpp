@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <thread>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "compress/registry.hpp"
@@ -138,40 +141,94 @@ TrainingResult HybridParallelTrainer::train(
     table_choice.assign(num_tables, HybridChoice::kAuto);
   }
 
-  // Shared state: embedding tables (owner-rank writes only) and the
-  // result aggregation slots.
+  // Shared state: embedding tables (owner-rank writes only), one
+  // optimizer per table (touched only by the owning rank, hoisted out of
+  // the rank lambda so checkpoints can cover every table's state), and
+  // the result aggregation slots.
   std::vector<EmbeddingTable> tables = make_embedding_set(spec, config_.seed);
+  std::vector<EmbeddingOptimizer> optimizers;
+  optimizers.reserve(num_tables);
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    optimizers.emplace_back(config_.model.embedding_optimizer,
+                            config_.model.learning_rate);
+  }
   ThreadPool codec_pool(std::min<unsigned>(4, std::thread::hardware_concurrency()));
 
+  const auto bdims = bottom_dims(spec, config_.model);
+  const auto tdims = top_dims(spec, config_.model);
+
+  // Identical initial MLP replicas for every rank (and the restore /
+  // snapshot target; ranks copy these).
+  Rng mlp_rng(config_.seed);
+  auto rng_b = mlp_rng.fork({0xB0});
+  auto rng_t = mlp_rng.fork({0x70});
+  Mlp init_bottom(bdims, rng_b);
+  Mlp init_top(tdims, rng_t);
+
+  // Points a ModelState at the shared training state.
+  const auto shared_state = [&](std::uint64_t iteration) {
+    ModelState state;
+    state.iteration = iteration;
+    state.seed = config_.seed;
+    state.bottom = &init_bottom;
+    state.top = &init_top;
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      state.tables.push_back(&tables[t].weights());
+      state.opt_state.push_back(&optimizers[t].accumulator());
+    }
+    state.opt_kind = config_.model.embedding_optimizer;
+    return state;
+  };
+
+  // ---- Resume: restore tables, optimizer state, MLPs and the iteration
+  // counter before the cluster starts.
+  std::size_t start_iter = 0;
+  if (!config_.checkpoint.resume_from.empty()) {
+    const LoadedCheckpoint loaded =
+        CheckpointReader(&codec_pool).load(config_.checkpoint.resume_from);
+    DLCOMP_CHECK_MSG(
+        loaded.opt_kind == config_.model.embedding_optimizer,
+        "checkpoint optimizer kind does not match the trainer config");
+    apply_model_state(loaded, shared_state(0));
+    start_iter = static_cast<std::size_t>(loaded.header.iteration);
+    DLCOMP_CHECK_MSG(start_iter <= config_.iterations,
+                     "checkpoint is at iteration "
+                         << start_iter << ", config trains only "
+                         << config_.iterations);
+  }
+
+  // ---- Periodic snapshotting (rank 0, inside a cluster barrier).
+  std::unique_ptr<CheckpointWriter> ckpt_writer;
+  if (!config_.checkpoint.directory.empty()) {
+    std::filesystem::create_directories(config_.checkpoint.directory);
+    CheckpointOptions options;
+    options.codec = config_.checkpoint.codec;
+    options.table_eb = config_.checkpoint.table_eb;
+    options.global_eb = config_.checkpoint.global_eb;
+    options.pool = &codec_pool;
+    ckpt_writer = std::make_unique<CheckpointWriter>(std::move(options));
+  }
+
   TrainingResult result;
+  result.start_iteration = start_iter;
   std::atomic<std::uint64_t> fwd_raw{0};
   std::atomic<std::uint64_t> fwd_wire{0};
   std::atomic<std::uint64_t> bwd_raw{0};
   std::atomic<std::uint64_t> bwd_wire{0};
-
-  const auto bdims = bottom_dims(spec, config_.model);
-  const auto tdims = top_dims(spec, config_.model);
 
   WallTimer wall;
   Cluster cluster(config_.world, config_.network);
   cluster.run([&](Communicator& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
 
-    // --- Per-rank setup: identical MLP replicas, table ownership map,
-    // one optimizer per owned table.
+    // --- Per-rank setup: identical MLP replicas (copies of the shared
+    // initial -- or restored -- state) and the table ownership map; the
+    // per-table optimizers live in shared scope, touched only by owners.
     RankState state;
-    {
-      Rng rng(config_.seed);
-      auto rng_b = rng.fork({0xB0});
-      auto rng_t = rng.fork({0x70});
-      state.bottom = std::make_unique<Mlp>(bdims, rng_b);
-      state.top = std::make_unique<Mlp>(tdims, rng_t);
-    }
-    std::map<std::size_t, EmbeddingOptimizer> optimizers;
+    state.bottom = std::make_unique<Mlp>(init_bottom);
+    state.top = std::make_unique<Mlp>(init_top);
     for (std::size_t t = rank; t < num_tables; t += world) {
       state.owned_tables.push_back(t);
-      optimizers.emplace(t, EmbeddingOptimizer(config_.model.embedding_optimizer,
-                                               config_.model.learning_rate));
     }
     // Ownership map for every rank (to size receives).
     std::vector<std::vector<std::size_t>> owned_by(world);
@@ -193,7 +250,7 @@ TrainingResult HybridParallelTrainer::train(
     Matrix local_dense(local_batch, spec.num_dense);
     std::vector<float> local_labels(local_batch);
 
-    for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    for (std::size_t iter = start_iter; iter < config_.iterations; ++iter) {
       const double eb_scale = scheduler.scale_at(iter);
 
       // Every rank regenerates the same global batch deterministically.
@@ -328,8 +385,8 @@ TrainingResult HybridParallelTrainer::train(
       std::size_t update_bytes = 0;
       const float lr_scale = 1.0f / static_cast<float>(world);
       for (const std::size_t t : state.owned_tables) {
-        optimizers.at(t).apply(tables[t], batch.indices[t], grad_assembled[t],
-                               lr_scale);
+        optimizers[t].apply(tables[t], batch.indices[t], grad_assembled[t],
+                            lr_scale);
         update_bytes += grad_assembled[t].size() * sizeof(float);
       }
       comm.advance_compute(phases::kEmbUpdate,
@@ -340,31 +397,53 @@ TrainingResult HybridParallelTrainer::train(
       state.bottom->sgd_step(config_.model.learning_rate);
       state.top->sgd_step(config_.model.learning_rate);
 
-      // ---- Bookkeeping (rank 0 records; all ranks barrier via eval).
+      // ---- Bookkeeping (rank 0 records/saves; all ranks barrier so the
+      // snapshot is a consistent cut of tables and optimizer state).
       const bool record =
           config_.record_every == 0 || iter % std::max<std::size_t>(config_.record_every, 1) == 0 ||
           iter + 1 == config_.iterations;
       const bool eval_now =
           config_.eval_every > 0 && (iter + 1) % config_.eval_every == 0;
-      if (record || eval_now) {
+      const bool save_now =
+          ckpt_writer != nullptr &&
+          ((config_.checkpoint.every > 0 &&
+            (iter + 1) % config_.checkpoint.every == 0) ||
+           iter + 1 == config_.iterations);
+      if (record || eval_now || save_now) {
         comm.barrier();  // quiesce table writes before rank 0 reads them
         if (rank == 0) {
-          IterationRecord rec;
-          rec.iter = iter;
-          rec.train_loss = loss.loss;
-          rec.train_accuracy = loss.accuracy;
-          rec.forward_cr = fwd_stats.compression_ratio();
-          rec.eb_scale = eb_scale;
-          if (eval_now) {
-            rec.eval_accuracy =
-                evaluate_full(*state.bottom, *state.top, tables, spec, dataset,
-                              std::min<std::size_t>(global_batch, 512),
-                              config_.eval_batches)
-                    .accuracy;
+          if (record || eval_now) {
+            IterationRecord rec;
+            rec.iter = iter;
+            rec.train_loss = loss.loss;
+            rec.train_accuracy = loss.accuracy;
+            rec.forward_cr = fwd_stats.compression_ratio();
+            rec.eb_scale = eb_scale;
+            if (eval_now) {
+              rec.eval_accuracy =
+                  evaluate_full(*state.bottom, *state.top, tables, spec,
+                                dataset,
+                                std::min<std::size_t>(global_batch, 512),
+                                config_.eval_batches)
+                      .accuracy;
+            }
+            result.history.push_back(rec);
           }
-          result.history.push_back(rec);
+          if (save_now) {
+            char name[32];
+            std::snprintf(name, sizeof(name), "ckpt_%06llu.dlck",
+                          static_cast<unsigned long long>(iter + 1));
+            const std::string path =
+                (std::filesystem::path(config_.checkpoint.directory) / name)
+                    .string();
+            ModelState snap = shared_state(iter + 1);
+            snap.bottom = state.bottom.get();  // rank 0's trained replicas
+            snap.top = state.top.get();
+            result.checkpoints_written.push_back(
+                ckpt_writer->save(path, snap, config_.checkpoint.full_every));
+          }
         }
-        comm.barrier();  // others wait for rank 0's eval before mutating
+        comm.barrier();  // others wait for rank 0's eval/save before mutating
       }
     }
 

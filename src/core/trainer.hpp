@@ -55,6 +55,37 @@ struct CompressionPolicy {
   double backward_relative_eb = 0.01;
 };
 
+/// Periodic snapshotting and resume (see src/ckpt/). Saving happens on
+/// rank 0 inside a cluster-wide barrier, so the persisted state is a
+/// consistent cut of all tables and MLP replicas.
+struct CheckpointPolicy {
+  /// Directory snapshots go to (created on demand); empty disables saving.
+  std::string directory;
+
+  /// Save every N completed iterations (a final save always happens when
+  /// saving is enabled); 0 means final-only.
+  std::size_t every = 0;
+
+  /// Every k-th save is a full snapshot, the rest are deltas against the
+  /// previous save (<= 1 means every save is full).
+  std::size_t full_every = 1;
+
+  /// Registry codec for embedding-table payloads; empty stores raw
+  /// float32 (bitwise-lossless, required for exact resume equivalence).
+  std::string codec;
+
+  /// Per-table absolute error bounds for the codec; empty means
+  /// `global_eb` everywhere. Typically AnalysisReport bounds.
+  std::vector<double> table_eb;
+  double global_eb = 0.01;
+
+  /// Path of a checkpoint (chain tail) to restore before training; empty
+  /// starts fresh. Restores tables, MLPs, optimizer state and the
+  /// iteration counter, so a lossless resume replays the uninterrupted
+  /// run exactly.
+  std::string resume_from;
+};
+
 struct TrainerConfig {
   int world = 4;
   /// Global batch size; 0 uses the dataset default. Must divide by world.
@@ -62,6 +93,7 @@ struct TrainerConfig {
   std::size_t iterations = 200;
   DlrmConfig model;
   CompressionPolicy compression;
+  CheckpointPolicy checkpoint;
 
   NetworkModel network;
   ComputeModel compute;
@@ -87,6 +119,13 @@ struct IterationRecord {
 struct TrainingResult {
   std::vector<IterationRecord> history;
   LossResult final_eval;
+
+  /// First iteration this run executed (> 0 after a resume); history
+  /// covers [start_iteration, iterations).
+  std::size_t start_iteration = 0;
+
+  /// Snapshot files written by this run, in save order.
+  std::vector<std::string> checkpoints_written;
 
   /// Simulated per-phase seconds, summed over iterations, from the
   /// slowest rank's clock.

@@ -70,6 +70,9 @@ class DlrmModel {
 
   [[nodiscard]] std::size_t num_tables() const noexcept { return tables_.size(); }
   [[nodiscard]] EmbeddingTable& table(std::size_t t) { return tables_.at(t); }
+  [[nodiscard]] EmbeddingOptimizer& optimizer(std::size_t t) {
+    return optimizers_.at(t);
+  }
   [[nodiscard]] const DatasetSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] Mlp& bottom_mlp() noexcept { return bottom_; }
   [[nodiscard]] Mlp& top_mlp() noexcept { return top_; }

@@ -28,6 +28,14 @@ class EmbeddingOptimizer {
   [[nodiscard]] EmbeddingOptimizerKind kind() const noexcept { return kind_; }
   [[nodiscard]] float learning_rate() const noexcept { return lr_; }
 
+  /// Adagrad accumulator (rows x dim once allocated; empty for SGD or
+  /// before the first update). Exposed so checkpoints can persist and
+  /// restore optimizer state exactly.
+  [[nodiscard]] Matrix& accumulator() noexcept { return accumulator_; }
+  [[nodiscard]] const Matrix& accumulator() const noexcept {
+    return accumulator_;
+  }
+
   /// Applies `grads` (batch x dim) at `indices` to the table, with each
   /// gradient row pre-multiplied by `grad_scale` (the distributed trainer
   /// passes 1/world so updates are global-batch means regardless of the

@@ -6,7 +6,7 @@
 
 namespace dlcomp {
 
-BatchScheduler::BatchScheduler(SchedulerConfig config) : config_(config) {
+BatchScheduler::BatchScheduler(BatchSchedulerConfig config) : config_(config) {
   DLCOMP_CHECK(config_.max_batch_samples > 0);
   DLCOMP_CHECK(config_.max_delay_s >= 0.0);
 }

@@ -19,7 +19,7 @@
 
 namespace dlcomp {
 
-struct SchedulerConfig {
+struct BatchSchedulerConfig {
   /// Flush once a batch holds this many samples (single queries larger
   /// than the budget become their own oversized batch).
   std::size_t max_batch_samples = 256;
@@ -44,9 +44,9 @@ struct InferenceBatch {
 class BatchScheduler {
  public:
   /// Validates the config (throws Error on zero budgets).
-  explicit BatchScheduler(SchedulerConfig config);
+  explicit BatchScheduler(BatchSchedulerConfig config);
 
-  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+  [[nodiscard]] const BatchSchedulerConfig& config() const noexcept {
     return config_;
   }
 
@@ -56,7 +56,7 @@ class BatchScheduler {
       std::span<const Query> queries) const;
 
  private:
-  SchedulerConfig config_;
+  BatchSchedulerConfig config_;
 };
 
 }  // namespace dlcomp

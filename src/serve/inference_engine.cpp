@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/error.hpp"
 #include "compress/registry.hpp"
 
@@ -13,6 +14,9 @@ InferenceEngine::InferenceEngine(const DatasetSpec& spec,
                                  const DlrmConfig& model_config,
                                  EngineConfig config, std::uint64_t seed)
     : config_(std::move(config)), model_(spec, model_config, seed) {
+  if (!config_.checkpoint_path.empty()) {
+    load_checkpoint_into(model_, config_.checkpoint_path);
+  }
   if (!config_.codec.empty()) {
     codec_ = &get_compressor(config_.codec);
     params_.error_bound = config_.error_bound;

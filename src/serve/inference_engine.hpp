@@ -31,12 +31,19 @@ struct EngineConfig {
   double error_bound = 0.01;
   /// Vector-LZ window, forwarded to CompressParams.
   std::size_t lz_window_vectors = 128;
+  /// Checkpoint file (`.dlck`, chain tail allowed) to load trained model
+  /// weights from; empty serves the seed-initialized model. Shapes must
+  /// match the engine's DatasetSpec/DlrmConfig.
+  std::string checkpoint_path;
 };
 
 class InferenceEngine {
  public:
   /// Builds the model (weights deterministic in `seed`, so every replica
-  /// constructed with the same arguments scores identically).
+  /// constructed with the same arguments scores identically). When
+  /// `config.checkpoint_path` is set the initial weights are replaced by
+  /// the checkpoint's (delta chains are replayed), so a fleet serves the
+  /// trained model a HybridParallelTrainer persisted.
   InferenceEngine(const DatasetSpec& spec, const DlrmConfig& model_config,
                   EngineConfig config, std::uint64_t seed);
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/error.hpp"
 #include "common/table_printer.hpp"
 #include "common/timer.hpp"
@@ -39,11 +40,23 @@ ServingReport ServingSimulator::run() {
 
   // One engine replica per worker; identical weights (same seed), private
   // forward caches, so the fleet scores concurrently without locking.
+  // A checkpoint is read and chain-replayed once here, then applied to
+  // every replica, instead of once per engine constructor.
+  EngineConfig engine_config = config_.engine;
+  engine_config.checkpoint_path.clear();
   std::vector<InferenceEngine> engines;
   engines.reserve(replicas);
   for (unsigned r = 0; r < replicas; ++r) {
-    engines.emplace_back(config_.spec, config_.model, config_.engine,
+    engines.emplace_back(config_.spec, config_.model, engine_config,
                          config_.seed);
+  }
+  if (!config_.engine.checkpoint_path.empty()) {
+    ThreadPool decode_pool;
+    const LoadedCheckpoint loaded =
+        CheckpointReader(&decode_pool).load(config_.engine.checkpoint_path);
+    for (InferenceEngine& engine : engines) {
+      apply_model_state(loaded, make_model_state(engine.model()));
+    }
   }
 
   std::vector<LatencyRecorder> recorders(replicas);

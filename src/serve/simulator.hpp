@@ -28,7 +28,7 @@ namespace dlcomp {
 
 struct ServingConfig {
   LoadGenConfig load;
-  SchedulerConfig scheduler;
+  BatchSchedulerConfig scheduler;
   EngineConfig engine;
   /// Workload shapes (tables, dims) the engines serve.
   DatasetSpec spec;

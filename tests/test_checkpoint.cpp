@@ -1,0 +1,601 @@
+// Checkpoint subsystem tests: the round-trip guarantees the container
+// must uphold -- (a) lossless snapshots restore bitwise-identical state,
+// (b) lossy snapshots respect every table's error bound, (c) full+delta
+// chain replay matches a fresh full snapshot, (d) resuming training from
+// a lossless checkpoint replays the uninterrupted loss history, and (e)
+// serving from a lossless checkpoint reproduces in-memory predictions --
+// plus corruption robustness of the parser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+#include "serve/inference_engine.hpp"
+
+namespace dlcomp {
+namespace {
+
+std::string test_dir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("dlcomp_ckpt_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+double max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        static_cast<double>(std::fabs(a[i] - b[i])));
+  }
+  return max_diff;
+}
+
+DatasetSpec proxy_spec(std::size_t tables = 6, std::size_t dim = 8) {
+  return DatasetSpec::small_training_proxy(tables, dim);
+}
+
+/// A model with non-trivial weights: a few real training steps.
+DlrmModel trained_model(const DatasetSpec& spec,
+                        const SyntheticClickDataset& data,
+                        std::size_t steps, std::uint64_t seed,
+                        DlrmConfig config = {}) {
+  DlrmModel model(spec, config, seed);
+  for (std::size_t i = 0; i < steps; ++i) {
+    (void)model.train_step(data.make_batch(64, i));
+  }
+  return model;
+}
+
+TEST(Checkpoint, LosslessRoundTripIsBitwise) {
+  const DatasetSpec spec = proxy_spec();
+  const SyntheticClickDataset data(spec, 3);
+  DlrmModel model = trained_model(spec, data, 8, 17);
+
+  const std::string dir = test_dir("lossless");
+  const std::string path = dir + "/full.dlck";
+  CheckpointWriter writer({});  // no codec: raw float32
+  writer.save_full(path, make_model_state(model, 8, 17));
+
+  DlrmModel restored(spec, {}, 99);  // different seed: different weights
+  load_checkpoint_into(restored, path);
+
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    EXPECT_EQ(max_abs_diff(model.table(t).weights().flat(),
+                           restored.table(t).weights().flat()),
+              0.0)
+        << "table " << t;
+  }
+  const auto views_a = model.bottom_mlp().param_views();
+  const auto views_b = restored.bottom_mlp().param_views();
+  ASSERT_EQ(views_a.size(), views_b.size());
+  for (std::size_t v = 0; v < views_a.size(); ++v) {
+    EXPECT_EQ(max_abs_diff(views_a[v], views_b[v]), 0.0);
+  }
+}
+
+TEST(Checkpoint, LossyRoundTripWithinBoundEveryRow) {
+  const DatasetSpec spec = proxy_spec(6, 16);
+  const SyntheticClickDataset data(spec, 4);
+  DlrmModel model = trained_model(spec, data, 6, 21);
+  const std::string dir = test_dir("lossy");
+
+  for (const char* codec : {"hybrid", "cusz-like"}) {
+    for (const double eb : {0.005, 0.03}) {
+      CheckpointOptions options;
+      options.codec = codec;
+      options.global_eb = eb;
+      ThreadPool pool(4);
+      options.pool = &pool;
+      CheckpointWriter writer(options);
+      const std::string path =
+          dir + "/" + codec + "_" + std::to_string(eb) + ".dlck";
+      writer.save_full(path, make_model_state(model));
+
+      const LoadedCheckpoint loaded = CheckpointReader(&pool).load(path);
+      ASSERT_EQ(loaded.tables.size(), model.num_tables());
+      for (std::size_t t = 0; t < loaded.tables.size(); ++t) {
+        EXPECT_TRUE(loaded.tables[t].lossy);
+        EXPECT_LE(max_abs_diff(model.table(t).weights().flat(),
+                               loaded.tables[t].values),
+                  eb + 1e-12)
+            << codec << " eb=" << eb << " table " << t;
+      }
+      // MLP parameters stay exact regardless of the table codec.
+      DlrmModel restored(spec, {}, 1);
+      load_checkpoint_into(restored, path);
+      const auto views_a = model.top_mlp().param_views();
+      const auto views_b = restored.top_mlp().param_views();
+      for (std::size_t v = 0; v < views_a.size(); ++v) {
+        EXPECT_EQ(max_abs_diff(views_a[v], views_b[v]), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, PerTableBoundsApplied) {
+  const DatasetSpec spec = proxy_spec(4, 8);
+  const SyntheticClickDataset data(spec, 5);
+  DlrmModel model = trained_model(spec, data, 5, 23);
+
+  CheckpointOptions options;
+  options.codec = "hybrid";
+  options.table_eb = {0.002, 0.01, 0.05, 0.1};
+  CheckpointWriter writer(options);
+  const std::string path = test_dir("pertable") + "/full.dlck";
+  writer.save_full(path, make_model_state(model));
+
+  const LoadedCheckpoint loaded = CheckpointReader().load(path);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(loaded.tables[t].error_bound, options.table_eb[t]);
+    EXPECT_LE(max_abs_diff(model.table(t).weights().flat(),
+                           loaded.tables[t].values),
+              options.table_eb[t] + 1e-12)
+        << "table " << t;
+  }
+}
+
+TEST(Checkpoint, OptionsFromPolicyAndPlan) {
+  // The trainer's wire-compression policy and the offline analyzer's
+  // plan both translate into at-rest options with per-table bounds.
+  CompressionPolicy policy;
+  policy.codec = "cusz-like";
+  policy.table_eb = {0.01, 0.02, 0.03};
+  policy.global_eb = 0.5;
+  policy.table_choice = {HybridChoice::kVectorLz, HybridChoice::kHuffman,
+                         HybridChoice::kAuto};
+  const CheckpointOptions from_policy = checkpoint_options_from(policy);
+  EXPECT_EQ(from_policy.codec, "cusz-like");
+  EXPECT_EQ(from_policy.table_eb, policy.table_eb);
+  EXPECT_DOUBLE_EQ(from_policy.global_eb, 0.5);
+  EXPECT_EQ(from_policy.table_choice, policy.table_choice);
+
+  CompressionPlan plan;
+  for (std::size_t t = 0; t < 3; ++t) {
+    CompressionPlan::Table table;
+    table.table_id = t;
+    table.error_bound = 0.01 * static_cast<double>(t + 1);
+    table.choice = HybridChoice::kHuffman;
+    plan.tables.push_back(table);
+  }
+  const CheckpointOptions from_plan = checkpoint_options_from(plan);
+  EXPECT_EQ(from_plan.codec, "hybrid");
+  EXPECT_EQ(from_plan.table_eb, (std::vector<double>{0.01, 0.02, 0.03}));
+  EXPECT_EQ(from_plan.table_choice,
+            (std::vector<HybridChoice>(3, HybridChoice::kHuffman)));
+
+  // And the translated options actually drive a snapshot: per-table
+  // bounds land in the container.
+  const DatasetSpec spec = proxy_spec(3, 8);
+  const SyntheticClickDataset data(spec, 2);
+  DlrmModel model = trained_model(spec, data, 4, 11);
+  CheckpointWriter writer(from_policy);
+  const std::string path = test_dir("from_policy") + "/full.dlck";
+  writer.save_full(path, make_model_state(model));
+  const LoadedCheckpoint loaded = CheckpointReader().load(path);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(loaded.tables[t].error_bound, policy.table_eb[t]);
+    EXPECT_LE(max_abs_diff(model.table(t).weights().flat(),
+                           loaded.tables[t].values),
+              policy.table_eb[t] + 1e-12);
+  }
+}
+
+TEST(Checkpoint, LosslessDeltaChainIsBitwise) {
+  const DatasetSpec spec = proxy_spec();
+  const SyntheticClickDataset data(spec, 6);
+  DlrmModel model(spec, {}, 31);
+  const std::string dir = test_dir("delta_lossless");
+
+  CheckpointWriter writer({});
+  for (std::size_t i = 0; i < 3; ++i) (void)model.train_step(data.make_batch(64, i));
+  writer.save_full(dir + "/c0.dlck", make_model_state(model, 3));
+  for (std::size_t i = 3; i < 6; ++i) (void)model.train_step(data.make_batch(64, i));
+  writer.save_delta(dir + "/c1.dlck", make_model_state(model, 6));
+  for (std::size_t i = 6; i < 9; ++i) (void)model.train_step(data.make_batch(64, i));
+  writer.save_delta(dir + "/c2.dlck", make_model_state(model, 9));
+
+  const LoadedCheckpoint loaded = CheckpointReader().load(dir + "/c2.dlck");
+  EXPECT_EQ(loaded.chain_length, 3u);
+  EXPECT_EQ(loaded.header.iteration, 9u);
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    EXPECT_EQ(max_abs_diff(model.table(t).weights().flat(),
+                           loaded.tables[t].values),
+              0.0)
+        << "table " << t;
+  }
+}
+
+TEST(Checkpoint, LossyDeltaChainStaysWithinBound) {
+  // (c): replaying full + deltas must match the live model within the
+  // same bound a fresh full snapshot guarantees -- error must not
+  // accumulate across the chain.
+  const DatasetSpec spec = proxy_spec(6, 16);
+  const SyntheticClickDataset data(spec, 7);
+  DlrmModel model(spec, {}, 37);
+  const std::string dir = test_dir("delta_lossy");
+  const double eb = 0.01;
+
+  CheckpointOptions options;
+  options.codec = "hybrid";
+  options.global_eb = eb;
+  CheckpointWriter writer(options);
+
+  std::size_t step = 0;
+  auto advance = [&](std::size_t steps) {
+    for (std::size_t i = 0; i < steps; ++i) {
+      (void)model.train_step(data.make_batch(64, step++));
+    }
+  };
+
+  advance(3);
+  writer.save_full(dir + "/c0.dlck", make_model_state(model, step));
+  std::vector<std::string> chain;
+  for (int d = 0; d < 4; ++d) {
+    advance(2);
+    const std::string path = dir + "/d" + std::to_string(d) + ".dlck";
+    writer.save_delta(path, make_model_state(model, step));
+    chain.push_back(path);
+  }
+
+  // Fresh full snapshot of the same live state, for comparison.
+  CheckpointWriter fresh_writer(options);
+  fresh_writer.save_full(dir + "/fresh.dlck", make_model_state(model, step));
+
+  const LoadedCheckpoint replayed = CheckpointReader().load(chain.back());
+  const LoadedCheckpoint fresh = CheckpointReader().load(dir + "/fresh.dlck");
+  EXPECT_EQ(replayed.chain_length, 5u);
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    const auto live = model.table(t).weights().flat();
+    EXPECT_LE(max_abs_diff(live, replayed.tables[t].values), eb + 1e-12)
+        << "chain table " << t;
+    EXPECT_LE(max_abs_diff(live, fresh.tables[t].values), eb + 1e-12)
+        << "fresh table " << t;
+    // Chain replay and fresh snapshot agree within the two bounds.
+    EXPECT_LE(max_abs_diff(replayed.tables[t].values, fresh.tables[t].values),
+              2 * eb + 1e-12)
+        << "table " << t;
+  }
+}
+
+TEST(Checkpoint, DeltaTouchesOnlyMovedRows) {
+  const DatasetSpec spec = proxy_spec(4, 8);
+  const SyntheticClickDataset data(spec, 8);
+  DlrmModel model(spec, {}, 41);
+  const std::string dir = test_dir("delta_sparse");
+
+  CheckpointWriter writer({});
+  writer.save_full(dir + "/c0.dlck", make_model_state(model, 0));
+  // One small batch touches only the sampled rows of each table.
+  (void)model.train_step(data.make_batch(16, 0));
+  writer.save_delta(dir + "/c1.dlck", make_model_state(model, 1));
+
+  const ContainerInfo full = inspect_checkpoint(dir + "/c0.dlck");
+  const ContainerInfo delta = inspect_checkpoint(dir + "/c1.dlck");
+  EXPECT_EQ(full.header.kind, CkptKind::kFull);
+  EXPECT_EQ(delta.header.kind, CkptKind::kDelta);
+
+  std::size_t total_rows = 0;
+  for (const auto& table : spec.tables) total_rows += table.cardinality;
+  EXPECT_GT(delta.delta_touched_rows, 0u);
+  // A 16-sample batch can touch at most 16 rows per table.
+  EXPECT_LE(delta.delta_touched_rows, 16 * spec.num_tables());
+  EXPECT_LT(delta.delta_touched_rows, total_rows);
+  EXPECT_LT(delta.file_bytes, full.file_bytes);
+}
+
+TEST(Checkpoint, AdagradStateRestoredExactly) {
+  const DatasetSpec spec = proxy_spec(3, 8);
+  const SyntheticClickDataset data(spec, 9);
+  DlrmConfig config;
+  config.embedding_optimizer = EmbeddingOptimizerKind::kAdagrad;
+  DlrmModel model = trained_model(spec, data, 6, 43, config);
+
+  const std::string path = test_dir("adagrad") + "/full.dlck";
+  CheckpointWriter writer({});
+  writer.save_full(path, make_model_state(model, 6, 43));
+
+  DlrmModel restored(spec, config, 99);
+  load_checkpoint_into(restored, path);
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    const Matrix& a = model.optimizer(t).accumulator();
+    const Matrix& b = restored.optimizer(t).accumulator();
+    ASSERT_EQ(a.rows(), b.rows()) << "table " << t;
+    EXPECT_EQ(max_abs_diff(a.flat(), b.flat()), 0.0) << "table " << t;
+  }
+
+  // Both models take the same next step and land on identical losses.
+  const SampleBatch next = data.make_batch(64, 100);
+  EXPECT_DOUBLE_EQ(model.train_step(next).loss,
+                   restored.train_step(next).loss);
+}
+
+TEST(Checkpoint, ResumeMatchesUninterruptedLossHistory) {
+  // (d): save at iteration 10 of 16, resume in a fresh trainer, and the
+  // post-resume loss history must equal the uninterrupted run's exactly.
+  const DatasetSpec spec = proxy_spec();
+  const SyntheticClickDataset data(spec, 10);
+
+  TrainerConfig config;
+  config.world = 2;
+  config.global_batch = 64;
+  config.iterations = 16;
+  config.model.bottom_hidden = {16};
+  config.model.top_hidden = {16};
+  config.model.learning_rate = 0.05f;
+  config.record_every = 1;
+  config.seed = 9;
+
+  const TrainingResult uninterrupted =
+      HybridParallelTrainer(config).train(data);
+
+  const std::string dir = test_dir("resume");
+  TrainerConfig save_config = config;
+  save_config.checkpoint.directory = dir;
+  save_config.checkpoint.every = 5;
+  const TrainingResult first_leg =
+      HybridParallelTrainer(save_config).train(data);
+  ASSERT_GE(first_leg.checkpoints_written.size(), 2u);
+  EXPECT_EQ(first_leg.checkpoints_written[1], dir + "/ckpt_000010.dlck");
+
+  TrainerConfig resume_config = config;
+  resume_config.checkpoint.resume_from = first_leg.checkpoints_written[1];
+  const TrainingResult resumed =
+      HybridParallelTrainer(resume_config).train(data);
+  EXPECT_EQ(resumed.start_iteration, 10u);
+  ASSERT_EQ(resumed.history.size(), 6u);
+
+  // Compare iterations 10..15 against the uninterrupted run.
+  ASSERT_EQ(uninterrupted.history.size(), config.iterations);
+  for (const IterationRecord& rec : resumed.history) {
+    const IterationRecord& ref = uninterrupted.history.at(rec.iter);
+    ASSERT_EQ(ref.iter, rec.iter);
+    EXPECT_DOUBLE_EQ(rec.train_loss, ref.train_loss) << "iter " << rec.iter;
+    EXPECT_DOUBLE_EQ(rec.train_accuracy, ref.train_accuracy);
+  }
+  EXPECT_DOUBLE_EQ(resumed.final_eval.loss, uninterrupted.final_eval.loss);
+}
+
+TEST(Checkpoint, ResumeFromDeltaChainMatchesToo) {
+  const DatasetSpec spec = proxy_spec();
+  const SyntheticClickDataset data(spec, 11);
+
+  TrainerConfig config;
+  config.world = 2;
+  config.global_batch = 64;
+  config.iterations = 12;
+  config.model.bottom_hidden = {16};
+  config.model.top_hidden = {16};
+  config.record_every = 1;
+  config.seed = 13;
+  config.model.embedding_optimizer = EmbeddingOptimizerKind::kAdagrad;
+
+  const TrainingResult uninterrupted =
+      HybridParallelTrainer(config).train(data);
+
+  const std::string dir = test_dir("resume_delta");
+  TrainerConfig save_config = config;
+  save_config.checkpoint.directory = dir;
+  save_config.checkpoint.every = 4;
+  save_config.checkpoint.full_every = 4;  // full at 4, deltas after
+  const TrainingResult first_leg =
+      HybridParallelTrainer(save_config).train(data);
+  ASSERT_GE(first_leg.checkpoints_written.size(), 2u);
+  const std::string delta_path = first_leg.checkpoints_written[1];
+  EXPECT_EQ(inspect_checkpoint(delta_path).header.kind, CkptKind::kDelta);
+
+  TrainerConfig resume_config = config;
+  resume_config.checkpoint.resume_from = delta_path;
+  const TrainingResult resumed =
+      HybridParallelTrainer(resume_config).train(data);
+  EXPECT_EQ(resumed.start_iteration, 8u);
+  for (const IterationRecord& rec : resumed.history) {
+    EXPECT_DOUBLE_EQ(rec.train_loss,
+                     uninterrupted.history.at(rec.iter).train_loss)
+        << "iter " << rec.iter;
+  }
+}
+
+TEST(Checkpoint, ServingFromLosslessCheckpointMatchesInMemory) {
+  // (e): an engine loaded from a checkpoint scores exactly like the
+  // in-memory model the checkpoint was taken from.
+  const DatasetSpec spec = proxy_spec(5, 8);
+  const SyntheticClickDataset data(spec, 12);
+
+  InferenceEngine live(spec, {}, {}, 55);
+  for (std::size_t i = 0; i < 10; ++i) {
+    (void)live.model().train_step(data.make_batch(64, i));
+  }
+  const std::string path = test_dir("serve") + "/model.dlck";
+  CheckpointWriter writer({});
+  writer.save_full(path, make_model_state(live.model(), 10, 55));
+
+  EngineConfig engine_config;
+  engine_config.checkpoint_path = path;
+  InferenceEngine from_ckpt(spec, {}, engine_config, 777);
+
+  const SampleBatch batch = data.make_eval_batch(64, 0);
+  const std::vector<float> expect = live.run(batch);
+  const std::vector<float> got = from_ckpt.run(batch);
+  ASSERT_EQ(expect.size(), got.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(expect[i], got[i]) << "sample " << i;
+  }
+}
+
+TEST(Checkpoint, CorruptionIsDetected) {
+  const DatasetSpec spec = proxy_spec(3, 8);
+  const SyntheticClickDataset data(spec, 13);
+  DlrmModel model = trained_model(spec, data, 3, 61);
+  const std::string dir = test_dir("corrupt");
+  const std::string path = dir + "/full.dlck";
+  CheckpointWriter writer({});
+  writer.save_full(path, make_model_state(model));
+
+  const auto original = read_container(path);
+
+  // Bad magic.
+  {
+    auto bad = original;
+    bad[0] ^= std::byte{0xFF};
+    write_container(dir + "/bad.dlck", bad);
+    EXPECT_THROW((void)CheckpointReader().load(dir + "/bad.dlck"),
+                 FormatError);
+  }
+  // Wrong container version (u16 at offset 4).
+  {
+    auto bad = original;
+    bad[4] = std::byte{0x7F};
+    write_container(dir + "/bad.dlck", bad);
+    EXPECT_THROW((void)CheckpointReader().load(dir + "/bad.dlck"),
+                 FormatError);
+  }
+  // Payload bit flips anywhere must be caught by a section CRC (or the
+  // framing checks, for damage to section headers).
+  for (const std::size_t pos :
+       {std::size_t{60}, original.size() / 2, original.size() - 3}) {
+    auto bad = original;
+    bad[pos] ^= std::byte{0x10};
+    write_container(dir + "/bad.dlck", bad);
+    EXPECT_THROW((void)CheckpointReader().load(dir + "/bad.dlck"),
+                 FormatError)
+        << "flip at " << pos;
+  }
+  // Truncations anywhere must fail cleanly.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{10}, original.size() / 3,
+        original.size() - 1}) {
+    auto cut = original;
+    cut.resize(keep);
+    write_container(dir + "/cut.dlck", cut);
+    EXPECT_THROW((void)CheckpointReader().load(dir + "/cut.dlck"),
+                 FormatError)
+        << "kept " << keep;
+  }
+}
+
+TEST(Checkpoint, CraftedDeltaCountsRejected) {
+  // CRC protects against corruption, not crafted files: a delta section
+  // claiming touched > rows (chosen so touched * dim wraps to 0 and
+  // would defeat every size check) must be rejected, not replayed.
+  const DatasetSpec spec = proxy_spec(3, 8);
+  DlrmModel model(spec, {}, 83);
+  const std::string dir = test_dir("crafted");
+  CheckpointWriter writer({});
+  writer.save_full(dir + "/c0.dlck", make_model_state(model, 0));
+  const std::uint64_t parent_id =
+      inspect_checkpoint(dir + "/c0.dlck").header.checkpoint_id;
+
+  std::vector<std::byte> out;
+  CkptHeader header;
+  header.kind = CkptKind::kDelta;
+  header.checkpoint_id = 1;
+  header.parent_id = parent_id;
+  header.iteration = 1;
+  const std::size_t count_at = append_ckpt_header(out, header);
+
+  std::vector<std::byte> meta;
+  append_string(meta, "");                             // codec: raw
+  append_pod(meta, std::uint8_t{0});                   // opt kind
+  append_string(meta, "c0.dlck");                      // parent
+  append_pod(meta, std::uint32_t{3});                  // num tables
+  append_section(out, CkptSection::kMeta, 0, meta);
+
+  std::vector<std::byte> empty_mlp;
+  append_pod(empty_mlp, std::uint32_t{0});             // zero param views
+  append_section(out, CkptSection::kMlpBottom, 0, empty_mlp);
+  append_section(out, CkptSection::kMlpTop, 0, empty_mlp);
+
+  for (std::uint32_t t = 0; t < 3; ++t) {
+    const std::size_t rows = model.table(t).rows();
+    std::vector<std::byte> payload;
+    append_pod(payload, static_cast<std::uint64_t>(rows));
+    append_pod(payload, std::uint32_t{8});             // dim (2^3)
+    append_pod(payload, std::uint8_t{0});              // raw storage
+    append_pod(payload, 0.0);                          // eb
+    // touched * dim = 2^61 * 8 wraps to 0 in 64 bits.
+    append_pod(payload, std::uint64_t{1} << 61);
+    std::vector<std::byte> bitmap((rows + 7) / 8, std::byte{0});
+    bitmap[0] = std::byte{1};                          // one row "touched"
+    payload.insert(payload.end(), bitmap.begin(), bitmap.end());
+    append_pod(payload, std::uint64_t{0});             // empty row payload
+    append_section(out, CkptSection::kTableDelta, t, payload);
+  }
+  patch_section_count(out, count_at, 6);
+  write_container(dir + "/crafted.dlck", out);
+
+  EXPECT_THROW((void)CheckpointReader().load(dir + "/crafted.dlck"),
+               FormatError);
+}
+
+TEST(Checkpoint, DeltaWithoutBaselineThrows) {
+  const DatasetSpec spec = proxy_spec(3, 8);
+  DlrmModel model(spec, {}, 5);
+  CheckpointWriter writer({});
+  EXPECT_THROW(
+      writer.save_delta(test_dir("nobase") + "/d.dlck",
+                        make_model_state(model)),
+      Error);
+}
+
+TEST(Checkpoint, ShapeMismatchOnApplyThrows) {
+  const DatasetSpec spec = proxy_spec(4, 8);
+  const SyntheticClickDataset data(spec, 14);
+  DlrmModel model(spec, {}, 71);
+  const std::string path = test_dir("shape") + "/full.dlck";
+  CheckpointWriter writer({});
+  writer.save_full(path, make_model_state(model));
+
+  DlrmModel fewer_tables(proxy_spec(3, 8), {}, 71);
+  EXPECT_THROW(load_checkpoint_into(fewer_tables, path), Error);
+
+  DlrmModel wrong_dim(proxy_spec(4, 16), {}, 71);
+  EXPECT_THROW(load_checkpoint_into(wrong_dim, path), Error);
+}
+
+TEST(Checkpoint, MissingParentThrows) {
+  const DatasetSpec spec = proxy_spec(3, 8);
+  const SyntheticClickDataset data(spec, 15);
+  DlrmModel model(spec, {}, 73);
+  const std::string dir = test_dir("orphan");
+  CheckpointWriter writer({});
+  writer.save_full(dir + "/c0.dlck", make_model_state(model, 0));
+  (void)model.train_step(data.make_batch(16, 0));
+  writer.save_delta(dir + "/c1.dlck", make_model_state(model, 1));
+
+  std::filesystem::remove(dir + "/c0.dlck");
+  EXPECT_THROW((void)CheckpointReader().load(dir + "/c1.dlck"), Error);
+}
+
+TEST(Checkpoint, WriterSavePolicyAlternatesKinds) {
+  const DatasetSpec spec = proxy_spec(3, 8);
+  const SyntheticClickDataset data(spec, 16);
+  DlrmModel model(spec, {}, 79);
+  const std::string dir = test_dir("policy");
+
+  CheckpointWriter writer({});
+  std::vector<CkptKind> kinds;
+  for (int i = 0; i < 5; ++i) {
+    (void)model.train_step(data.make_batch(16, i));
+    const std::string path = dir + "/c" + std::to_string(i) + ".dlck";
+    writer.save(path, make_model_state(model, i + 1), 2);
+    kinds.push_back(inspect_checkpoint(path).header.kind);
+  }
+  EXPECT_EQ(kinds[0], CkptKind::kFull);
+  EXPECT_EQ(kinds[1], CkptKind::kDelta);
+  EXPECT_EQ(kinds[2], CkptKind::kFull);
+  EXPECT_EQ(kinds[3], CkptKind::kDelta);
+  EXPECT_EQ(kinds[4], CkptKind::kFull);
+}
+
+}  // namespace
+}  // namespace dlcomp

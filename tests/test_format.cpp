@@ -64,6 +64,67 @@ TEST(StreamHeaderTest, TruncatedHeaderRejected) {
   EXPECT_THROW(parse_header(buffer, payload), FormatError);
 }
 
+TEST(StreamHeaderTest, VersionStampedAndStripped) {
+  StreamHeader h;
+  h.codec = CodecId::kHuffman;
+  h.flags = kFlagStoredRaw;
+  std::vector<std::byte> buffer;
+  const std::size_t patch_at = append_header(buffer, h);
+  patch_payload_bytes(buffer, patch_at, 0);
+
+  // The wire byte carries the version in its high nibble.
+  EXPECT_EQ(static_cast<std::uint8_t>(buffer[5]) >> 4, kStreamVersion);
+
+  // Parsing strips the version so callers see only flag bits.
+  std::span<const std::byte> payload;
+  const StreamHeader parsed = parse_header(buffer, payload);
+  EXPECT_EQ(parsed.flags, kFlagStoredRaw);
+}
+
+TEST(StreamHeaderTest, WrongVersionRejected) {
+  StreamHeader h;
+  std::vector<std::byte> buffer;
+  const std::size_t patch_at = append_header(buffer, h);
+  patch_payload_bytes(buffer, patch_at, 0);
+
+  for (const std::uint8_t bogus : {std::uint8_t{0}, std::uint8_t{2},
+                                   std::uint8_t{0xF}}) {
+    if (bogus == kStreamVersion) continue;
+    auto tampered = buffer;
+    tampered[5] = static_cast<std::byte>(bogus << 4);  // flags byte
+    std::span<const std::byte> payload;
+    EXPECT_THROW(parse_header(tampered, payload), FormatError)
+        << "version " << int(bogus);
+  }
+}
+
+TEST(StreamHeaderTest, EveryHeaderTruncationLengthRejected) {
+  StreamHeader h;
+  std::vector<std::byte> full;
+  const std::size_t patch_at = append_header(full, h);
+  patch_payload_bytes(full, patch_at, 0);
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    auto cut = full;
+    cut.resize(keep);
+    std::span<const std::byte> payload;
+    EXPECT_THROW(parse_header(cut, payload), FormatError) << "kept " << keep;
+  }
+}
+
+TEST(StreamHeaderTest, CorruptedMagicEveryByteRejected) {
+  StreamHeader h;
+  std::vector<std::byte> buffer;
+  const std::size_t patch_at = append_header(buffer, h);
+  patch_payload_bytes(buffer, patch_at, 0);
+  for (std::size_t pos = 0; pos < 4; ++pos) {
+    auto tampered = buffer;
+    tampered[pos] ^= std::byte{0x40};
+    std::span<const std::byte> payload;
+    EXPECT_THROW(parse_header(tampered, payload), FormatError)
+        << "magic byte " << pos;
+  }
+}
+
 TEST(StreamHeaderTest, PayloadLongerThanBufferRejected) {
   StreamHeader h;
   std::vector<std::byte> buffer;

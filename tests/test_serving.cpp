@@ -126,7 +126,7 @@ TEST(BatchScheduler, InvariantsUnderPoissonLoad) {
   const auto queries = LoadGenerator(base_load(ArrivalPattern::kPoisson,
                                                10000))
                            .generate();
-  SchedulerConfig config;
+  BatchSchedulerConfig config;
   config.max_batch_samples = 128;
   config.max_delay_s = 0.003;
   const auto batches = BatchScheduler(config).schedule(queries);
@@ -157,7 +157,7 @@ TEST(BatchScheduler, InvariantsUnderPoissonLoad) {
 }
 
 TEST(BatchScheduler, DeadlineFlushAndOversizedQuery) {
-  SchedulerConfig config;
+  BatchSchedulerConfig config;
   config.max_batch_samples = 100;
   config.max_delay_s = 0.01;
   const BatchScheduler scheduler(config);

@@ -1,6 +1,6 @@
 // dlcomp command-line driver: compress/decompress float tensors on disk,
-// run the offline analysis on a synthetic workload, inspect streams, and
-// simulate online inference serving.
+// run the offline analysis on a synthetic workload, inspect streams,
+// simulate online inference serving, and manage model checkpoints.
 //
 // Usage:
 //   dlcomp compress   <codec> <eb> <dim> <in.f32> <out.dlcp>
@@ -8,19 +8,25 @@
 //   dlcomp inspect    <in.dlcp>
 //   dlcomp analyze    <kaggle|terabyte> <plan-out.txt> [sampling-eb]
 //   dlcomp serve      [--pattern poisson|bursty|diurnal] [--qps N] ...
+//   dlcomp ckpt       save|inspect|verify|diff ...
 //   dlcomp codecs
 //
 // <in.f32> is a raw little-endian float32 file (e.g. from numpy's
-// tofile()); <out.dlcp> is a self-describing dlcomp stream.
+// tofile()); <out.dlcp> is a self-describing dlcomp stream; <*.dlck> is
+// a checkpoint container (see DESIGN.md "Checkpoint container").
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
+#include "common/arg_parser.hpp"
 #include "common/error.hpp"
+#include "common/table_printer.hpp"
 #include "compress/format.hpp"
 #include "compress/registry.hpp"
 #include "core/offline_analyzer.hpp"
@@ -53,19 +59,27 @@ void write_file(const std::string& path, std::span<const std::byte> data) {
   if (!os.good()) throw Error("write failed: " + path);
 }
 
+DatasetSpec spec_by_name(const std::string& which) {
+  if (which == "kaggle") return DatasetSpec::criteo_kaggle_like(20000);
+  if (which == "terabyte") return DatasetSpec::criteo_terabyte_like(20000);
+  if (which == "small") return DatasetSpec::small_training_proxy(26, 16);
+  throw Error("unknown dataset: " + which + " (expected kaggle|terabyte|small)");
+}
+
 int cmd_compress(int argc, char** argv) {
-  if (argc != 7) {
+  const ArgParser args(argc, argv, 2, {});
+  if (args.positionals().size() != 5) {
     std::fprintf(stderr,
                  "usage: dlcomp compress <codec> <eb> <dim> <in.f32> "
                  "<out.dlcp>\n");
     return 2;
   }
-  const Compressor& codec = get_compressor(argv[2]);
+  const Compressor& codec = get_compressor(args.positional(0));
   CompressParams params;
-  params.error_bound = std::stod(argv[3]);
-  params.vector_dim = static_cast<std::size_t>(std::stoul(argv[4]));
+  params.error_bound = std::stod(args.positional(1));
+  params.vector_dim = static_cast<std::size_t>(std::stoul(args.positional(2)));
 
-  const auto raw = read_file(argv[5]);
+  const auto raw = read_file(args.positional(3));
   if (raw.size() % sizeof(float) != 0) {
     throw Error("input size is not a multiple of 4 bytes");
   }
@@ -74,20 +88,21 @@ int cmd_compress(int argc, char** argv) {
 
   std::vector<std::byte> stream;
   const CompressionStats stats = codec.compress(values, params, stream);
-  write_file(argv[6], stream);
+  write_file(args.positional(4), stream);
 
-  std::printf("%s: %zu -> %zu bytes (%.2fx) in %.1f ms\n", argv[2],
-              stats.input_bytes, stats.output_bytes, stats.ratio(),
-              stats.seconds * 1e3);
+  std::printf("%s: %zu -> %zu bytes (%.2fx) in %.1f ms\n",
+              args.positional(0).c_str(), stats.input_bytes,
+              stats.output_bytes, stats.ratio(), stats.seconds * 1e3);
   return 0;
 }
 
 int cmd_decompress(int argc, char** argv) {
-  if (argc != 4) {
+  const ArgParser args(argc, argv, 2, {});
+  if (args.positionals().size() != 2) {
     std::fprintf(stderr, "usage: dlcomp decompress <in.dlcp> <out.f32>\n");
     return 2;
   }
-  const auto stream = read_file(argv[2]);
+  const auto stream = read_file(args.positional(0));
   std::span<const std::byte> payload;
   const StreamHeader header = parse_header(stream, payload);
 
@@ -110,7 +125,7 @@ int cmd_decompress(int argc, char** argv) {
   std::vector<float> values(header.element_count);
   codec->decompress(stream, values);
 
-  write_file(argv[3],
+  write_file(args.positional(1),
              {reinterpret_cast<const std::byte*>(values.data()),
               values.size() * sizeof(float)});
   std::printf("decompressed %llu floats with %s (eb %.6g)\n",
@@ -121,11 +136,12 @@ int cmd_decompress(int argc, char** argv) {
 }
 
 int cmd_inspect(int argc, char** argv) {
-  if (argc != 3) {
+  const ArgParser args(argc, argv, 2, {});
+  if (args.positionals().size() != 1) {
     std::fprintf(stderr, "usage: dlcomp inspect <in.dlcp>\n");
     return 2;
   }
-  const auto stream = read_file(argv[2]);
+  const auto stream = read_file(args.positional(0));
   std::span<const std::byte> payload;
   const StreamHeader header = parse_header(stream, payload);
   std::printf("codec id:      %d\n", static_cast<int>(header.codec));
@@ -144,13 +160,17 @@ int cmd_inspect(int argc, char** argv) {
 }
 
 int cmd_analyze(int argc, char** argv) {
-  if (argc != 4 && argc != 5) {
+  const ArgParser args(argc, argv, 2, {});
+  if (args.positionals().size() != 2 && args.positionals().size() != 3) {
     std::fprintf(stderr,
                  "usage: dlcomp analyze <kaggle|terabyte> <plan-out.txt> "
                  "[sampling-eb]\n");
     return 2;
   }
-  const std::string which = argv[2];
+  const std::string which = args.positional(0);
+  if (which != "kaggle" && which != "terabyte") {
+    throw Error("unknown dataset: " + which + " (expected kaggle|terabyte)");
+  }
   const DatasetSpec spec = which == "kaggle"
                                ? DatasetSpec::criteo_kaggle_like(50000)
                                : DatasetSpec::criteo_terabyte_like(50000);
@@ -159,91 +179,64 @@ int cmd_analyze(int argc, char** argv) {
 
   AnalyzerConfig config;
   config.sample_batches = 4;
-  config.sampling_eb = argc == 5 ? std::stod(argv[4])
-                                 : (which == "kaggle" ? 0.01 : 0.005);
+  config.sampling_eb = args.positionals().size() == 3
+                           ? std::stod(args.positional(2))
+                           : (which == "kaggle" ? 0.01 : 0.005);
   const AnalysisReport report =
       OfflineAnalyzer(config).analyze(dataset, tables);
   const CompressionPlan plan = make_plan(report);
-  save_plan(argv[3], plan);
+  save_plan(args.positional(1), plan);
   std::printf("analyzed %zu tables of %s; plan written to %s\n",
-              plan.tables.size(), spec.name.c_str(), argv[3]);
+              plan.tables.size(), spec.name.c_str(),
+              args.positional(1).c_str());
   return 0;
 }
 
-int cmd_serve(int argc, char** argv) {
-  ServingConfig config;
-  config.load.qps = 1000.0;
-  config.load.num_queries = 2000;
-  config.load.mean_query_size = 16;
-  config.load.max_query_size = 128;
-  config.scheduler.max_batch_samples = 256;
-  config.scheduler.max_delay_s = 0.002;
-  config.spec = DatasetSpec::small_training_proxy(26, 16);
-  std::string codec = "hybrid";
-  double eb = 0.01;
+constexpr const char* kServeUsage =
+    "usage: dlcomp serve [--pattern poisson|bursty|diurnal] [--qps N]\n"
+    "    [--queries N] [--query-size N] [--max-batch N]\n"
+    "    [--max-delay-ms X] [--codec NAME] [--eb X]\n"
+    "    [--dataset kaggle|terabyte|small] [--replicas N] [--seed N]\n"
+    "    [--checkpoint model.dlck]\n";
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) throw Error("missing value for " + flag);
-      return argv[++i];
-    };
-    if (flag == "--pattern") {
-      config.load.pattern = parse_arrival_pattern(next());
-    } else if (flag == "--qps") {
-      config.load.qps = std::stod(next());
-    } else if (flag == "--queries") {
-      config.load.num_queries = std::stoul(next());
-    } else if (flag == "--query-size") {
-      config.load.mean_query_size = std::stoul(next());
-      config.load.max_query_size =
-          std::max(config.load.max_query_size, 8 * config.load.mean_query_size);
-    } else if (flag == "--max-batch") {
-      config.scheduler.max_batch_samples = std::stoul(next());
-    } else if (flag == "--max-delay-ms") {
-      config.scheduler.max_delay_s = std::stod(next()) * 1e-3;
-    } else if (flag == "--codec") {
-      codec = next();
-    } else if (flag == "--eb") {
-      eb = std::stod(next());
-    } else if (flag == "--dataset") {
-      const std::string which = next();
-      if (which == "kaggle") {
-        config.spec = DatasetSpec::criteo_kaggle_like(20000);
-      } else if (which == "terabyte") {
-        config.spec = DatasetSpec::criteo_terabyte_like(20000);
-      } else if (which == "small") {
-        config.spec = DatasetSpec::small_training_proxy(26, 16);
-      } else {
-        throw Error("unknown dataset: " + which +
-                    " (expected kaggle|terabyte|small)");
-      }
-    } else if (flag == "--replicas") {
-      config.replicas = static_cast<unsigned>(std::stoul(next()));
-    } else if (flag == "--seed") {
-      config.load.seed = std::stoull(next());
-      config.seed = config.load.seed;
-    } else {
-      std::fprintf(
-          stderr,
-          "usage: dlcomp serve [--pattern poisson|bursty|diurnal] [--qps N]\n"
-          "    [--queries N] [--query-size N] [--max-batch N]\n"
-          "    [--max-delay-ms X] [--codec NAME] [--eb X]\n"
-          "    [--dataset kaggle|terabyte|small] [--replicas N] [--seed N]\n");
-      return 2;
-    }
+int cmd_serve(int argc, char** argv) {
+  const ArgParser args(argc, argv, 2,
+                       {"--pattern", "--qps", "--queries", "--query-size",
+                        "--max-batch", "--max-delay-ms", "--codec", "--eb",
+                        "--dataset", "--replicas", "--seed", "--checkpoint"});
+  if (!args.positionals().empty()) throw Error("serve takes no positionals");
+
+  ServingConfig config;
+  config.spec = spec_by_name(args.str("--dataset", "small"));
+  if (args.has("--pattern")) {
+    config.load.pattern = parse_arrival_pattern(args.str("--pattern"));
   }
+  config.load.qps = args.num("--qps", 1000.0);
+  config.load.num_queries = args.uint("--queries", 2000);
+  config.load.mean_query_size = args.uint("--query-size", 16);
+  config.load.max_query_size =
+      std::max<std::size_t>(128, 8 * config.load.mean_query_size);
+  config.scheduler.max_batch_samples = args.uint("--max-batch", 256);
+  config.scheduler.max_delay_s = args.num("--max-delay-ms", 2.0) * 1e-3;
+  config.load.seed = args.u64("--seed", config.load.seed);
+  config.seed = config.load.seed;
+  config.replicas = static_cast<unsigned>(args.uint("--replicas", 0));
+  const std::string codec = args.str("--codec", "hybrid");
+  const double eb = args.num("--eb", 0.01);
+  const std::string checkpoint = args.str("--checkpoint");
 
   (void)get_compressor(codec);  // fail on unknown codecs before serving
+  config.engine.checkpoint_path = checkpoint;
 
   std::printf(
       "serving %s: %zu queries, pattern=%s, offered %.0f qps, "
-      "mean query size %zu, max batch %zu samples, max delay %.2f ms\n",
+      "mean query size %zu, max batch %zu samples, max delay %.2f ms%s%s\n",
       config.spec.name.c_str(), config.load.num_queries,
       std::string(arrival_pattern_name(config.load.pattern)).c_str(),
       config.load.qps, config.load.mean_query_size,
-      config.scheduler.max_batch_samples,
-      config.scheduler.max_delay_s * 1e3);
+      config.scheduler.max_batch_samples, config.scheduler.max_delay_s * 1e3,
+      checkpoint.empty() ? "" : ", model from ",
+      checkpoint.empty() ? "" : checkpoint.c_str());
 
   config.engine.codec.clear();
   ServingReport exact = ServingSimulator(config).run();
@@ -264,6 +257,239 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+// ------------------------------------------------------------------ ckpt
+
+constexpr const char* kCkptUsage =
+    "usage: dlcomp ckpt save <out.dlck> [--dataset kaggle|terabyte|small]\n"
+    "           [--iters N] [--codec NAME] [--eb X] [--plan plan.txt]\n"
+    "           [--seed N] [--optimizer sgd|adagrad]\n"
+    "       dlcomp ckpt inspect <in.dlck>\n"
+    "       dlcomp ckpt verify  <in.dlck>\n"
+    "       dlcomp ckpt diff    <a.dlck> <b.dlck>\n";
+
+const char* section_name(CkptSection type) {
+  switch (type) {
+    case CkptSection::kMeta: return "meta";
+    case CkptSection::kMlpBottom: return "mlp-bottom";
+    case CkptSection::kMlpTop: return "mlp-top";
+    case CkptSection::kTableFull: return "table";
+    case CkptSection::kTableDelta: return "table-delta";
+    case CkptSection::kOptState: return "opt-state";
+    case CkptSection::kOptDelta: return "opt-delta";
+  }
+  return "?";
+}
+
+int cmd_ckpt_save(const ArgParser& args) {
+  const std::string out = args.positional(1);
+  const DatasetSpec spec = spec_by_name(args.str("--dataset", "small"));
+  const std::size_t iters = args.uint("--iters", 50);
+  const std::uint64_t seed = args.u64("--seed", 2024);
+
+  DlrmConfig model_config;
+  const std::string optimizer = args.str("--optimizer", "sgd");
+  if (optimizer == "adagrad") {
+    model_config.embedding_optimizer = EmbeddingOptimizerKind::kAdagrad;
+  } else if (optimizer != "sgd") {
+    throw Error("unknown optimizer: " + optimizer);
+  }
+
+  const SyntheticClickDataset dataset(spec, seed);
+  DlrmModel model(spec, model_config, seed);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    loss = model.train_step(dataset.make_batch(spec.default_batch, i)).loss;
+  }
+
+  // Bounds either global (--eb) or per-table from an offline-analysis
+  // plan (--plan, as written by `dlcomp analyze`).
+  CheckpointOptions options;
+  if (args.has("--plan")) {
+    options = checkpoint_options_from(load_plan(args.str("--plan")));
+    if (args.has("--codec")) options.codec = args.str("--codec");
+    DLCOMP_CHECK_MSG(options.table_eb.size() == spec.num_tables(),
+                     "plan covers " << options.table_eb.size()
+                                    << " tables, dataset has "
+                                    << spec.num_tables());
+  } else {
+    options.codec = args.str("--codec");
+    options.global_eb = args.num("--eb", 0.01);
+  }
+  ThreadPool pool;
+  options.pool = &pool;
+  CheckpointWriter writer(options);
+  writer.save_full(out, make_model_state(model, iters, seed));
+
+  const ContainerInfo info = inspect_checkpoint(out);
+  std::printf(
+      "trained %s for %zu iterations (final loss %.4f); wrote %s\n"
+      "  %zu tables, %zu -> %zu table bytes (%.2fx), file %zu bytes, "
+      "codec %s\n",
+      spec.name.c_str(), iters, loss, out.c_str(), spec.num_tables(),
+      info.table_raw_bytes, info.table_stored_bytes,
+      info.table_stored_bytes > 0
+          ? static_cast<double>(info.table_raw_bytes) /
+                static_cast<double>(info.table_stored_bytes)
+          : 0.0,
+      info.file_bytes, options.codec.empty() ? "none (raw)" : options.codec.c_str());
+  return 0;
+}
+
+int cmd_ckpt_inspect(const ArgParser& args) {
+  const ContainerInfo info = inspect_checkpoint(args.positional(1));
+  std::printf("kind:        %s\n",
+              info.header.kind == CkptKind::kFull ? "full" : "delta");
+  std::printf("id:          %016llx\n",
+              static_cast<unsigned long long>(info.header.checkpoint_id));
+  if (info.header.kind == CkptKind::kDelta) {
+    std::printf("parent:      %s (id %016llx)\n", info.parent_file.c_str(),
+                static_cast<unsigned long long>(info.header.parent_id));
+  }
+  std::printf("iteration:   %llu\n",
+              static_cast<unsigned long long>(info.header.iteration));
+  std::printf("seed:        %llu\n",
+              static_cast<unsigned long long>(info.header.seed));
+  std::printf("codec:       %s\n",
+              info.codec.empty() ? "none (raw)" : info.codec.c_str());
+  std::printf("file bytes:  %zu\n", info.file_bytes);
+  if (info.table_stored_bytes > 0) {
+    std::printf("tables:      %zu -> %zu bytes (%.2fx)\n",
+                info.table_raw_bytes, info.table_stored_bytes,
+                static_cast<double>(info.table_raw_bytes) /
+                    static_cast<double>(info.table_stored_bytes));
+  }
+  if (info.header.kind == CkptKind::kDelta) {
+    std::printf("touched rows:%zu\n", info.delta_touched_rows);
+  }
+  TablePrinter table({"section", "id", "payload bytes"});
+  for (const auto& section : info.sections) {
+    table.add_row({section_name(section.type), std::to_string(section.id),
+                   std::to_string(section.bytes)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_ckpt_verify(const ArgParser& args) {
+  const std::string path = args.positional(1);
+  // Pass 1: container-level structure + per-section CRCs.
+  const ContainerInfo info = inspect_checkpoint(path);
+  // Pass 2: full chain replay, decoding every payload.
+  ThreadPool pool;
+  const LoadedCheckpoint loaded = CheckpointReader(&pool).load(path);
+  std::size_t values = 0;
+  for (const auto& table : loaded.tables) values += table.values.size();
+  std::printf(
+      "%s: OK (%s, %zu sections, chain length %zu, %zu tables, "
+      "%zu embedding values, iteration %llu)\n",
+      path.c_str(), info.header.kind == CkptKind::kFull ? "full" : "delta",
+      info.sections.size(), loaded.chain_length, loaded.tables.size(), values,
+      static_cast<unsigned long long>(loaded.header.iteration));
+  return 0;
+}
+
+int cmd_ckpt_diff(const ArgParser& args) {
+  ThreadPool pool;
+  const CheckpointReader reader(&pool);
+  const LoadedCheckpoint a = reader.load(args.positional(1));
+  const LoadedCheckpoint b = reader.load(args.positional(2));
+  if (a.tables.size() != b.tables.size()) {
+    std::printf("table count differs: %zu vs %zu\n", a.tables.size(),
+                b.tables.size());
+    return 1;
+  }
+
+  auto span_max_diff = [](std::span<const float> x, std::span<const float> y) {
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      max_diff = std::max(max_diff,
+                          static_cast<double>(std::fabs(x[i] - y[i])));
+    }
+    return max_diff;
+  };
+
+  double mlp_diff = 0.0;
+  bool mlp_shape_ok = a.bottom_params.size() == b.bottom_params.size() &&
+                      a.top_params.size() == b.top_params.size();
+  if (mlp_shape_ok) {
+    for (std::size_t v = 0; v < a.bottom_params.size(); ++v) {
+      if (a.bottom_params[v].size() != b.bottom_params[v].size()) {
+        mlp_shape_ok = false;
+        break;
+      }
+      mlp_diff = std::max(
+          mlp_diff, span_max_diff(a.bottom_params[v], b.bottom_params[v]));
+    }
+    for (std::size_t v = 0; mlp_shape_ok && v < a.top_params.size(); ++v) {
+      if (a.top_params[v].size() != b.top_params[v].size()) {
+        mlp_shape_ok = false;
+        break;
+      }
+      mlp_diff =
+          std::max(mlp_diff, span_max_diff(a.top_params[v], b.top_params[v]));
+    }
+  }
+
+  TablePrinter table({"table", "rows", "dim", "max |a-b|", "rows differing"});
+  double global_max = 0.0;
+  std::size_t mismatched_shapes = 0;
+  for (std::size_t t = 0; t < a.tables.size(); ++t) {
+    const LoadedTable& ta = a.tables[t];
+    const LoadedTable& tb = b.tables[t];
+    if (ta.rows != tb.rows || ta.dim != tb.dim) {
+      table.add_row({std::to_string(t),
+                     std::to_string(ta.rows) + "/" + std::to_string(tb.rows),
+                     std::to_string(ta.dim) + "/" + std::to_string(tb.dim),
+                     "shape mismatch", "-"});
+      ++mismatched_shapes;
+      continue;
+    }
+    double max_diff = 0.0;
+    std::size_t rows_differing = 0;
+    for (std::size_t r = 0; r < ta.rows; ++r) {
+      const double row_diff = span_max_diff(
+          std::span<const float>(ta.values).subspan(r * ta.dim, ta.dim),
+          std::span<const float>(tb.values).subspan(r * ta.dim, ta.dim));
+      if (row_diff > 0.0) ++rows_differing;
+      max_diff = std::max(max_diff, row_diff);
+    }
+    global_max = std::max(global_max, max_diff);
+    table.add_row({std::to_string(t), std::to_string(ta.rows),
+                   std::to_string(ta.dim), TablePrinter::num(max_diff, 6),
+                   std::to_string(rows_differing)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  if (mlp_shape_ok) {
+    std::printf("mlp max |a-b|: %.6g\n", mlp_diff);
+  } else {
+    std::printf("mlp shapes differ\n");
+  }
+  std::printf("embedding max |a-b|: %.6g\n", global_max);
+  const bool identical = mismatched_shapes == 0 && global_max == 0.0 &&
+                         mlp_shape_ok && mlp_diff == 0.0;
+  std::printf("%s\n", identical ? "checkpoints are identical"
+                                : "checkpoints differ");
+  return identical ? 0 : 1;  // diff semantics: nonzero on any difference
+}
+
+int cmd_ckpt(int argc, char** argv) {
+  const ArgParser args(argc, argv, 2,
+                       {"--dataset", "--iters", "--codec", "--eb", "--plan",
+                        "--seed", "--optimizer"});
+  const auto& pos = args.positionals();
+  if (pos.empty()) {
+    std::fprintf(stderr, "%s", kCkptUsage);
+    return 2;
+  }
+  const std::string& verb = pos[0];
+  if (verb == "save" && pos.size() == 2) return cmd_ckpt_save(args);
+  if (verb == "inspect" && pos.size() == 2) return cmd_ckpt_inspect(args);
+  if (verb == "verify" && pos.size() == 2) return cmd_ckpt_verify(args);
+  if (verb == "diff" && pos.size() == 3) return cmd_ckpt_diff(args);
+  std::fprintf(stderr, "%s", kCkptUsage);
+  return 2;
+}
+
 int cmd_codecs() {
   std::printf("registered codecs:\n");
   for (const auto name : all_compressor_names()) {
@@ -278,21 +504,24 @@ int cmd_codecs() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
   try {
-    const std::string command = argc > 1 ? argv[1] : "";
     if (command == "compress") return cmd_compress(argc, argv);
     if (command == "decompress") return cmd_decompress(argc, argv);
     if (command == "inspect") return cmd_inspect(argc, argv);
     if (command == "analyze") return cmd_analyze(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "ckpt") return cmd_ckpt(argc, argv);
     if (command == "codecs") return cmd_codecs();
     std::fprintf(stderr,
                  "dlcomp -- error-bounded compression for DLRM training\n"
-                 "commands: compress decompress inspect analyze serve "
+                 "commands: compress decompress inspect analyze serve ckpt "
                  "codecs\n");
     return command.empty() ? 2 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    if (command == "serve") std::fprintf(stderr, "%s", kServeUsage);
+    if (command == "ckpt") std::fprintf(stderr, "%s", kCkptUsage);
     return 1;
   }
 }
