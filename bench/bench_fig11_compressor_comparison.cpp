@@ -46,7 +46,7 @@ void run_dataset(const Workload& w, double eb, std::size_t batch) {
     }
     const double cr = in_bytes / out_bytes;
     const CodecThroughput calib =
-        calibrated_throughput(std::string(name).c_str());
+        calibrated_throughput(name);
     const double speedup = eq2_speedup(cr, bandwidth, calib.compress_bps,
                                        calib.decompress_bps);
     table.add_row({std::string(name), TablePrinter::num(cr, 2),

@@ -48,7 +48,8 @@ struct EncodedValues {
 
 EncodedValues encode_values(const Compressor* codec,
                             std::span<const float> values,
-                            const CompressParams& params, bool want_recon) {
+                            const CompressParams& params, bool want_recon,
+                            CompressionWorkspace& ws) {
   EncodedValues encoded;
   if (codec == nullptr || values.empty()) {
     encoded.storage = 0;
@@ -60,10 +61,10 @@ EncodedValues encode_values(const Compressor* codec,
     return encoded;
   }
   encoded.storage = 1;
-  codec->compress(values, params, encoded.bytes);
+  codec->compress(values, params, encoded.bytes, ws);
   if (want_recon) {
     encoded.recon.resize(values.size());
-    codec->decompress(encoded.bytes, encoded.recon);
+    codec->decompress(encoded.bytes, encoded.recon, ws);
   }
   return encoded;
 }
@@ -71,7 +72,8 @@ EncodedValues encode_values(const Compressor* codec,
 std::vector<float> decode_values(const std::string& codec_name,
                                  std::uint8_t storage,
                                  std::span<const std::byte> bytes,
-                                 std::size_t expected_count) {
+                                 std::size_t expected_count,
+                                 CompressionWorkspace& ws) {
   // Validate sizes before allocating so a crafted count fails cleanly
   // instead of attempting a huge allocation.
   if (expected_count > std::numeric_limits<std::size_t>::max() / sizeof(float)) {
@@ -96,7 +98,7 @@ std::vector<float> decode_values(const std::string& codec_name,
     }
     return values;
   }
-  get_compressor(codec_name).decompress(bytes, values);
+  get_compressor(codec_name).decompress(bytes, values, ws);
   return values;
 }
 
@@ -373,10 +375,11 @@ void CheckpointWriter::save_full(const std::string& path,
   // save_delta needs it.
   std::vector<EncodedValues> encoded(num_tables);
   for_each_table(options_.pool, num_tables, [&](std::size_t t) {
+    WorkspacePool::Lease ws(workspaces_);
     const Matrix& weights = *state.tables[t];
     encoded[t] = encode_values(codec_, weights.flat(),
                                table_params(t, weights.cols()),
-                               /*want_recon=*/false);
+                               /*want_recon=*/false, *ws);
     const Matrix* opt = t < state.opt_state.size() ? state.opt_state[t]
                                                    : nullptr;
     if (opt != nullptr && !opt->empty()) {
@@ -448,7 +451,8 @@ void CheckpointWriter::materialize_shadow() {
                     pending.bytes.size());
       }
     } else {
-      codec_->decompress(pending.bytes, shadow.flat());
+      WorkspacePool::Lease ws(workspaces_);
+      codec_->decompress(pending.bytes, shadow.flat(), *ws);
     }
   });
   pending_shadow_.clear();
@@ -502,8 +506,10 @@ void CheckpointWriter::save_delta(const std::string& path,
         touched_values.insert(touched_values.end(), live, live + dim);
       }
     }
+    WorkspacePool::Lease ws(workspaces_);
     delta.encoded = encode_values(codec_, touched_values,
-                                  table_params(t, dim), /*want_recon=*/true);
+                                  table_params(t, dim), /*want_recon=*/true,
+                                  *ws);
     // Fold the reconstruction back into the shadow so the next delta
     // diffs against exactly what a reader will have.
     std::size_t k = 0;
@@ -656,6 +662,7 @@ LoadedCheckpoint CheckpointReader::load_one(const std::string& path,
 
   const bool is_delta = raw.header.kind == CkptKind::kDelta;
   for_each_table(pool_, raw.num_tables, [&](std::size_t t) {
+    WorkspacePool::Lease ws(workspaces_);
     LoadedTable& table = loaded.tables[t];
     ByteReader reader(raw.table_sections[t].payload);
     const auto rows = reader.read<std::uint64_t>();
@@ -670,7 +677,7 @@ LoadedCheckpoint CheckpointReader::load_one(const std::string& path,
       const auto byte_count = reader.read<std::uint64_t>();
       table.values = decode_values(raw.codec, storage,
                                    reader.take(byte_count),
-                                   checked_element_count(rows, dim));
+                                   checked_element_count(rows, dim), *ws);
     } else {
       if (table.rows != rows || table.dim != dim) {
         throw FormatError("delta table shape differs from parent");
@@ -683,7 +690,7 @@ LoadedCheckpoint CheckpointReader::load_one(const std::string& path,
       const auto byte_count = reader.read<std::uint64_t>();
       const std::vector<float> rows_data =
           decode_values(raw.codec, storage, reader.take(byte_count),
-                        static_cast<std::size_t>(touched) * dim);
+                        static_cast<std::size_t>(touched) * dim, *ws);
       std::size_t k = 0;
       for (std::size_t r = 0; r < rows; ++r) {
         if (!bitmap_get(bitmap, r)) continue;

@@ -27,6 +27,7 @@
 
 #include "ckpt/container.hpp"
 #include "compress/compressor.hpp"
+#include "compress/workspace.hpp"
 #include "core/report_io.hpp"
 #include "core/trainer.hpp"
 #include "dlrm/model.hpp"
@@ -156,6 +157,10 @@ class CheckpointWriter {
     std::size_t dim = 0;
   };
   std::vector<PendingShadow> pending_shadow_;
+
+  /// One codec workspace per concurrent per-table task (leased inside
+  /// for_each_table bodies; capacity retained across saves).
+  WorkspacePool workspaces_;
 };
 
 /// Deserializes containers, verifying magic/version/CRCs.
@@ -171,6 +176,8 @@ class CheckpointReader {
   [[nodiscard]] LoadedCheckpoint load_one(const std::string& path,
                                           std::size_t depth) const;
   ThreadPool* pool_;
+  /// Per-table decode workspaces (mutable: load() is logically const).
+  mutable WorkspacePool workspaces_;
 };
 
 /// Copies loaded state into live model objects; throws Error on any

@@ -4,34 +4,6 @@
 
 namespace dlcomp {
 
-void BitWriter::write(std::uint64_t value, unsigned bits) {
-  DLCOMP_CHECK(bits <= 64);
-  if (bits == 0) return;
-  if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
-
-  bit_count_ += bits;
-  if (used_ + bits <= 64) {
-    current_ |= value << used_;
-    used_ += bits;
-    if (used_ == 64) flush_word();
-    return;
-  }
-  const unsigned low = 64 - used_;
-  current_ |= value << used_;
-  used_ = 64;
-  flush_word();
-  current_ = value >> low;
-  used_ = bits - low;
-}
-
-void BitWriter::flush_word() {
-  std::byte word[8];
-  std::memcpy(word, &current_, 8);
-  bytes_.insert(bytes_.end(), word, word + 8);
-  current_ = 0;
-  used_ = 0;
-}
-
 std::vector<std::byte> BitWriter::finish() {
   std::vector<std::byte> out;
   finish_into(out);
@@ -43,9 +15,9 @@ void BitWriter::finish_into(std::vector<std::byte>& out) {
   if (used_ > 0) {
     // Emit only the bytes that hold live bits.
     const unsigned live_bytes = (used_ + 7) / 8;
-    std::byte word[8];
-    std::memcpy(word, &current_, 8);
-    bytes_.insert(bytes_.end(), word, word + live_bytes);
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + live_bytes);
+    std::memcpy(bytes_.data() + at, &current_, live_bytes);
     current_ = 0;
     used_ = 0;
   }
@@ -54,12 +26,7 @@ void BitWriter::finish_into(std::vector<std::byte>& out) {
   bit_count_ = 0;
 }
 
-std::uint64_t BitReader::read(unsigned bits) {
-  DLCOMP_CHECK(bits <= 64);
-  if (bits == 0) return 0;
-  if (bit_pos_ + bits > bit_size()) {
-    throw FormatError("bitstream overrun");
-  }
+std::uint64_t BitReader::read_slow(unsigned bits) {
   std::uint64_t result = 0;
   unsigned produced = 0;
   while (produced < bits) {

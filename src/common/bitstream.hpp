@@ -6,9 +6,16 @@
 /// codecs. Bits are packed LSB-first within each 64-bit word, words are
 /// emitted little-endian, matching the layout a GPU warp-per-word encoder
 /// would produce.
+///
+/// The hot paths (write, read, peek/advance) are header-inline: the codec
+/// inner loops call them once per symbol, so a function-call boundary here
+/// is measurable. The reader exposes a zero-padded peek so table-driven
+/// decoders can index a LUT with the next k bits without worrying about
+/// the end of the stream.
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -20,13 +27,51 @@ namespace dlcomp {
 class BitWriter {
  public:
   /// Writes the low `bits` bits of `value` (0 <= bits <= 64).
-  void write(std::uint64_t value, unsigned bits);
+  void write(std::uint64_t value, unsigned bits) {
+    DLCOMP_CHECK(bits <= 64);
+    if (bits == 0) return;
+    if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
+
+    bit_count_ += bits;
+    if (used_ + bits <= 64) {
+      current_ |= value << used_;
+      used_ += bits;
+      if (used_ == 64) flush_word();
+      return;
+    }
+    const unsigned low = 64 - used_;
+    current_ |= value << used_;
+    used_ = 64;
+    flush_word();
+    current_ = value >> low;
+    used_ = bits - low;
+  }
 
   /// Writes a single bit.
   void write_bit(bool bit) { write(bit ? 1u : 0u, 1); }
 
+  /// Pre-sizes the internal buffer for `bits` more bits, so the hot loops
+  /// never reallocate mid-stream.
+  void reserve_bits(std::size_t bits) {
+    bytes_.reserve(bytes_.size() + (bits + 7) / 8 + 8);
+  }
+
   /// Number of bits written so far.
   [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+  /// Discards any buffered bits, retaining capacity (workspace reuse —
+  /// also clears partial state left behind by an exception).
+  void reset() noexcept {
+    bytes_.clear();
+    current_ = 0;
+    used_ = 0;
+    bit_count_ = 0;
+  }
+
+  /// Capacity of the internal byte buffer (workspace accounting).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return bytes_.capacity();
+  }
 
   /// Flushes the partial word and returns the byte buffer. The writer is
   /// left empty and reusable.
@@ -36,7 +81,13 @@ class BitWriter {
   void finish_into(std::vector<std::byte>& out);
 
  private:
-  void flush_word();
+  void flush_word() {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + 8);
+    std::memcpy(bytes_.data() + at, &current_, 8);
+    current_ = 0;
+    used_ = 0;
+  }
 
   std::vector<std::byte> bytes_;
   std::uint64_t current_ = 0;
@@ -47,10 +98,44 @@ class BitWriter {
 /// Reads bit fields from a byte span produced by BitWriter.
 class BitReader {
  public:
+  /// Largest `bits` the single-word peek fast path supports (a 64-bit
+  /// load shifted by an intra-byte offset of up to 7 keeps 57 live bits).
+  static constexpr unsigned kMaxPeekBits = 57;
+
   explicit BitReader(std::span<const std::byte> data) noexcept : data_(data) {}
 
   /// Reads `bits` bits (0 <= bits <= 64). Throws FormatError on overrun.
-  std::uint64_t read(unsigned bits);
+  std::uint64_t read(unsigned bits) {
+    DLCOMP_CHECK(bits <= 64);
+    if (bits == 0) return 0;
+    if (bit_pos_ + bits > bit_size()) {
+      throw FormatError("bitstream overrun");
+    }
+    if (bits <= kMaxPeekBits) {
+      const std::uint64_t result = peek_unchecked(bits);
+      bit_pos_ += bits;
+      return result;
+    }
+    return read_slow(bits);
+  }
+
+  /// Returns the next `bits` bits (<= kMaxPeekBits) without advancing.
+  /// Bits past the end of the stream read as zero, so table-driven
+  /// decoders can always index with a full-width peek.
+  [[nodiscard]] std::uint64_t peek(unsigned bits) const {
+    DLCOMP_CHECK(bits <= kMaxPeekBits);
+    if (bits == 0) return 0;
+    return peek_unchecked(bits);
+  }
+
+  /// Consumes `bits` bits previously peeked. Throws FormatError if that
+  /// would pass the end of the stream.
+  void advance(unsigned bits) {
+    if (bit_pos_ + bits > bit_size()) {
+      throw FormatError("bitstream overrun");
+    }
+    bit_pos_ += bits;
+  }
 
   /// Reads one bit.
   bool read_bit() { return read(1) != 0; }
@@ -61,7 +146,34 @@ class BitReader {
   /// Total bits available.
   [[nodiscard]] std::size_t bit_size() const noexcept { return data_.size() * 8; }
 
+  /// Underlying bytes (for decoders that keep a local cursor and sync
+  /// back via set_bit_position).
+  [[nodiscard]] std::span<const std::byte> data() const noexcept {
+    return data_;
+  }
+
+  /// Moves the cursor (forward or back); throws past-the-end.
+  void set_bit_position(std::size_t pos) {
+    if (pos > bit_size()) throw FormatError("bitstream overrun");
+    bit_pos_ = pos;
+  }
+
  private:
+  /// Zero-padded peek; `bits` must be in (0, kMaxPeekBits].
+  [[nodiscard]] std::uint64_t peek_unchecked(unsigned bits) const noexcept {
+    const std::size_t byte_index = bit_pos_ / 8;
+    const unsigned bit_offset = static_cast<unsigned>(bit_pos_ % 8);
+    std::uint64_t word = 0;
+    if (byte_index + 8 <= data_.size()) {
+      std::memcpy(&word, data_.data() + byte_index, 8);
+    } else if (byte_index < data_.size()) {
+      std::memcpy(&word, data_.data() + byte_index, data_.size() - byte_index);
+    }
+    return (word >> bit_offset) & ((std::uint64_t{1} << bits) - 1);
+  }
+
+  std::uint64_t read_slow(unsigned bits);
+
   std::span<const std::byte> data_;
   std::size_t bit_pos_ = 0;
 };
@@ -75,6 +187,18 @@ constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
 constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
   return static_cast<std::int64_t>(v >> 1) ^
          -static_cast<std::int64_t>(v & 1);
+}
+
+/// 32-bit zigzag; bit-identical to the low 32 bits of the 64-bit form
+/// applied to a sign-extended int32 (used by the fused kernels).
+constexpr std::uint32_t zigzag_encode32(std::int32_t v) noexcept {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+
+constexpr std::int32_t zigzag_decode32(std::uint32_t v) noexcept {
+  return static_cast<std::int32_t>(v >> 1) ^
+         -static_cast<std::int32_t>(v & 1);
 }
 
 /// LEB128 variable-length encoding of an unsigned value.

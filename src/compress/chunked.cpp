@@ -33,12 +33,16 @@ ChunkedBuffer ChunkedCompressor::compress_optimized(
   result.buffer.resize(capacity);
 
   // The GPU scheme: one kernel, each block claims its output range with
-  // an atomic add once its compressed size is known.
+  // an atomic add once its compressed size is known. Stream scratch and
+  // codec workspace come from the leased arena, so repeated calls stop
+  // allocating once warm.
   std::atomic<std::size_t> cursor{0};
   auto compress_one = [&](std::size_t i) {
-    std::vector<std::byte> scratch;
+    WorkspacePool::Lease ws(workspaces_);
+    std::vector<std::byte>& scratch = ws->caller_stream();
+    scratch.clear();
     scratch.reserve(worst_case_stream_bytes(chunks[i].data.size()));
-    codec_.compress(chunks[i].data, chunks[i].params, scratch);
+    codec_.compress(chunks[i].data, chunks[i].params, scratch, *ws);
     const std::size_t offset =
         cursor.fetch_add(scratch.size(), std::memory_order_relaxed);
     DLCOMP_CHECK(offset + scratch.size() <= result.buffer.size());
@@ -115,7 +119,8 @@ double ChunkedCompressor::decompress(
   const std::size_t n = offsets.size();
 
   auto decompress_one = [&](std::size_t i) {
-    codec_.decompress(buffer.subspan(offsets[i], sizes[i]), outputs[i]);
+    WorkspacePool::Lease ws(workspaces_);
+    codec_.decompress(buffer.subspan(offsets[i], sizes[i]), outputs[i], *ws);
   };
 
   if (pool_ != nullptr && n > 1) {

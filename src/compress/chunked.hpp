@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "compress/compressor.hpp"
+#include "compress/workspace.hpp"
 #include "parallel/device_model.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -96,6 +97,10 @@ class ChunkedCompressor {
  private:
   const Compressor& codec_;
   ThreadPool* pool_;
+  /// One workspace per concurrent chunk task (capacity retained across
+  /// calls; mutable because the compress/decompress entry points are
+  /// logically const).
+  mutable WorkspacePool workspaces_;
 };
 
 }  // namespace dlcomp

@@ -9,6 +9,19 @@
 
 namespace dlcomp {
 
+CompressionStats Compressor::compress(std::span<const float> input,
+                                      const CompressParams& params,
+                                      std::vector<std::byte>& out,
+                                      CompressionWorkspace& /*ws*/) const {
+  return compress(input, params, out);
+}
+
+double Compressor::decompress(std::span<const std::byte> stream,
+                              std::span<float> out,
+                              CompressionWorkspace& /*ws*/) const {
+  return decompress(stream, out);
+}
+
 std::size_t decompressed_count(std::span<const std::byte> stream) {
   std::span<const std::byte> payload;
   const StreamHeader h = parse_header(stream, payload);

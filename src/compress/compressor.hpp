@@ -21,6 +21,8 @@
 
 namespace dlcomp {
 
+class CompressionWorkspace;
+
 /// How the error bound parameter is interpreted.
 enum class EbMode : std::uint8_t {
   /// `error_bound` is an absolute bound on |x - x'| (the paper's mode for
@@ -98,6 +100,19 @@ class Compressor {
   /// Returns wall seconds spent.
   virtual double decompress(std::span<const std::byte> stream,
                             std::span<float> out) const = 0;
+
+  /// Workspace variants: identical streams/results, but all scratch comes
+  /// from `ws` so steady-state callers allocate nothing (see
+  /// workspace.hpp for ownership and threading rules). Codecs that have
+  /// no scratch to reuse fall back to the plain overloads.
+  virtual CompressionStats compress(std::span<const float> input,
+                                    const CompressParams& params,
+                                    std::vector<std::byte>& out,
+                                    CompressionWorkspace& ws) const;
+
+  virtual double decompress(std::span<const std::byte> stream,
+                            std::span<float> out,
+                            CompressionWorkspace& ws) const;
 };
 
 /// Reads the element count from a stream header without decompressing.

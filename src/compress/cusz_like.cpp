@@ -1,78 +1,26 @@
 #include "compress/cusz_like.hpp"
 
-#include <cmath>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "compress/format.hpp"
 #include "compress/huffman_coding.hpp"
-#include "compress/quantizer.hpp"
+#include "compress/kernels.hpp"
+#include "compress/reference_kernels.hpp"
+#include "compress/workspace.hpp"
 
 namespace dlcomp {
-
-namespace {
-
-/// Runs the 2-D Lorenzo predictor over a (rows x dim) grid, quantizing
-/// residuals against the running reconstruction (compression must predict
-/// from values the decompressor will actually have).
-void lorenzo_encode(std::span<const float> input, std::size_t dim, double eb,
-                    std::span<std::int32_t> codes,
-                    std::span<float> reconstructed) {
-  const double step = 2.0 * eb;
-  const std::size_t n = input.size();
-  auto recon_at = [&](std::size_t r, std::size_t c) -> double {
-    const std::size_t idx = r * dim + c;
-    return idx < n ? static_cast<double>(reconstructed[idx]) : 0.0;
-  };
-
-  const std::size_t rows = (n + dim - 1) / dim;
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < dim; ++c) {
-      const std::size_t idx = r * dim + c;
-      if (idx >= n) break;
-      const double west = c > 0 ? recon_at(r, c - 1) : 0.0;
-      const double north = r > 0 ? recon_at(r - 1, c) : 0.0;
-      const double northwest = (r > 0 && c > 0) ? recon_at(r - 1, c - 1) : 0.0;
-      const double pred = west + north - northwest;
-      const double residual = static_cast<double>(input[idx]) - pred;
-      const auto code = static_cast<std::int32_t>(std::llround(residual / step));
-      codes[idx] = code;
-      reconstructed[idx] =
-          static_cast<float>(pred + static_cast<double>(code) * step);
-    }
-  }
-}
-
-/// Inverse transform: rebuilds values from codes.
-void lorenzo_decode(std::span<const std::int32_t> codes, std::size_t dim,
-                    double eb, std::span<float> output) {
-  const double step = 2.0 * eb;
-  const std::size_t n = output.size();
-  auto out_at = [&](std::size_t r, std::size_t c) -> double {
-    const std::size_t idx = r * dim + c;
-    return idx < n ? static_cast<double>(output[idx]) : 0.0;
-  };
-
-  const std::size_t rows = (n + dim - 1) / dim;
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < dim; ++c) {
-      const std::size_t idx = r * dim + c;
-      if (idx >= n) break;
-      const double west = c > 0 ? out_at(r, c - 1) : 0.0;
-      const double north = r > 0 ? out_at(r - 1, c) : 0.0;
-      const double northwest = (r > 0 && c > 0) ? out_at(r - 1, c - 1) : 0.0;
-      const double pred = west + north - northwest;
-      output[idx] =
-          static_cast<float>(pred + static_cast<double>(codes[idx]) * step);
-    }
-  }
-}
-
-}  // namespace
 
 CompressionStats CuszLikeCompressor::compress(std::span<const float> input,
                                               const CompressParams& params,
                                               std::vector<std::byte>& out) const {
+  return compress(input, params, out, thread_local_workspace());
+}
+
+CompressionStats CuszLikeCompressor::compress(std::span<const float> input,
+                                              const CompressParams& params,
+                                              std::vector<std::byte>& out,
+                                              CompressionWorkspace& ws) const {
   DLCOMP_CHECK(params.vector_dim > 0);
   WallTimer timer;
   const std::size_t start = out.size();
@@ -87,17 +35,16 @@ CompressionStats CuszLikeCompressor::compress(std::span<const float> input,
   const std::size_t payload_start = out.size();
 
   if (!input.empty()) {
-    std::vector<std::int32_t> codes(input.size());
-    std::vector<float> recon(input.size());
-    lorenzo_encode(input, params.vector_dim, eb, codes, recon);
+    const auto symbols = ws.symbols(input.size());
+    const auto recon = ws.recon(input.size());
+    kernels::lorenzo_encode_fused(input, params.vector_dim, eb, recon,
+                                  symbols, &ws.histogram());
 
-    std::vector<std::uint32_t> symbols(codes.size());
-    for (std::size_t i = 0; i < codes.size(); ++i) {
-      symbols[i] = static_cast<std::uint32_t>(zigzag_encode(codes[i]));
-    }
-    const HuffmanCodec codec = HuffmanCodec::build(symbols);
+    HuffmanCodec& codec = ws.huffman();
+    codec.build_from_histogram_in_place(ws.histogram());
     codec.serialize_table(out);
-    BitWriter writer;
+    BitWriter& writer = ws.writer();
+    writer.reset();
     codec.encode(symbols, writer);
     writer.finish_into(out);
   }
@@ -112,6 +59,12 @@ CompressionStats CuszLikeCompressor::compress(std::span<const float> input,
 
 double CuszLikeCompressor::decompress(std::span<const std::byte> stream,
                                       std::span<float> out) const {
+  return decompress(stream, out, thread_local_workspace());
+}
+
+double CuszLikeCompressor::decompress(std::span<const std::byte> stream,
+                                      std::span<float> out,
+                                      CompressionWorkspace& ws) const {
   WallTimer timer;
   std::span<const std::byte> payload;
   const StreamHeader header = parse_header(stream, payload);
@@ -120,16 +73,14 @@ double CuszLikeCompressor::decompress(std::span<const std::byte> stream,
   if (out.empty()) return timer.seconds();
 
   ByteReader reader(payload);
-  const HuffmanCodec codec = HuffmanCodec::deserialize_table(reader);
-  std::vector<std::uint32_t> symbols(out.size());
+  HuffmanCodec& codec = ws.huffman();
+  codec.deserialize_table_in_place(reader);
+  const auto symbols = ws.symbols(out.size());
   BitReader bits(payload.subspan(reader.position()));
   codec.decode(bits, symbols);
 
-  std::vector<std::int32_t> codes(out.size());
-  for (std::size_t i = 0; i < symbols.size(); ++i) {
-    codes[i] = static_cast<std::int32_t>(zigzag_decode(symbols[i]));
-  }
-  lorenzo_decode(codes, header.vector_dim, header.effective_error_bound, out);
+  kernels::lorenzo_decode_fused(symbols, header.vector_dim,
+                                header.effective_error_bound, out);
   return timer.seconds();
 }
 
@@ -138,7 +89,7 @@ std::vector<std::int32_t> CuszLikeCompressor::prediction_codes(
   const double eb = resolve_error_bound(input, params);
   std::vector<std::int32_t> codes(input.size());
   std::vector<float> recon(input.size());
-  lorenzo_encode(input, params.vector_dim, eb, codes, recon);
+  reference::lorenzo_encode(input, params.vector_dim, eb, codes, recon);
   return codes;
 }
 

@@ -11,6 +11,9 @@
 /// *more* entropy than the raw values and identical vectors become
 /// distinct residual rows -- which is why its ratio trails the
 /// DLRM-specific codecs in Table V.
+///
+/// Hot path: fused Lorenzo+quantize+zigzag+histogram kernel, in-place
+/// Huffman build/decode, workspace scratch throughout.
 
 #include "compress/compressor.hpp"
 
@@ -29,6 +32,14 @@ class CuszLikeCompressor final : public Compressor {
 
   double decompress(std::span<const std::byte> stream,
                     std::span<float> out) const override;
+
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out,
+                            CompressionWorkspace& ws) const override;
+
+  double decompress(std::span<const std::byte> stream, std::span<float> out,
+                    CompressionWorkspace& ws) const override;
 
   /// Residual quantization codes for a buffer (diagnostic used by tests
   /// and the Table I "false prediction" characterization).

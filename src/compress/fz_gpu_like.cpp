@@ -7,7 +7,8 @@
 #include "common/bitstream.hpp"
 #include "common/timer.hpp"
 #include "compress/format.hpp"
-#include "compress/quantizer.hpp"
+#include "compress/kernels.hpp"
+#include "compress/workspace.hpp"
 
 namespace dlcomp {
 
@@ -49,6 +50,13 @@ void unshuffle_block(
 CompressionStats FzGpuLikeCompressor::compress(std::span<const float> input,
                                                const CompressParams& params,
                                                std::vector<std::byte>& out) const {
+  return compress(input, params, out, thread_local_workspace());
+}
+
+CompressionStats FzGpuLikeCompressor::compress(std::span<const float> input,
+                                               const CompressParams& params,
+                                               std::vector<std::byte>& out,
+                                               CompressionWorkspace& ws) const {
   WallTimer timer;
   const std::size_t start = out.size();
   const double eb = resolve_error_bound(input, params);
@@ -62,12 +70,8 @@ CompressionStats FzGpuLikeCompressor::compress(std::span<const float> input,
   const std::size_t payload_start = out.size();
 
   if (!input.empty()) {
-    std::vector<std::int32_t> codes(input.size());
-    quantize(input, eb, codes);
-    std::vector<std::uint32_t> symbols(codes.size());
-    for (std::size_t i = 0; i < codes.size(); ++i) {
-      symbols[i] = static_cast<std::uint32_t>(zigzag_encode(codes[i]));
-    }
+    const auto symbols = ws.symbols(input.size());
+    kernels::quantize_to_symbols(input, eb, symbols, nullptr);
 
     std::array<std::array<std::uint8_t, kPlaneBytes>, kPlanes> planes;
     for (std::size_t base = 0; base < symbols.size(); base += kBlockValues) {
@@ -102,6 +106,12 @@ CompressionStats FzGpuLikeCompressor::compress(std::span<const float> input,
 
 double FzGpuLikeCompressor::decompress(std::span<const std::byte> stream,
                                        std::span<float> out) const {
+  return decompress(stream, out, thread_local_workspace());
+}
+
+double FzGpuLikeCompressor::decompress(std::span<const std::byte> stream,
+                                       std::span<float> out,
+                                       CompressionWorkspace& ws) const {
   WallTimer timer;
   std::span<const std::byte> payload;
   const StreamHeader header = parse_header(stream, payload);
@@ -110,7 +120,7 @@ double FzGpuLikeCompressor::decompress(std::span<const std::byte> stream,
   if (out.empty()) return timer.seconds();
 
   ByteReader reader(payload);
-  std::vector<std::uint32_t> symbols(out.size());
+  const auto symbols = ws.symbols(out.size());
   std::array<std::array<std::uint8_t, kPlaneBytes>, kPlanes> planes;
   for (std::size_t base = 0; base < symbols.size(); base += kBlockValues) {
     const std::size_t count = std::min(kBlockValues, symbols.size() - base);
@@ -125,11 +135,7 @@ double FzGpuLikeCompressor::decompress(std::span<const std::byte> stream,
     unshuffle_block(planes, count, symbols.data() + base);
   }
 
-  std::vector<std::int32_t> codes(out.size());
-  for (std::size_t i = 0; i < symbols.size(); ++i) {
-    codes[i] = static_cast<std::int32_t>(zigzag_decode(symbols[i]));
-  }
-  dequantize(codes, header.effective_error_bound, out);
+  kernels::dequantize_symbols(symbols, header.effective_error_bound, out);
   return timer.seconds();
 }
 

@@ -28,6 +28,14 @@ class FzGpuLikeCompressor final : public Compressor {
 
   double decompress(std::span<const std::byte> stream,
                     std::span<float> out) const override;
+
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out,
+                            CompressionWorkspace& ws) const override;
+
+  double decompress(std::span<const std::byte> stream, std::span<float> out,
+                    CompressionWorkspace& ws) const override;
 };
 
 }  // namespace dlcomp

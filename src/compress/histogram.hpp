@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Two-level symbol histogram used by the fused quantization kernels and
+/// the table-driven Huffman builder. Quantization/Lorenzo codes cluster
+/// tightly around zero after zigzag, so a small dense count array covers
+/// essentially every symbol; an overflow map catches the rare outliers
+/// (and the arbitrary-u32 alphabets of the byte-oriented codecs).
+///
+/// The dense array is reset by clearing only the prefix that was touched,
+/// so a workspace-resident histogram costs O(distinct symbols) per chunk,
+/// not O(table size).
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dlcomp {
+
+struct SymbolHistogram {
+  /// Symbols below this count into `dense`; the rest go to `overflow`.
+  static constexpr std::uint32_t kDenseLimit = 1u << 13;
+
+  std::vector<std::uint64_t> dense;
+  std::unordered_map<std::uint32_t, std::uint64_t> overflow;
+  /// Exclusive upper bound of the dense slots touched since reset().
+  std::uint32_t dense_used = 0;
+
+  /// Clears counts, retaining capacity.
+  void reset() {
+    if (dense.size() != kDenseLimit) {
+      dense.assign(kDenseLimit, 0);
+    } else {
+      std::fill(dense.begin(), dense.begin() + dense_used, 0);
+    }
+    dense_used = 0;
+    overflow.clear();
+  }
+
+  void add(std::uint32_t symbol) {
+    if (symbol < kDenseLimit) {
+      ++dense[symbol];
+      dense_used = std::max(dense_used, symbol + 1);
+    } else {
+      ++overflow[symbol];
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return dense_used == 0 && overflow.empty();
+  }
+};
+
+}  // namespace dlcomp

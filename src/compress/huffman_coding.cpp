@@ -1,7 +1,7 @@
 #include "compress/huffman_coding.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <cstring>
 
 #include "common/error.hpp"
 
@@ -11,8 +11,8 @@ namespace {
 
 constexpr std::uint8_t kMaxCodeLength = 32;
 
-std::uint64_t bit_reverse(std::uint64_t value, unsigned bits) noexcept {
-  std::uint64_t out = 0;
+std::uint32_t bit_reverse(std::uint32_t value, unsigned bits) noexcept {
+  std::uint32_t out = 0;
   for (unsigned i = 0; i < bits; ++i) {
     out = (out << 1) | (value & 1);
     value >>= 1;
@@ -20,107 +20,144 @@ std::uint64_t bit_reverse(std::uint64_t value, unsigned bits) noexcept {
   return out;
 }
 
-/// Computes Huffman code lengths for (symbol, freq) pairs via the classic
-/// heap construction. Returns lengths parallel to `pairs`.
-std::vector<std::uint8_t> huffman_lengths(
-    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& pairs) {
-  const std::size_t n = pairs.size();
-  if (n == 1) return {1};
-
-  // Internal tree nodes; leaves are [0, n).
-  struct Node {
-    std::uint64_t freq;
-    std::uint32_t index;  // node id
-  };
-  auto cmp = [](const Node& a, const Node& b) {
-    // Tie-break on index for full determinism.
-    return a.freq > b.freq || (a.freq == b.freq && a.index > b.index);
-  };
-  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
-
-  std::vector<std::int32_t> parent(2 * n - 1, -1);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    heap.push({pairs[i].second, i});
-  }
-  std::uint32_t next_id = static_cast<std::uint32_t>(n);
-  while (heap.size() > 1) {
-    const Node a = heap.top();
-    heap.pop();
-    const Node b = heap.top();
-    heap.pop();
-    parent[a.index] = static_cast<std::int32_t>(next_id);
-    parent[b.index] = static_cast<std::int32_t>(next_id);
-    heap.push({a.freq + b.freq, next_id});
-    ++next_id;
-  }
-
-  std::vector<std::uint8_t> lengths(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint32_t depth = 0;
-    for (std::int32_t p = parent[i]; p != -1; p = parent[static_cast<std::size_t>(p)]) {
-      ++depth;
-    }
-    lengths[i] = static_cast<std::uint8_t>(depth);
-  }
-  return lengths;
-}
-
 }  // namespace
 
 HuffmanCodec HuffmanCodec::build(std::span<const std::uint32_t> symbols) {
   DLCOMP_CHECK_MSG(!symbols.empty(), "cannot build Huffman codec from nothing");
-  std::unordered_map<std::uint32_t, std::uint64_t> histogram;
-  histogram.reserve(1024);
-  for (const auto s : symbols) ++histogram[s];
-  return build_from_histogram(histogram);
+  SymbolHistogram histogram;
+  histogram.reset();
+  for (const auto s : symbols) histogram.add(s);
+  HuffmanCodec codec;
+  codec.build_from_histogram_in_place(histogram);
+  return codec;
 }
 
 HuffmanCodec HuffmanCodec::build_from_histogram(
     const std::unordered_map<std::uint32_t, std::uint64_t>& histogram) {
   DLCOMP_CHECK(!histogram.empty());
-
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> pairs(histogram.begin(),
-                                                             histogram.end());
-  // Deterministic build order regardless of hash-map iteration.
-  std::sort(pairs.begin(), pairs.end());
-
-  std::vector<std::uint8_t> lengths = huffman_lengths(pairs);
-  // Length-limit by flattening the histogram until the tree fits. With
-  // 32-level budget this triggers only on adversarial distributions.
-  while (*std::max_element(lengths.begin(), lengths.end()) > kMaxCodeLength) {
-    for (auto& [sym, freq] : pairs) freq = freq / 2 + 1;
-    lengths = huffman_lengths(pairs);
-  }
-
   HuffmanCodec codec;
-  // Canonical order: (length, symbol).
-  std::vector<std::size_t> order(pairs.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
-    return pairs[a].first < pairs[b].first;
-  });
-
-  codec.canonical_symbols_.reserve(pairs.size());
-  std::vector<std::uint8_t> canonical_lengths;
-  canonical_lengths.reserve(pairs.size());
-  double weighted_bits = 0.0;
-  double total_freq = 0.0;
-  for (const std::size_t i : order) {
-    codec.canonical_symbols_.push_back(pairs[i].first);
-    canonical_lengths.push_back(lengths[i]);
-    weighted_bits += static_cast<double>(lengths[i]) *
-                     static_cast<double>(pairs[i].second);
-    total_freq += static_cast<double>(pairs[i].second);
-  }
-  codec.mean_bits_ = total_freq > 0.0 ? weighted_bits / total_freq : 0.0;
-  codec.finalize_canonical(std::move(canonical_lengths));
+  codec.pairs_.assign(histogram.begin(), histogram.end());
+  // Deterministic build order regardless of hash-map iteration.
+  std::sort(codec.pairs_.begin(), codec.pairs_.end());
+  codec.build_from_pairs_in_place();
   return codec;
 }
 
-void HuffmanCodec::finalize_canonical(
-    std::vector<std::uint8_t> lengths_by_canonical_index) {
-  canonical_lengths_ = std::move(lengths_by_canonical_index);
+void HuffmanCodec::build_from_histogram_in_place(
+    const SymbolHistogram& histogram) {
+  DLCOMP_CHECK(!histogram.empty());
+  pairs_.clear();
+  for (std::uint32_t s = 0; s < histogram.dense_used; ++s) {
+    if (histogram.dense[s] != 0) pairs_.emplace_back(s, histogram.dense[s]);
+  }
+  // Overflow symbols are all >= kDenseLimit, so appending them sorted
+  // keeps the whole pair list sorted by symbol.
+  const std::size_t overflow_at = pairs_.size();
+  for (const auto& [sym, freq] : histogram.overflow) {
+    pairs_.emplace_back(sym, freq);
+  }
+  std::sort(pairs_.begin() + static_cast<std::ptrdiff_t>(overflow_at),
+            pairs_.end());
+  build_from_pairs_in_place();
+}
+
+void HuffmanCodec::compute_lengths() {
+  const std::size_t n = pairs_.size();
+  lengths_.assign(n, 0);
+  if (n == 1) {
+    lengths_[0] = 1;
+    return;
+  }
+
+  // Classic heap construction; push/pop sequences mirror the
+  // priority_queue-based reference so tie-breaks (and therefore code
+  // length assignments) are bit-identical to the original builder.
+  auto cmp = [](const HeapNode& a, const HeapNode& b) {
+    return a.freq > b.freq || (a.freq == b.freq && a.index > b.index);
+  };
+  heap_.clear();
+  parent_.assign(2 * n - 1, -1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    heap_.push_back({pairs_[i].second, i});
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+  }
+  std::uint32_t next_id = static_cast<std::uint32_t>(n);
+  while (heap_.size() > 1) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const HeapNode a = heap_.back();
+    heap_.pop_back();
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const HeapNode b = heap_.back();
+    heap_.pop_back();
+    parent_[a.index] = static_cast<std::int32_t>(next_id);
+    parent_[b.index] = static_cast<std::int32_t>(next_id);
+    heap_.push_back({a.freq + b.freq, next_id});
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+    ++next_id;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t depth = 0;
+    for (std::int32_t p = parent_[i]; p != -1;
+         p = parent_[static_cast<std::size_t>(p)]) {
+      ++depth;
+    }
+    lengths_[i] = static_cast<std::uint8_t>(depth);
+  }
+}
+
+void HuffmanCodec::build_from_pairs_in_place() {
+  DLCOMP_CHECK(!pairs_.empty());
+  compute_lengths();
+  // Length-limit by flattening the histogram until the tree fits. With
+  // 32-level budget this triggers only on adversarial distributions.
+  // The original frequencies are stashed first: encode() pays
+  // length x *original* count, so the exact-size accounting below must
+  // not see the flattened values.
+  original_freqs_.clear();
+  while (*std::max_element(lengths_.begin(), lengths_.end()) > kMaxCodeLength) {
+    if (original_freqs_.empty()) {
+      original_freqs_.reserve(pairs_.size());
+      for (const auto& [sym, freq] : pairs_) original_freqs_.push_back(freq);
+    }
+    for (auto& [sym, freq] : pairs_) freq = freq / 2 + 1;
+    compute_lengths();
+  }
+
+  // Canonical order: (length, symbol).
+  order_.resize(pairs_.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (lengths_[a] != lengths_[b]) return lengths_[a] < lengths_[b];
+    return pairs_[a].first < pairs_[b].first;
+  });
+
+  canonical_symbols_.clear();
+  canonical_symbols_.reserve(pairs_.size());
+  canonical_lengths_.clear();
+  canonical_lengths_.reserve(pairs_.size());
+  double weighted_bits = 0.0;
+  double total_freq = 0.0;
+  std::uint64_t payload_bits = 0;
+  for (const std::uint32_t i : order_) {
+    canonical_symbols_.push_back(pairs_[i].first);
+    canonical_lengths_.push_back(lengths_[i]);
+    // mean_bits_ keeps the flattened-frequency weighting (pre-overhaul
+    // behavior); the exact payload count uses the original frequencies,
+    // which is what encode() will actually emit.
+    weighted_bits += static_cast<double>(lengths_[i]) *
+                     static_cast<double>(pairs_[i].second);
+    total_freq += static_cast<double>(pairs_[i].second);
+    const std::uint64_t true_freq =
+        original_freqs_.empty() ? pairs_[i].second : original_freqs_[i];
+    payload_bits += static_cast<std::uint64_t>(lengths_[i]) * true_freq;
+  }
+  mean_bits_ = total_freq > 0.0 ? weighted_bits / total_freq : 0.0;
+  build_payload_bits_ = payload_bits;
+  finalize_canonical(/*build_encoder=*/true);
+}
+
+void HuffmanCodec::finalize_canonical(bool build_encoder) {
   max_length_ = canonical_lengths_.empty() ? 0 : canonical_lengths_.back();
   DLCOMP_CHECK(max_length_ <= kMaxCodeLength);
 
@@ -141,14 +178,73 @@ void HuffmanCodec::finalize_canonical(
     index += count_[len];
   }
 
-  encode_table_.clear();
-  encode_table_.reserve(canonical_symbols_.size() * 2);
-  std::vector<std::uint32_t> next_code(first_code_);
+  // ---- First-level decode LUT: index = next lut_bits_ input bits
+  // (LSB-first, i.e. the bit-reversed canonical prefix); entries cover
+  // every code no longer than the LUT, replicated across the free high
+  // bits. Longer codes leave length 0 and take the canonical slow path.
+  lut_bits_ = std::min<unsigned>(kMaxLutBits, max_length_);
+  lut_.assign(std::size_t{1} << lut_bits_, LutEntry{});
+  for (std::size_t i = 0; i < canonical_symbols_.size(); ++i) {
+    const std::uint8_t len = canonical_lengths_[i];
+    if (len > lut_bits_) break;  // canonical order: lengths non-decreasing
+    const std::uint32_t canonical_code =
+        first_code_[len] +
+        (static_cast<std::uint32_t>(i) - first_index_[len]);
+    const std::uint32_t reversed = bit_reverse(canonical_code, len);
+    const std::size_t stride = std::size_t{1} << len;
+    for (std::size_t fill = reversed; fill < lut_.size(); fill += stride) {
+      lut_[fill] = {canonical_symbols_[i], len};
+    }
+  }
+
+  // ---- Encode table: dense array for compact alphabets (the quantizer
+  // regime), hash map for sparse ones. Decode-only codecs skip both.
+  encoder_ready_ = build_encoder;
+  encode_is_dense_ = false;
+  if (!build_encoder) {
+    encode_dense_.clear();
+    encode_map_.clear();
+    return;
+  }
+  std::uint32_t max_symbol = 0;
+  for (const auto sym : canonical_symbols_) {
+    max_symbol = std::max(max_symbol, sym);
+  }
+  encode_is_dense_ = max_symbol < kDenseEncodeLimit;
+  if (encode_is_dense_) {
+    encode_map_.clear();
+    encode_dense_.assign(max_symbol + 1u, CodeEntry{});
+  } else {
+    encode_dense_.clear();
+    encode_map_.clear();
+    encode_map_.reserve(canonical_symbols_.size() * 2);
+  }
+  std::vector<std::uint32_t>& next_code = order_;  // reuse scratch
+  next_code.assign(first_code_.begin(), first_code_.end());
   for (std::size_t i = 0; i < canonical_symbols_.size(); ++i) {
     const std::uint8_t len = canonical_lengths_[i];
     const std::uint32_t assigned = next_code[len]++;
-    encode_table_[canonical_symbols_[i]] = {bit_reverse(assigned, len), len};
+    const CodeEntry entry{bit_reverse(assigned, len), len};
+    if (encode_is_dense_) {
+      encode_dense_[canonical_symbols_[i]] = entry;
+    } else {
+      encode_map_[canonical_symbols_[i]] = entry;
+    }
   }
+}
+
+std::size_t HuffmanCodec::serialized_table_bytes() const noexcept {
+  auto varint_bytes = [](std::uint64_t value) {
+    std::size_t bytes = 1;
+    while (value >= 0x80) {
+      value >>= 7;
+      ++bytes;
+    }
+    return bytes;
+  };
+  std::size_t total = varint_bytes(canonical_symbols_.size());
+  for (const auto sym : canonical_symbols_) total += varint_bytes(sym);
+  return total + canonical_lengths_.size();
 }
 
 void HuffmanCodec::serialize_table(std::vector<std::byte>& out) const {
@@ -160,6 +256,12 @@ void HuffmanCodec::serialize_table(std::vector<std::byte>& out) const {
 }
 
 HuffmanCodec HuffmanCodec::deserialize_table(ByteReader& reader) {
+  HuffmanCodec codec;
+  codec.deserialize_table_in_place(reader);
+  return codec;
+}
+
+void HuffmanCodec::deserialize_table_in_place(ByteReader& reader) {
   auto read_var = [&reader]() {
     std::uint64_t value = 0;
     unsigned shift = 0;
@@ -175,53 +277,210 @@ HuffmanCodec HuffmanCodec::deserialize_table(ByteReader& reader) {
 
   const std::uint64_t n = read_var();
   if (n == 0) throw FormatError("empty Huffman table");
-  HuffmanCodec codec;
-  codec.canonical_symbols_.resize(n);
-  for (auto& sym : codec.canonical_symbols_) {
+  canonical_symbols_.resize(n);
+  for (auto& sym : canonical_symbols_) {
     sym = static_cast<std::uint32_t>(read_var());
   }
-  std::vector<std::uint8_t> lengths(n);
-  for (auto& len : lengths) {
+  canonical_lengths_.resize(n);
+  for (auto& len : canonical_lengths_) {
     len = std::to_integer<std::uint8_t>(reader.read<std::byte>());
     if (len == 0 || len > kMaxCodeLength) {
       throw FormatError("invalid Huffman code length");
     }
   }
   // Canonical tables must be non-decreasing in length.
-  for (std::size_t i = 1; i < lengths.size(); ++i) {
-    if (lengths[i] < lengths[i - 1]) {
+  for (std::size_t i = 1; i < canonical_lengths_.size(); ++i) {
+    if (canonical_lengths_[i] < canonical_lengths_[i - 1]) {
       throw FormatError("non-canonical Huffman table");
     }
   }
-  codec.finalize_canonical(std::move(lengths));
-  return codec;
+  mean_bits_ = 0.0;
+  build_payload_bits_ = 0;
+  finalize_canonical(/*build_encoder=*/false);
+}
+
+const HuffmanCodec::CodeEntry& HuffmanCodec::lookup(
+    std::uint32_t symbol) const {
+  if (encode_is_dense_) {
+    if (symbol < encode_dense_.size() && encode_dense_[symbol].length != 0) {
+      return encode_dense_[symbol];
+    }
+  } else {
+    const auto it = encode_map_.find(symbol);
+    if (it != encode_map_.end()) return it->second;
+  }
+  std::ostringstream os;
+  os << "symbol " << symbol << " not in Huffman alphabet";
+  throw Error(os.str());
 }
 
 void HuffmanCodec::encode(std::span<const std::uint32_t> symbols,
                           BitWriter& writer) const {
-  for (const auto sym : symbols) {
-    const auto it = encode_table_.find(sym);
-    DLCOMP_CHECK_MSG(it != encode_table_.end(),
-                     "symbol " << sym << " not in Huffman alphabet");
-    writer.write(it->second.write_form, it->second.length);
-  }
-}
+  DLCOMP_CHECK_MSG(encoder_ready_,
+                   "encode() on a decode-only (deserialized) Huffman codec");
+  // Budget from the build histogram's mean rate, padded; if the estimate
+  // is short the vector growth path still handles it.
+  writer.reserve_bits(static_cast<std::size_t>(
+      static_cast<double>(symbols.size()) * (mean_bits_ + 1.0) + 64.0));
 
-void HuffmanCodec::decode(BitReader& reader, std::span<std::uint32_t> out) const {
-  for (auto& dst : out) {
-    std::uint32_t code = 0;
-    std::uint32_t len = 0;
-    for (;;) {
-      code = (code << 1) | static_cast<std::uint32_t>(reader.read(1));
-      ++len;
-      if (len > max_length_) throw FormatError("corrupt Huffman stream");
-      if (count_[len] != 0 && code < first_code_[len] + count_[len] &&
-          code >= first_code_[len]) {
-        dst = canonical_symbols_[first_index_[len] + (code - first_code_[len])];
-        break;
+  // Accumulate codes in a register and hand the BitWriter whole 64-bit
+  // words; `used` stays < 64 between symbols.
+  std::uint64_t acc = 0;
+  unsigned used = 0;
+  if (encode_is_dense_) {
+    const CodeEntry* table = encode_dense_.data();
+    const std::uint32_t limit = static_cast<std::uint32_t>(encode_dense_.size());
+    for (const auto sym : symbols) {
+      CodeEntry e{};
+      if (sym < limit) e = table[sym];
+      if (e.length == 0) (void)lookup(sym);  // throws with the old message
+      acc |= static_cast<std::uint64_t>(e.write_form) << used;
+      if (used + e.length >= 64) {
+        writer.write(acc, 64);
+        const unsigned consumed = 64 - used;
+        acc = e.length > consumed
+                  ? static_cast<std::uint64_t>(e.write_form) >> consumed
+                  : 0;
+        used = used + e.length - 64;
+      } else {
+        used += e.length;
+      }
+    }
+  } else {
+    for (const auto sym : symbols) {
+      const CodeEntry& e = lookup(sym);
+      acc |= static_cast<std::uint64_t>(e.write_form) << used;
+      if (used + e.length >= 64) {
+        writer.write(acc, 64);
+        const unsigned consumed = 64 - used;
+        acc = e.length > consumed
+                  ? static_cast<std::uint64_t>(e.write_form) >> consumed
+                  : 0;
+        used = used + e.length - 64;
+      } else {
+        used += e.length;
       }
     }
   }
+  if (used > 0) writer.write(acc, used);
+}
+
+void HuffmanCodec::encode_reference(std::span<const std::uint32_t> symbols,
+                                    BitWriter& writer) const {
+  DLCOMP_CHECK_MSG(encoder_ready_,
+                   "encode() on a decode-only (deserialized) Huffman codec");
+  for (const auto sym : symbols) {
+    const CodeEntry& e = lookup(sym);
+    writer.write(e.write_form, e.length);
+  }
+}
+
+void HuffmanCodec::decode_one_slow(BitReader& reader,
+                                   std::uint32_t& dst) const {
+  std::uint32_t code = 0;
+  std::uint32_t len = 0;
+  for (;;) {
+    code = (code << 1) | static_cast<std::uint32_t>(reader.read(1));
+    ++len;
+    if (len > max_length_) throw FormatError("corrupt Huffman stream");
+    if (count_[len] != 0 && code < first_code_[len] + count_[len] &&
+        code >= first_code_[len]) {
+      dst = canonical_symbols_[first_index_[len] + (code - first_code_[len])];
+      return;
+    }
+  }
+}
+
+void HuffmanCodec::decode(BitReader& reader,
+                          std::span<std::uint32_t> out) const {
+  // A default-constructed (workspace-resident, never built) codec has no
+  // LUT; fail like a corrupt stream instead of indexing an empty table.
+  if (max_length_ == 0 && !out.empty()) {
+    throw FormatError("decode on an empty Huffman codec");
+  }
+  const unsigned lut_bits = lut_bits_;
+  const std::uint64_t lut_mask = (std::uint64_t{1} << lut_bits) - 1;
+  const LutEntry* lut = lut_.data();
+
+  // Fast path: a local bit cursor over the raw bytes, one unaligned
+  // 64-bit load per symbol, no per-symbol reader bookkeeping. Runs while
+  // a full 8-byte load at the cursor stays in bounds; the stream tail
+  // (and the rare codes longer than the LUT) drop to the checked path.
+  // Every loaded word is fully in-bounds, so pos can never pass the end
+  // inside the drain loop; the reader re-checks at the final sync.
+  const std::byte* data = reader.data().data();
+  const std::size_t data_bytes = reader.data().size();
+  std::size_t pos = reader.bit_position();
+
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+  while (i < n) {
+    const std::size_t byte_index = pos >> 3;
+    if (byte_index + 8 > data_bytes) break;  // tail: checked path below
+    // One unaligned load, then drain the register: with ~3-bit mean codes
+    // a single word feeds 15+ symbols before a refill.
+    std::uint64_t word;
+    std::memcpy(&word, data + byte_index, 8);
+    const unsigned skip = static_cast<unsigned>(pos & 7);
+    word >>= skip;
+    unsigned usable = 64 - skip;  // all real stream bits: load was in-bounds
+    bool need_slow = false;
+    while (i < n && usable >= lut_bits) {
+      const LutEntry e = lut[word & lut_mask];
+      if (e.length == 0) {
+        need_slow = true;
+        break;
+      }
+      word >>= e.length;
+      usable -= e.length;
+      pos += e.length;
+      out[i] = e.symbol;
+      ++i;
+    }
+    if (need_slow) {
+      // Code longer than the LUT (or corrupt prefix): canonical walk via
+      // the reader, then resume the local cursor.
+      reader.set_bit_position(pos);
+      decode_one_slow(reader, out[i]);
+      pos = reader.bit_position();
+      ++i;
+    }
+  }
+  reader.set_bit_position(pos);
+
+  for (; i < n; ++i) {
+    // Zero-padded peek: near the stream end the index's dead high bits
+    // read as zero, which can only select an entry whose real bits are
+    // all present (advance() still bounds-checks the consume).
+    const std::size_t idx = static_cast<std::size_t>(reader.peek(lut_bits));
+    const LutEntry e = lut[idx];
+    if (e.length != 0) {
+      reader.advance(e.length);
+      out[i] = e.symbol;
+    } else {
+      decode_one_slow(reader, out[i]);
+    }
+  }
+}
+
+void HuffmanCodec::decode_reference(BitReader& reader,
+                                    std::span<std::uint32_t> out) const {
+  for (auto& dst : out) decode_one_slow(reader, dst);
+}
+
+std::size_t HuffmanCodec::capacity_bytes() const noexcept {
+  return canonical_symbols_.capacity() * sizeof(std::uint32_t) +
+         canonical_lengths_.capacity() +
+         encode_dense_.capacity() * sizeof(CodeEntry) +
+         first_code_.capacity() * sizeof(std::uint32_t) +
+         first_index_.capacity() * sizeof(std::uint32_t) +
+         count_.capacity() * sizeof(std::uint32_t) +
+         lut_.capacity() * sizeof(LutEntry) +
+         pairs_.capacity() * sizeof(pairs_[0]) +
+         original_freqs_.capacity() * sizeof(std::uint64_t) +
+         heap_.capacity() * sizeof(HeapNode) +
+         parent_.capacity() * sizeof(std::int32_t) +
+         lengths_.capacity() + order_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace dlcomp

@@ -9,6 +9,19 @@
 /// Codes are canonical (assigned by (length, symbol) order), so the table
 /// serializes as just the symbol list plus code lengths. Code length is
 /// limited to 32 bits by iterative frequency flattening.
+///
+/// Hot-path layout (see DESIGN.md "Codec hot path"):
+///  - encode: dense array `symbol -> (reversed code, length)` when the
+///    alphabet's largest symbol value is small (the quantizer regime),
+///    hash-map fallback otherwise; codes accumulate in a 64-bit register
+///    and are flushed to the BitWriter a whole word at a time.
+///  - decode: zlib-style first-level LUT indexed by the next
+///    min(12, max code length) bits; codes longer than the LUT width fall
+///    back to the canonical per-bit walk (kept as decode_reference, which
+///    differential tests also pit against the LUT path).
+///  - all tables live in reusable member vectors, so a workspace-resident
+///    codec rebuilds per chunk without heap traffic once warm.
+/// The serialized stream format is byte-identical to the pre-LUT codec.
 
 #include <cstdint>
 #include <span>
@@ -17,11 +30,23 @@
 
 #include "common/bitstream.hpp"
 #include "common/byte_io.hpp"
+#include "compress/histogram.hpp"
 
 namespace dlcomp {
 
 class HuffmanCodec {
  public:
+  /// Largest symbol value the dense encode table covers; sparser
+  /// alphabets (arbitrary u32 symbols) use the map fallback.
+  static constexpr std::uint32_t kDenseEncodeLimit = 1u << 16;
+
+  /// First-level decode LUT width cap (actual width is
+  /// min(kMaxLutBits, max code length)).
+  static constexpr unsigned kMaxLutBits = 12;
+
+  /// A reusable codec starts empty; build_* or deserialize_* fill it.
+  HuffmanCodec() = default;
+
   /// Builds a codec from the symbols that will be encoded. Requires a
   /// non-empty span.
   static HuffmanCodec build(std::span<const std::uint32_t> symbols);
@@ -30,17 +55,34 @@ class HuffmanCodec {
   static HuffmanCodec build_from_histogram(
       const std::unordered_map<std::uint32_t, std::uint64_t>& histogram);
 
+  /// In-place rebuild from a two-level histogram, reusing this codec's
+  /// internal buffers (the workspace fast path).
+  void build_from_histogram_in_place(const SymbolHistogram& histogram);
+
   /// Serializes the canonical table (symbol list + lengths).
   void serialize_table(std::vector<std::byte>& out) const;
 
   /// Reconstructs a codec from a serialized table.
   static HuffmanCodec deserialize_table(ByteReader& reader);
 
+  /// In-place variant of deserialize_table (decode-side structures only;
+  /// encode() on such a codec throws).
+  void deserialize_table_in_place(ByteReader& reader);
+
   /// Encodes symbols; every symbol must have appeared in the build set.
   void encode(std::span<const std::uint32_t> symbols, BitWriter& writer) const;
 
-  /// Decodes exactly out.size() symbols.
+  /// Decodes exactly out.size() symbols (first-level LUT fast path).
   void decode(BitReader& reader, std::span<std::uint32_t> out) const;
+
+  /// Pre-LUT per-bit canonical decode, kept as the differential-test
+  /// reference and as the slow path for codes longer than the LUT width.
+  void decode_reference(BitReader& reader, std::span<std::uint32_t> out) const;
+
+  /// Pre-table per-symbol encode (no word batching), kept as the
+  /// differential-test reference.
+  void encode_reference(std::span<const std::uint32_t> symbols,
+                        BitWriter& writer) const;
 
   /// Number of distinct symbols in the alphabet.
   [[nodiscard]] std::size_t alphabet_size() const noexcept {
@@ -51,30 +93,79 @@ class HuffmanCodec {
   /// entropy-rate estimate used by compressor-selection heuristics.
   [[nodiscard]] double mean_code_bits() const noexcept { return mean_bits_; }
 
- private:
-  HuffmanCodec() = default;
+  /// Longest code in the table (bits).
+  [[nodiscard]] unsigned max_code_length() const noexcept { return max_length_; }
 
-  void finalize_canonical(std::vector<std::uint8_t> lengths_by_canonical_index);
+  /// Exact payload bits encode() will emit for the build multiset
+  /// (sum of length x frequency); 0 on a deserialized codec. Lets the
+  /// hybrid compressor size the Huffman candidate without encoding it.
+  [[nodiscard]] std::uint64_t build_payload_bits() const noexcept {
+    return build_payload_bits_;
+  }
+
+  /// Exact byte size serialize_table() will emit.
+  [[nodiscard]] std::size_t serialized_table_bytes() const noexcept;
+
+  /// Bytes of heap capacity held by the internal tables (workspace
+  /// high-water-mark accounting; map buckets are not counted).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept;
+
+ private:
+  struct CodeEntry {
+    std::uint32_t write_form = 0;  // msb-first code reversed for LSB-first IO
+    std::uint8_t length = 0;       // 0 = symbol absent
+  };
+  struct LutEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t length = 0;  // 0 = longer than the LUT or invalid prefix
+  };
+
+  /// Builds from `pairs_` (sorted ascending by symbol, all freqs > 0).
+  void build_from_pairs_in_place();
+
+  /// Computes code lengths for pairs_ into lengths_ using the classic
+  /// heap construction (reusable scratch, deterministic tie-breaks).
+  void compute_lengths();
+
+  void finalize_canonical(bool build_encoder);
+
+  [[nodiscard]] const CodeEntry& lookup(std::uint32_t symbol) const;
+
+  void decode_one_slow(BitReader& reader, std::uint32_t& dst) const;
 
   // Canonical order: symbols sorted by (code length, symbol value).
   std::vector<std::uint32_t> canonical_symbols_;
   std::vector<std::uint8_t> canonical_lengths_;
 
-  // Encoder side: symbol -> (msb-first code reversed for LSB-first write,
-  // length).
-  struct CodeEntry {
-    std::uint64_t write_form = 0;
-    std::uint8_t length = 0;
-  };
-  std::unordered_map<std::uint32_t, CodeEntry> encode_table_;
+  // Encoder side.
+  std::vector<CodeEntry> encode_dense_;  // indexed by symbol value
+  std::unordered_map<std::uint32_t, CodeEntry> encode_map_;
+  bool encoder_ready_ = false;
+  bool encode_is_dense_ = false;
 
-  // Decoder side: canonical decode arrays indexed by code length.
+  // Decoder side: canonical decode arrays indexed by code length, plus
+  // the first-level LUT indexed by the next lut_bits_ input bits.
   std::vector<std::uint32_t> first_code_;   // first canonical code per length
   std::vector<std::uint32_t> first_index_;  // symbol array offset per length
   std::vector<std::uint32_t> count_;        // codes per length
+  std::vector<LutEntry> lut_;
+  unsigned lut_bits_ = 0;
   std::uint8_t max_length_ = 0;
 
   double mean_bits_ = 0.0;
+  std::uint64_t build_payload_bits_ = 0;
+
+  // Build scratch (reused across in-place rebuilds).
+  struct HeapNode {
+    std::uint64_t freq;
+    std::uint32_t index;
+  };
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> pairs_;
+  std::vector<std::uint64_t> original_freqs_;  // non-empty iff flattened
+  std::vector<HeapNode> heap_;
+  std::vector<std::int32_t> parent_;
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> order_;
 };
 
 }  // namespace dlcomp

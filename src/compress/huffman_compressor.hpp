@@ -6,8 +6,13 @@
 /// codes. No prediction stage -- the paper's observation (1) shows Lorenzo
 /// prediction is counterproductive on embedding batches (false
 /// prediction), so codes are entropy-coded directly.
+///
+/// Hot path: the fused quantize->zigzag->histogram kernel feeds an
+/// in-place table-driven Huffman build; all scratch comes from the
+/// workspace (the plain overloads borrow the calling thread's).
 
 #include "compress/compressor.hpp"
+#include "compress/histogram.hpp"
 
 namespace dlcomp {
 
@@ -24,6 +29,28 @@ class HuffmanCompressor final : public Compressor {
 
   double decompress(std::span<const std::byte> stream,
                     std::span<float> out) const override;
+
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out,
+                            CompressionWorkspace& ws) const override;
+
+  double decompress(std::span<const std::byte> stream, std::span<float> out,
+                    CompressionWorkspace& ws) const override;
+
+  /// Hybrid fast path: writes the complete Huffman stream for an input
+  /// whose zigzag symbols and histogram (under `eb`) are already known,
+  /// skipping the redundant quantization pass. Byte-identical to
+  /// compress(). Pass rebuild_codec=false when ws.huffman() was already
+  /// built from exactly this histogram (the hybrid sizing path), saving
+  /// a redundant table construction.
+  void compress_with_symbols(std::size_t element_count, double eb,
+                             const CompressParams& params,
+                             std::span<const std::uint32_t> symbols,
+                             const SymbolHistogram& histogram,
+                             std::vector<std::byte>& out,
+                             CompressionWorkspace& ws,
+                             bool rebuild_codec = true) const;
 };
 
 }  // namespace dlcomp

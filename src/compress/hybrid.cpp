@@ -5,7 +5,9 @@
 #include "common/timer.hpp"
 #include "compress/format.hpp"
 #include "compress/huffman_compressor.hpp"
+#include "compress/kernels.hpp"
 #include "compress/vector_lz.hpp"
+#include "compress/workspace.hpp"
 
 namespace dlcomp {
 
@@ -26,6 +28,13 @@ const HuffmanCompressor& huffman_codec() {
 CompressionStats HybridCompressor::compress(std::span<const float> input,
                                             const CompressParams& params,
                                             std::vector<std::byte>& out) const {
+  return compress(input, params, out, thread_local_workspace());
+}
+
+CompressionStats HybridCompressor::compress(std::span<const float> input,
+                                            const CompressParams& params,
+                                            std::vector<std::byte>& out,
+                                            CompressionWorkspace& ws) const {
   WallTimer timer;
   const std::size_t start = out.size();
 
@@ -41,25 +50,56 @@ CompressionStats HybridCompressor::compress(std::span<const float> input,
   const std::size_t payload_start = out.size();
 
   HybridChoice choice = params.hybrid_choice;
-  if (choice == HybridChoice::kAuto) {
-    // No offline decision available: encode with both and keep the
-    // smaller stream (the online fallback).
-    std::vector<std::byte> lz_stream;
-    std::vector<std::byte> huff_stream;
-    vector_lz_codec().compress(input, params, lz_stream);
-    huffman_codec().compress(input, params, huff_stream);
-    choice = lz_stream.size() <= huff_stream.size() ? HybridChoice::kVectorLz
-                                                    : HybridChoice::kHuffman;
+  if (choice == HybridChoice::kAuto && !input.empty()) {
+    // No offline decision available: pick the smaller stream (the online
+    // fallback), sharing one quantization pass between both candidates.
+    // The vector-LZ candidate is emitted for real (into the workspace's
+    // stream scratch -- the inner codecs only use its code/symbol/writer
+    // members, so handing them the same workspace is safe); the Huffman
+    // candidate's size is computed exactly from the histogram (payload
+    // bits = sum length x frequency, plus the canonical table), so it is
+    // only encoded when it actually wins. Stream bytes are identical to
+    // encoding both and comparing.
+    const double eb = header.effective_error_bound;
+    const auto codes = ws.codes(input.size());
+    const std::uint64_t max_symbol =
+        kernels::quantize_to_codes(input, eb, codes);
+    const auto symbols = ws.symbols(input.size());
+    kernels::codes_to_symbols(codes, symbols, &ws.histogram());
+
+    std::vector<std::byte>& lz_stream = ws.stream_a();
+    lz_stream.clear();
+    vector_lz_codec().compress_with_codes(input.size(), eb, params, codes,
+                                          max_symbol, lz_stream, ws);
+
+    HuffmanCodec& codec = ws.huffman();
+    codec.build_from_histogram_in_place(ws.histogram());
+    const std::size_t huff_size =
+        StreamHeader::kBytes + codec.serialized_table_bytes() +
+        (codec.build_payload_bits() + 7) / 8;
+
+    choice = lz_stream.size() <= huff_size ? HybridChoice::kVectorLz
+                                           : HybridChoice::kHuffman;
     out.push_back(static_cast<std::byte>(choice));
-    const auto& inner =
-        choice == HybridChoice::kVectorLz ? lz_stream : huff_stream;
-    out.insert(out.end(), inner.begin(), inner.end());
+    if (choice == HybridChoice::kVectorLz) {
+      out.insert(out.end(), lz_stream.begin(), lz_stream.end());
+    } else {
+      huffman_codec().compress_with_symbols(input.size(), eb, params,
+                                            symbols, ws.histogram(), out, ws,
+                                            /*rebuild_codec=*/false);
+    }
+  } else if (choice == HybridChoice::kAuto) {
+    // Empty input: both candidates are bare headers of equal size, so the
+    // tie-break picks vector-LZ, matching the encode-both reference.
+    choice = HybridChoice::kVectorLz;
+    out.push_back(static_cast<std::byte>(choice));
+    vector_lz_codec().compress(input, params, out, ws);
   } else {
     out.push_back(static_cast<std::byte>(choice));
     if (choice == HybridChoice::kVectorLz) {
-      vector_lz_codec().compress(input, params, out);
+      vector_lz_codec().compress(input, params, out, ws);
     } else {
-      huffman_codec().compress(input, params, out);
+      huffman_codec().compress(input, params, out, ws);
     }
   }
 
@@ -73,6 +113,12 @@ CompressionStats HybridCompressor::compress(std::span<const float> input,
 
 double HybridCompressor::decompress(std::span<const std::byte> stream,
                                     std::span<float> out) const {
+  return decompress(stream, out, thread_local_workspace());
+}
+
+double HybridCompressor::decompress(std::span<const std::byte> stream,
+                                    std::span<float> out,
+                                    CompressionWorkspace& ws) const {
   WallTimer timer;
   std::span<const std::byte> payload;
   const StreamHeader header = parse_header(stream, payload);
@@ -84,10 +130,10 @@ double HybridCompressor::decompress(std::span<const std::byte> stream,
   const auto inner = payload.subspan(1);
   switch (choice) {
     case HybridChoice::kVectorLz:
-      vector_lz_codec().decompress(inner, out);
+      vector_lz_codec().decompress(inner, out, ws);
       break;
     case HybridChoice::kHuffman:
-      huffman_codec().decompress(inner, out);
+      huffman_codec().decompress(inner, out, ws);
       break;
     default:
       throw FormatError("unknown hybrid selector");

@@ -27,6 +27,14 @@ class HybridCompressor final : public Compressor {
   double decompress(std::span<const std::byte> stream,
                     std::span<float> out) const override;
 
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out,
+                            CompressionWorkspace& ws) const override;
+
+  double decompress(std::span<const std::byte> stream, std::span<float> out,
+                    CompressionWorkspace& ws) const override;
+
   /// Which inner codec a compressed stream used (diagnostic).
   static HybridChoice stream_choice(std::span<const std::byte> stream);
 };

@@ -1,0 +1,279 @@
+#include "compress/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bitstream.hpp"
+#include "common/error.hpp"
+
+namespace dlcomp::kernels {
+
+namespace {
+
+/// Round-half-away-from-zero without a libm call, clamped into int64 so
+/// the cast is never UB even on garbage residuals (where the reference's
+/// llround result was unspecified anyway). Bit-identical to llround for
+/// in-range values; see the header's rounding note.
+inline std::int32_t round_code(double t) noexcept {
+  double biased = t + (t >= 0.0 ? 0.5 : -0.5);
+  // The cold branch keeps the int64 cast defined on garbage residuals
+  // (inf/NaN included) without putting clamp latencies on the Lorenzo
+  // dependency chain; it never fires on data the range check or the
+  // running reconstruction bounds.
+  if (!(biased > -9.2e18 && biased < 9.2e18)) [[unlikely]] {
+    biased = std::isnan(biased)
+                 ? 0.0
+                 : std::min(std::max(biased, -9.2e18), 9.2e18);
+  }
+  return static_cast<std::int32_t>(static_cast<std::int64_t>(biased));
+}
+
+/// Same rounding for values already guaranteed inside the int32 code
+/// range (check_code_range ran): the narrow cast lets the compiler use a
+/// packed double->int32 conversion, so the quantize loops vectorize.
+inline std::int32_t round_code_checked(double t) noexcept {
+  return static_cast<std::int32_t>(t + (t >= 0.0 ? 0.5 : -0.5));
+}
+
+/// One up-front range check replacing the reference's per-element branch:
+/// scaled values are monotone in the input, so checking the input extrema
+/// covers every element (the exact products the loop will compute). NaNs
+/// hide from min/max, so a summing probe flags them separately (finite
+/// floats cannot overflow the double accumulator into inf/NaN; inputs
+/// containing inf fail the extrema check regardless) — the reference
+/// rejected NaN per element, and the checked cast in the main loop
+/// depends on that rejection.
+void check_code_range(std::span<const float> input, double inv, double eb) {
+  float lo = input[0];
+  float hi = input[0];
+  double nan_probe = 0.0;
+  for (const float v : input) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    nan_probe += static_cast<double>(v);
+  }
+  constexpr double kMin =
+      static_cast<double>(std::numeric_limits<std::int32_t>::min());
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<std::int32_t>::max());
+  DLCOMP_CHECK_MSG(!std::isnan(nan_probe) &&
+                       static_cast<double>(lo) * inv >= kMin &&
+                       static_cast<double>(hi) * inv <= kMax,
+                   "quantization code overflow: range [" << lo << ", " << hi
+                                                         << "] eb " << eb);
+}
+
+void accumulate(std::span<const std::uint32_t> symbols,
+                SymbolHistogram& hist) {
+  hist.reset();
+  for (const auto s : symbols) hist.add(s);
+}
+
+}  // namespace
+
+void quantize_to_symbols(std::span<const float> input, double eb,
+                         std::span<std::uint32_t> symbols,
+                         SymbolHistogram* hist) {
+  DLCOMP_CHECK(symbols.size() == input.size());
+  DLCOMP_CHECK_MSG(eb > 0.0, "quantizer error bound must be positive");
+  if (input.empty()) {
+    if (hist != nullptr) hist->reset();
+    return;
+  }
+  const double inv = 1.0 / (2.0 * eb);
+  check_code_range(input, inv, eb);
+
+  const float* in = input.data();
+  std::uint32_t* sym = symbols.data();
+  const std::size_t n = input.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t code =
+        round_code_checked(static_cast<double>(in[i]) * inv);
+    sym[i] = zigzag_encode32(code);
+  }
+  if (hist != nullptr) accumulate(symbols, *hist);
+}
+
+std::uint64_t quantize_to_codes(std::span<const float> input, double eb,
+                                std::span<std::int32_t> codes) {
+  DLCOMP_CHECK(codes.size() == input.size());
+  DLCOMP_CHECK_MSG(eb > 0.0, "quantizer error bound must be positive");
+  if (input.empty()) return 0;
+  const double inv = 1.0 / (2.0 * eb);
+  check_code_range(input, inv, eb);
+
+  const float* in = input.data();
+  std::int32_t* out = codes.data();
+  const std::size_t n = input.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = round_code_checked(static_cast<double>(in[i]) * inv);
+  }
+  std::uint32_t max_symbol = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_symbol = std::max(max_symbol, zigzag_encode32(out[i]));
+  }
+  return max_symbol;
+}
+
+void codes_to_symbols(std::span<const std::int32_t> codes,
+                      std::span<std::uint32_t> symbols, SymbolHistogram* hist) {
+  DLCOMP_CHECK(symbols.size() == codes.size());
+  const std::int32_t* in = codes.data();
+  std::uint32_t* sym = symbols.data();
+  const std::size_t n = codes.size();
+  for (std::size_t i = 0; i < n; ++i) sym[i] = zigzag_encode32(in[i]);
+  if (hist != nullptr) accumulate(symbols, *hist);
+}
+
+void dequantize_codes(std::span<const std::int32_t> codes, double eb,
+                      std::span<float> output) {
+  DLCOMP_CHECK(output.size() == codes.size());
+  const double step = 2.0 * eb;
+  const std::int32_t* in = codes.data();
+  float* out = output.data();
+  const std::size_t n = codes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(static_cast<double>(in[i]) * step);
+  }
+}
+
+void dequantize_symbols(std::span<const std::uint32_t> symbols, double eb,
+                        std::span<float> output) {
+  DLCOMP_CHECK(output.size() == symbols.size());
+  const double step = 2.0 * eb;
+  const std::uint32_t* in = symbols.data();
+  float* out = output.data();
+  const std::size_t n = symbols.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(
+        static_cast<double>(zigzag_decode32(in[i])) * step);
+  }
+}
+
+void lorenzo_encode_fused(std::span<const float> input, std::size_t dim,
+                          double eb, std::span<float> reconstructed,
+                          std::span<std::uint32_t> symbols,
+                          SymbolHistogram* hist) {
+  DLCOMP_CHECK(dim > 0);
+  DLCOMP_CHECK(reconstructed.size() == input.size());
+  DLCOMP_CHECK(symbols.size() == input.size());
+  const double step = 2.0 * eb;
+  const std::size_t n = input.size();
+  if (n == 0) {
+    if (hist != nullptr) hist->reset();
+    return;
+  }
+
+  const float* in = input.data();
+  float* rc = reconstructed.data();
+  std::uint32_t* sym = symbols.data();
+
+  // The explicit `+ 0.0 - 0.0` on the boundary predictors reproduces the
+  // reference's west+north-northwest sum with absent neighbors as literal
+  // zeros (an IEEE-visible difference for signed zeros), keeping recon
+  // streams bit-identical.
+  auto emit = [&](std::size_t idx, double pred) {
+    const double residual = static_cast<double>(in[idx]) - pred;
+    const std::int32_t code = round_code(residual / step);
+    sym[idx] = zigzag_encode32(code);
+    rc[idx] =
+        static_cast<float>(pred + static_cast<double>(code) * step);
+  };
+
+  // ---- First row: west-only prediction.
+  const std::size_t first_len = std::min(dim, n);
+  emit(0, 0.0);
+  for (std::size_t c = 1; c < first_len; ++c) {
+    emit(c, (static_cast<double>(rc[c - 1]) + 0.0) - 0.0);
+  }
+
+  // ---- Remaining rows: full three-neighbor prediction, boundary cases
+  // hoisted; the last row may be short, which the row length covers.
+  auto emit_mid = [&](std::size_t base, std::size_t c) {
+    const double pred = static_cast<double>(rc[base + c - 1]) +
+                        static_cast<double>(rc[base + c - dim]) -
+                        static_cast<double>(rc[base + c - dim - 1]);
+    emit(base + c, pred);
+  };
+  auto emit_row_start = [&](std::size_t base) {
+    emit(base, (0.0 + static_cast<double>(rc[base - dim])) - 0.0);
+  };
+
+  const std::size_t rows = (n + dim - 1) / dim;
+  const std::size_t full_rows = n / dim;  // rows of exactly dim elements
+  std::size_t r = 1;
+
+  // Row pairs, second row lagging kLag columns behind the first: each
+  // element still reads only finalized neighbors (so results stay
+  // bit-identical to the reference order), but the two rows' serial
+  // west-dependency chains become independent, which roughly doubles the
+  // ILP through the divide on the critical path.
+  constexpr std::size_t kLag = 4;
+  if (dim > 2 * kLag) {
+    for (; r + 1 < full_rows; r += 2) {
+      const std::size_t a = r * dim;        // leading row
+      const std::size_t b = (r + 1) * dim;  // lagging row
+      emit_row_start(a);
+      for (std::size_t c = 1; c < kLag; ++c) emit_mid(a, c);
+      emit_mid(a, kLag);
+      emit_row_start(b);
+      for (std::size_t c = kLag + 1; c < dim; ++c) {
+        emit_mid(a, c);
+        emit_mid(b, c - kLag);
+      }
+      for (std::size_t c = dim - kLag; c < dim; ++c) emit_mid(b, c);
+    }
+  }
+
+  // Leftover rows (odd count, short tail, or tiny dim): one at a time.
+  for (; r < rows; ++r) {
+    const std::size_t base = r * dim;
+    const std::size_t len = std::min(dim, n - base);
+    emit_row_start(base);
+    for (std::size_t c = 1; c < len; ++c) emit_mid(base, c);
+  }
+
+  if (hist != nullptr) accumulate(symbols, *hist);
+}
+
+void lorenzo_decode_fused(std::span<const std::uint32_t> symbols,
+                          std::size_t dim, double eb,
+                          std::span<float> output) {
+  DLCOMP_CHECK(dim > 0);
+  DLCOMP_CHECK(symbols.size() == output.size());
+  const double step = 2.0 * eb;
+  const std::size_t n = output.size();
+  if (n == 0) return;
+
+  const std::uint32_t* sym = symbols.data();
+  float* out = output.data();
+
+  auto value = [&](std::size_t idx, double pred) {
+    out[idx] = static_cast<float>(
+        pred +
+        static_cast<double>(zigzag_decode32(sym[idx])) * step);
+  };
+
+  const std::size_t first_len = std::min(dim, n);
+  value(0, 0.0);
+  for (std::size_t c = 1; c < first_len; ++c) {
+    value(c, (static_cast<double>(out[c - 1]) + 0.0) - 0.0);
+  }
+
+  const std::size_t rows = (n + dim - 1) / dim;
+  for (std::size_t r = 1; r < rows; ++r) {
+    const std::size_t base = r * dim;
+    const std::size_t len = std::min(dim, n - base);
+    const float* up = out + base - dim;
+    value(base, (0.0 + static_cast<double>(up[0])) - 0.0);
+    for (std::size_t c = 1; c < len; ++c) {
+      const double pred = static_cast<double>(out[base + c - 1]) +
+                          static_cast<double>(up[c]) -
+                          static_cast<double>(up[c - 1]);
+      value(base + c, pred);
+    }
+  }
+}
+
+}  // namespace dlcomp::kernels

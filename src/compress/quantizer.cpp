@@ -1,18 +1,19 @@
 #include "compress/quantizer.hpp"
 
-#include <cmath>
 #include <cstring>
-#include <limits>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "common/error.hpp"
+#include "compress/kernels.hpp"
 
 namespace dlcomp {
 
 namespace {
 
-/// FNV-1a over a run of bytes; good enough for vector dedup sets.
-std::uint64_t hash_bytes(const void* data, std::size_t bytes) noexcept {
+/// FNV-1a over a run of bytes; good spread for vector dedup sets, but
+/// collisions must still be resolved by comparison (see
+/// count_unique_rows_bytes).
+std::uint64_t fnv1a_bytes(const void* data, std::size_t bytes) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (std::size_t i = 0; i < bytes; ++i) {
@@ -26,40 +27,51 @@ template <typename T>
 std::size_t count_unique_rows(std::span<const T> values, std::size_t dim) {
   DLCOMP_CHECK(dim > 0);
   const std::size_t rows = values.size() / dim;
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(rows * 2);
-  std::size_t unique = 0;
-  for (std::size_t r = 0; r < rows; ++r) {
-    const std::uint64_t h = hash_bytes(values.data() + r * dim, dim * sizeof(T));
-    if (seen.insert(h).second) ++unique;
-  }
-  return unique;
+  return detail::count_unique_rows_bytes(values.data(), dim * sizeof(T), rows,
+                                         &fnv1a_bytes);
 }
 
 }  // namespace
 
+namespace detail {
+
+std::size_t count_unique_rows_bytes(const void* data, std::size_t row_bytes,
+                                    std::size_t rows, RowHashFn hash) {
+  const auto* base = static_cast<const unsigned char*>(data);
+  // Hash -> indices of distinct rows that hashed there. A hash hit alone
+  // is not equality: verify bytes, otherwise colliding uniques would be
+  // silently undercounted and skew the homogeneity analysis.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  buckets.reserve(rows * 2);
+  std::size_t unique = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const unsigned char* row = base + r * row_bytes;
+    auto& bucket = buckets[hash(row, row_bytes)];
+    bool duplicate = false;
+    for (const std::size_t prior : bucket) {
+      if (std::memcmp(row, base + prior * row_bytes, row_bytes) == 0) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      bucket.push_back(r);
+      ++unique;
+    }
+  }
+  return unique;
+}
+
+}  // namespace detail
+
 void quantize(std::span<const float> input, double eb,
               std::span<std::int32_t> codes) {
-  DLCOMP_CHECK(codes.size() == input.size());
-  DLCOMP_CHECK_MSG(eb > 0.0, "quantizer error bound must be positive");
-  const double inv = 1.0 / (2.0 * eb);
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const double scaled = static_cast<double>(input[i]) * inv;
-    DLCOMP_CHECK_MSG(
-        scaled >= static_cast<double>(std::numeric_limits<std::int32_t>::min()) &&
-            scaled <= static_cast<double>(std::numeric_limits<std::int32_t>::max()),
-        "quantization code overflow: value " << input[i] << " eb " << eb);
-    codes[i] = static_cast<std::int32_t>(std::llround(scaled));
-  }
+  kernels::quantize_to_codes(input, eb, codes);
 }
 
 void dequantize(std::span<const std::int32_t> codes, double eb,
                 std::span<float> output) {
-  DLCOMP_CHECK(output.size() == codes.size());
-  const double step = 2.0 * eb;
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    output[i] = static_cast<float>(static_cast<double>(codes[i]) * step);
-  }
+  kernels::dequantize_codes(codes, eb, output);
 }
 
 std::vector<std::int32_t> quantize(std::span<const float> input, double eb) {

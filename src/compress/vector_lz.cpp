@@ -1,13 +1,13 @@
 #include "compress/vector_lz.hpp"
 
 #include <cstring>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitstream.hpp"
 #include "common/timer.hpp"
 #include "compress/format.hpp"
-#include "compress/quantizer.hpp"
+#include "compress/kernels.hpp"
+#include "compress/workspace.hpp"
 
 namespace dlcomp {
 
@@ -29,31 +29,32 @@ bool codes_equal(const std::int32_t* a, const std::int32_t* b,
 
 /// Walks the vector sequence finding matches; calls on_match(distance) or
 /// on_literal(vector_index) per vector. Shared by the encoder and the
-/// match-statistics helper.
+/// match-statistics helper. The match table replaces the old per-call
+/// unordered_map (hash -> most recent position) with identical lookup
+/// semantics, so emitted token sequences are unchanged.
 template <typename OnMatch, typename OnLiteral>
 void scan_vectors(std::span<const std::int32_t> codes, std::size_t dim,
-                  std::size_t window_vectors, OnMatch&& on_match,
-                  OnLiteral&& on_literal) {
+                  std::size_t window_vectors, CompressionWorkspace& ws,
+                  OnMatch&& on_match, OnLiteral&& on_literal) {
   const std::size_t vectors = codes.size() / dim;
-  std::unordered_map<std::uint64_t, std::size_t> last_pos;
-  last_pos.reserve(vectors * 2);
+  MatchPositionTable& last_pos = ws.match_table();
+  if (last_pos.prepare(vectors)) ws.note_grow_event();
 
   for (std::size_t v = 0; v < vectors; ++v) {
     const std::int32_t* cur = codes.data() + v * dim;
     const std::uint64_t h = hash_codes(cur, dim);
-    const auto it = last_pos.find(h);
+    const std::size_t* candidate = last_pos.find(h);
     bool matched = false;
-    if (it != last_pos.end()) {
-      const std::size_t candidate = it->second;
-      const std::size_t distance = v - candidate;
+    if (candidate != nullptr) {
+      const std::size_t distance = v - *candidate;
       if (distance <= window_vectors &&
-          codes_equal(cur, codes.data() + candidate * dim, dim)) {
+          codes_equal(cur, codes.data() + *candidate * dim, dim)) {
         on_match(distance);
         matched = true;
       }
     }
     if (!matched) on_literal(v);
-    last_pos[h] = v;  // most recent occurrence wins (shortest distances)
+    last_pos.put(h, v);  // most recent occurrence wins (shortest distances)
   }
 }
 
@@ -62,34 +63,56 @@ void scan_vectors(std::span<const std::int32_t> codes, std::size_t dim,
 CompressionStats VectorLzCompressor::compress(std::span<const float> input,
                                               const CompressParams& params,
                                               std::vector<std::byte>& out) const {
-  DLCOMP_CHECK_MSG(params.vector_dim > 0, "vector_dim must be positive");
-  DLCOMP_CHECK_MSG(params.lz_window_vectors > 0, "window must be positive");
+  return compress(input, params, out, thread_local_workspace());
+}
+
+CompressionStats VectorLzCompressor::compress(std::span<const float> input,
+                                              const CompressParams& params,
+                                              std::vector<std::byte>& out,
+                                              CompressionWorkspace& ws) const {
   WallTimer timer;
   const std::size_t start = out.size();
   const double eb = resolve_error_bound(input, params);
 
+  std::uint64_t max_symbol = 0;
+  std::span<const std::int32_t> codes;
+  if (!input.empty()) {
+    const auto scratch = ws.codes(input.size());
+    max_symbol = kernels::quantize_to_codes(input, eb, scratch);
+    codes = scratch;
+  }
+  compress_with_codes(input.size(), eb, params, codes, max_symbol, out, ws);
+
+  CompressionStats stats;
+  stats.input_bytes = input.size_bytes();
+  stats.output_bytes = out.size() - start;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+void VectorLzCompressor::compress_with_codes(
+    std::size_t element_count, double eb, const CompressParams& params,
+    std::span<const std::int32_t> codes, std::uint64_t max_symbol,
+    std::vector<std::byte>& out, CompressionWorkspace& ws) const {
+  DLCOMP_CHECK_MSG(params.vector_dim > 0, "vector_dim must be positive");
+  DLCOMP_CHECK_MSG(params.lz_window_vectors > 0, "window must be positive");
+  DLCOMP_CHECK(codes.size() == element_count);
+
   StreamHeader header;
   header.codec = CodecId::kVectorLz;
   header.vector_dim = static_cast<std::uint16_t>(params.vector_dim);
-  header.element_count = input.size();
+  header.element_count = element_count;
   header.effective_error_bound = eb;
   const std::size_t patch_at = append_header(out, header);
   const std::size_t payload_start = out.size();
 
-  if (!input.empty()) {
-    std::vector<std::int32_t> codes(input.size());
-    quantize(input, eb, codes);
-
+  if (element_count > 0) {
     // Fixed-width literal packing: width covers the largest zigzag code,
     // rounded up to whole bytes. Byte alignment mirrors GPULZ's
     // multi-byte token format (the paper's substrate): unmatched vectors
     // cost ~1 byte per element, so the ratio on match-free tables lands
     // near 4x -- the entropy coder's territory, exactly the per-table
     // contrast Table V reports.
-    std::uint64_t max_symbol = 0;
-    for (const auto c : codes) {
-      max_symbol = std::max(max_symbol, zigzag_encode(c));
-    }
     const unsigned literal_bits = ((bit_width_for(max_symbol) + 7) / 8) * 8;
     const unsigned distance_bits = bit_width_for(params.lz_window_vectors - 1);
 
@@ -97,9 +120,11 @@ CompressionStats VectorLzCompressor::compress(std::span<const float> input,
     append_varint(out, params.lz_window_vectors);
 
     const std::size_t dim = params.vector_dim;
-    BitWriter writer;
+    BitWriter& writer = ws.writer();
+    writer.reset();
+    writer.reserve_bits(element_count * (literal_bits + 1) / 2);
     scan_vectors(
-        codes, dim, params.lz_window_vectors,
+        codes, dim, params.lz_window_vectors, ws,
         [&](std::size_t distance) {
           writer.write_bit(true);
           writer.write(distance - 1, distance_bits);
@@ -108,28 +133,29 @@ CompressionStats VectorLzCompressor::compress(std::span<const float> input,
           writer.write_bit(false);
           const std::int32_t* vec = codes.data() + v * dim;
           for (std::size_t i = 0; i < dim; ++i) {
-            writer.write(zigzag_encode(vec[i]), literal_bits);
+            writer.write(zigzag_encode32(vec[i]), literal_bits);
           }
         });
 
     // Tail elements that do not fill a whole vector are raw literals.
     const std::size_t tail_start = (codes.size() / dim) * dim;
     for (std::size_t i = tail_start; i < codes.size(); ++i) {
-      writer.write(zigzag_encode(codes[i]), literal_bits);
+      writer.write(zigzag_encode32(codes[i]), literal_bits);
     }
     writer.finish_into(out);
   }
 
   patch_payload_bytes(out, patch_at, out.size() - payload_start);
-  CompressionStats stats;
-  stats.input_bytes = input.size_bytes();
-  stats.output_bytes = out.size() - start;
-  stats.seconds = timer.seconds();
-  return stats;
 }
 
 double VectorLzCompressor::decompress(std::span<const std::byte> stream,
                                       std::span<float> out) const {
+  return decompress(stream, out, thread_local_workspace());
+}
+
+double VectorLzCompressor::decompress(std::span<const std::byte> stream,
+                                      std::span<float> out,
+                                      CompressionWorkspace& ws) const {
   WallTimer timer;
   std::span<const std::byte> payload;
   const StreamHeader header = parse_header(stream, payload);
@@ -148,7 +174,7 @@ double VectorLzCompressor::decompress(std::span<const std::byte> stream,
   DLCOMP_CHECK(dim > 0);
   const std::size_t vectors = out.size() / dim;
 
-  std::vector<std::int32_t> codes(out.size());
+  const auto codes = ws.codes(out.size());
   BitReader reader(payload.subspan(pos));
   for (std::size_t v = 0; v < vectors; ++v) {
     std::int32_t* dst = codes.data() + v * dim;
@@ -168,7 +194,7 @@ double VectorLzCompressor::decompress(std::span<const std::byte> stream,
     codes[i] = static_cast<std::int32_t>(zigzag_decode(reader.read(literal_bits)));
   }
 
-  dequantize(codes, header.effective_error_bound, out);
+  kernels::dequantize_codes(codes, header.effective_error_bound, out);
   return timer.seconds();
 }
 
@@ -176,11 +202,12 @@ std::size_t VectorLzCompressor::count_matches(std::span<const float> input,
                                               const CompressParams& params) {
   if (input.empty()) return 0;
   const double eb = resolve_error_bound(input, params);
-  std::vector<std::int32_t> codes(input.size());
-  quantize(input, eb, codes);
+  CompressionWorkspace& ws = thread_local_workspace();
+  const auto codes = ws.codes(input.size());
+  kernels::quantize_to_codes(input, eb, codes);
   std::size_t matches = 0;
   scan_vectors(
-      codes, params.vector_dim, params.lz_window_vectors,
+      codes, params.vector_dim, params.lz_window_vectors, ws,
       [&](std::size_t) { ++matches; }, [](std::size_t) {});
   return matches;
 }

@@ -34,6 +34,25 @@ class VectorLzCompressor final : public Compressor {
   double decompress(std::span<const std::byte> stream,
                     std::span<float> out) const override;
 
+  CompressionStats compress(std::span<const float> input,
+                            const CompressParams& params,
+                            std::vector<std::byte>& out,
+                            CompressionWorkspace& ws) const override;
+
+  double decompress(std::span<const std::byte> stream, std::span<float> out,
+                    CompressionWorkspace& ws) const override;
+
+  /// Hybrid fast path: writes the complete vector-LZ stream for an input
+  /// whose quantization codes (under `eb`) and largest zigzag symbol are
+  /// already known, skipping the redundant quantization pass. Produces
+  /// byte-identical streams to compress().
+  void compress_with_codes(std::size_t element_count, double eb,
+                           const CompressParams& params,
+                           std::span<const std::int32_t> codes,
+                           std::uint64_t max_symbol,
+                           std::vector<std::byte>& out,
+                           CompressionWorkspace& ws) const;
+
   /// Number of vector matches found in the last-compressed layout for a
   /// given buffer (re-derived; helper for the Fig. 13 pattern analysis).
   static std::size_t count_matches(std::span<const float> input,

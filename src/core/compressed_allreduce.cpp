@@ -11,7 +11,7 @@ CompressedAllReduce::CompressedAllReduce(CompressedAllReduceConfig config)
     : config_(std::move(config)) {
   if (config_.codec != nullptr && !config_.throughput.has_value()) {
     config_.throughput =
-        calibrated_throughput(std::string(config_.codec->name()).c_str());
+        calibrated_throughput(config_.codec->name());
   }
 }
 
@@ -34,8 +34,9 @@ AllReduceStats CompressedAllReduce::reduce(Communicator& comm,
   CompressParams params;
   params.error_bound = config_.relative_eb;
   params.eb_mode = EbMode::kRangeRelative;
-  std::vector<std::byte> stream;
-  config_.codec->compress(data, params, stream);
+  std::vector<std::byte>& stream = scratch_.stream;
+  stream.clear();
+  config_.codec->compress(data, params, stream, scratch_.workspace);
   stats.compress_wall_seconds = compress_timer.seconds();
   stats.wire_bytes = stream.size() * (world - 1);
   stats.compression_ratio =
@@ -53,12 +54,14 @@ AllReduceStats CompressedAllReduce::reduce(Communicator& comm,
   // Decompress every contribution (own stream included: all replicas must
   // see identical post-compression values) and reduce in rank order.
   WallTimer decompress_timer;
-  std::vector<float> scratch(data.size());
-  std::vector<double> acc(data.size(), 0.0);
+  scratch_.recon.resize(data.size());
+  scratch_.acc.assign(data.size(), 0.0);
+  std::vector<float>& recon = scratch_.recon;
+  std::vector<double>& acc = scratch_.acc;
   for (std::size_t src = 0; src < world; ++src) {
-    config_.codec->decompress(received[src], scratch);
+    config_.codec->decompress(received[src], recon, scratch_.workspace);
     for (std::size_t i = 0; i < data.size(); ++i) {
-      acc[i] += static_cast<double>(scratch[i]);
+      acc[i] += static_cast<double>(recon[i]);
     }
   }
   stats.decompress_wall_seconds = decompress_timer.seconds();

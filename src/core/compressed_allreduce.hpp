@@ -21,9 +21,11 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "compress/compressor.hpp"
+#include "compress/workspace.hpp"
 #include "parallel/device_model.hpp"
 
 namespace dlcomp {
@@ -53,11 +55,21 @@ class CompressedAllReduce {
 
   /// In-place sum across ranks (like Communicator::all_reduce_sum but
   /// with lossy-compressed transport). All ranks must pass equal sizes.
+  /// Reuses instance-held scratch: one reduce at a time per instance
+  /// (the SPMD pattern gives each rank its own).
   AllReduceStats reduce(Communicator& comm, std::span<float> data,
                         const std::string& phase) const;
 
  private:
   CompressedAllReduceConfig config_;
+  /// Reused across reduce() calls (logically const, never observable).
+  struct Scratch {
+    CompressionWorkspace workspace;
+    std::vector<std::byte> stream;
+    std::vector<float> recon;
+    std::vector<double> acc;
+  };
+  mutable Scratch scratch_;
 };
 
 }  // namespace dlcomp

@@ -8,31 +8,26 @@
 
 namespace dlcomp {
 
-namespace {
+CompressedAllToAll::CompressedAllToAll(CompressedAllToAllConfig config)
+    : config_(std::move(config)) {
+  if (config_.codec != nullptr && !config_.throughput.has_value()) {
+    config_.throughput = calibrated_throughput(config_.codec->name());
+  }
+}
 
 /// Directory layout prepended to each destination buffer:
 ///   u32 chunk_count | u64 sizes[count] | payload (streams back-to-back,
 ///   in chunk order).
 /// Offsets are implied by prefix sums of sizes, so the directory stays
 /// minimal (this is the per-destination metadata of the paper's stage 2).
-void write_directory(std::vector<std::byte>& out,
-                     std::span<const std::size_t> sizes) {
-  append_pod(out, static_cast<std::uint32_t>(sizes.size()));
-  for (const auto s : sizes) {
-    append_pod(out, static_cast<std::uint64_t>(s));
-  }
-}
-
-struct Directory {
-  std::vector<std::size_t> offsets;  // into payload
-  std::vector<std::size_t> sizes;
-  std::span<const std::byte> payload;
-};
-
-Directory read_directory(std::span<const std::byte> buffer) {
+/// The sizes are reserved up front and patched after each chunk lands, so
+/// streams compress straight into the send buffer.
+void CompressedAllToAll::read_directory_into(std::span<const std::byte> buffer,
+                                             RecvDirectory& dir) const {
   ByteReader reader(buffer);
   const auto count = reader.read<std::uint32_t>();
-  Directory dir;
+  dir.offsets.clear();
+  dir.sizes.clear();
   dir.offsets.reserve(count);
   dir.sizes.reserve(count);
   std::size_t cursor = 0;
@@ -46,17 +41,6 @@ Directory read_directory(std::span<const std::byte> buffer) {
   if (dir.payload.size() != cursor) {
     throw FormatError("all-to-all chunk directory inconsistent with payload");
   }
-  return dir;
-}
-
-}  // namespace
-
-CompressedAllToAll::CompressedAllToAll(CompressedAllToAllConfig config)
-    : config_(std::move(config)) {
-  if (config_.codec != nullptr && !config_.throughput.has_value()) {
-    config_.throughput = calibrated_throughput(
-        std::string(config_.codec->name()).c_str());
-  }
 }
 
 A2AStats CompressedAllToAll::exchange(
@@ -69,64 +53,52 @@ A2AStats CompressedAllToAll::exchange(
 
   A2AStats stats;
 
-  // ---- Stage (1): compress every chunk, packing per-destination buffers.
+  // ---- Stage (1): compress every chunk straight into its destination's
+  // packed buffer (directory first, sizes patched in place). One task per
+  // destination; each task uses its peer's dedicated workspace.
   WallTimer compress_timer;
-  std::vector<std::vector<std::byte>> packed(world);
-
-  // Flatten (dest, chunk) pairs for one parallel sweep: the CPU analogue
-  // of the single fused compression kernel.
-  struct Piece {
-    std::size_t dest;
-    std::size_t index;
-    std::vector<std::byte> bytes;
-  };
-  std::vector<Piece> pieces;
-  for (std::size_t d = 0; d < world; ++d) {
-    for (std::size_t i = 0; i < send[d].size(); ++i) {
-      pieces.push_back({d, i, {}});
+  scratch_.packed.resize(world);
+  if (scratch_.per_peer.size() < world) {
+    scratch_.per_peer.reserve(world);
+    while (scratch_.per_peer.size() < world) {
+      scratch_.per_peer.push_back(std::make_unique<CompressionWorkspace>());
     }
   }
 
-  auto compress_piece = [&](Piece& piece) {
-    const A2AChunkSpec& chunk = send[piece.dest][piece.index];
-    if (config_.codec != nullptr) {
-      config_.codec->compress(chunk.data, chunk.params, piece.bytes);
-    } else {
-      // Raw exchange: payload is the float bytes themselves.
-      const auto* p = reinterpret_cast<const std::byte*>(chunk.data.data());
-      piece.bytes.assign(p, p + chunk.data.size_bytes());
+  auto pack_destination = [&](std::size_t d) {
+    std::vector<std::byte>& buf = scratch_.packed[d];
+    buf.clear();
+    const auto& chunks = send[d];
+    append_pod(buf, static_cast<std::uint32_t>(chunks.size()));
+    const std::size_t sizes_at = buf.size();
+    buf.resize(sizes_at + chunks.size() * sizeof(std::uint64_t));
+
+    CompressionWorkspace& ws = *scratch_.per_peer[d];
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const std::size_t before = buf.size();
+      if (config_.codec != nullptr) {
+        config_.codec->compress(chunks[i].data, chunks[i].params, buf, ws);
+      } else {
+        // Raw exchange: payload is the float bytes themselves.
+        const auto* p =
+            reinterpret_cast<const std::byte*>(chunks[i].data.data());
+        buf.insert(buf.end(), p, p + chunks[i].data.size_bytes());
+      }
+      const auto stream_bytes =
+          static_cast<std::uint64_t>(buf.size() - before);
+      std::memcpy(buf.data() + sizes_at + i * sizeof(std::uint64_t),
+                  &stream_bytes, sizeof(stream_bytes));
     }
   };
-  if (config_.pool != nullptr && pieces.size() > 1) {
-    config_.pool->parallel_for(0, pieces.size(), 1,
+  if (config_.pool != nullptr && world > 1) {
+    config_.pool->parallel_for(0, world, 1,
                                [&](std::size_t lo, std::size_t hi) {
-                                 for (std::size_t i = lo; i < hi; ++i) {
-                                   compress_piece(pieces[i]);
+                                 for (std::size_t d = lo; d < hi; ++d) {
+                                   pack_destination(d);
                                  }
                                });
   } else {
-    for (auto& piece : pieces) compress_piece(piece);
-  }
-
-  // Assemble per-destination buffers: directory + streams in chunk order.
-  {
-    std::vector<std::vector<std::size_t>> sizes(world);
-    for (std::size_t d = 0; d < world; ++d) {
-      sizes[d].resize(send[d].size(), 0);
-    }
-    for (const auto& piece : pieces) {
-      sizes[piece.dest][piece.index] = piece.bytes.size();
-    }
-    for (std::size_t d = 0; d < world; ++d) {
-      write_directory(packed[d], sizes[d]);
-    }
-    // `pieces` was built in (dest, index) order, so appending in sequence
-    // lands every stream behind its destination's directory in chunk
-    // order.
-    for (const auto& piece : pieces) {
-      packed[piece.dest].insert(packed[piece.dest].end(), piece.bytes.begin(),
-                                piece.bytes.end());
-    }
+    for (std::size_t d = 0; d < world; ++d) pack_destination(d);
   }
   stats.compress_wall_seconds = compress_timer.seconds();
 
@@ -134,7 +106,7 @@ A2AStats CompressedAllToAll::exchange(
     for (const auto& chunk : send[d]) {
       stats.send_raw_bytes += chunk.data.size_bytes();
     }
-    stats.send_wire_bytes += packed[d].size();
+    stats.send_wire_bytes += scratch_.packed[d].size();
   }
 
   // Charge modelled codec time (single fused kernel writing into the
@@ -146,53 +118,46 @@ A2AStats CompressedAllToAll::exchange(
   }
 
   // ---- Stages (2) + (3): metadata exchange then payload exchange.
-  const auto received = comm.all_to_all_v(packed, phase);
+  const auto received = comm.all_to_all_v(scratch_.packed, phase);
 
-  // ---- Stage (4): decompress (parallel across received chunks).
+  // ---- Stage (4): decompress (parallel across sources, chunks within a
+  // source in order; workspaces leased per task as above).
   WallTimer decompress_timer;
-  std::vector<Directory> dirs(world);
+  scratch_.dirs.resize(world);
   std::size_t recv_raw_bytes = 0;
   for (std::size_t s = 0; s < world; ++s) {
-    dirs[s] = read_directory(received[s]);
-    DLCOMP_CHECK_MSG(dirs[s].sizes.size() == recv[s].size(),
+    read_directory_into(received[s], scratch_.dirs[s]);
+    DLCOMP_CHECK_MSG(scratch_.dirs[s].sizes.size() == recv[s].size(),
                      "rank " << comm.rank() << " expected " << recv[s].size()
                              << " chunks from " << s << ", got "
-                             << dirs[s].sizes.size());
+                             << scratch_.dirs[s].sizes.size());
     for (const auto& out : recv[s]) recv_raw_bytes += out.size() * sizeof(float);
   }
 
-  struct RecvPiece {
-    std::size_t src;
-    std::size_t index;
-  };
-  std::vector<RecvPiece> recv_pieces;
-  for (std::size_t s = 0; s < world; ++s) {
+  auto unpack_source = [&](std::size_t s) {
+    const RecvDirectory& dir = scratch_.dirs[s];
+    CompressionWorkspace& ws = *scratch_.per_peer[s];
     for (std::size_t i = 0; i < recv[s].size(); ++i) {
-      recv_pieces.push_back({s, i});
-    }
-  }
-  auto decompress_piece = [&](const RecvPiece& piece) {
-    const auto& dir = dirs[piece.src];
-    const auto stream =
-        dir.payload.subspan(dir.offsets[piece.index], dir.sizes[piece.index]);
-    auto out = recv[piece.src][piece.index];
-    if (config_.codec != nullptr) {
-      config_.codec->decompress(stream, out);
-    } else {
-      DLCOMP_CHECK_MSG(stream.size() == out.size() * sizeof(float),
-                       "raw chunk size mismatch");
-      std::memcpy(out.data(), stream.data(), stream.size());
+      const auto stream = dir.payload.subspan(dir.offsets[i], dir.sizes[i]);
+      auto out = recv[s][i];
+      if (config_.codec != nullptr) {
+        config_.codec->decompress(stream, out, ws);
+      } else {
+        DLCOMP_CHECK_MSG(stream.size() == out.size() * sizeof(float),
+                         "raw chunk size mismatch");
+        std::memcpy(out.data(), stream.data(), stream.size());
+      }
     }
   };
-  if (config_.pool != nullptr && recv_pieces.size() > 1) {
-    config_.pool->parallel_for(0, recv_pieces.size(), 1,
+  if (config_.pool != nullptr && world > 1) {
+    config_.pool->parallel_for(0, world, 1,
                                [&](std::size_t lo, std::size_t hi) {
-                                 for (std::size_t i = lo; i < hi; ++i) {
-                                   decompress_piece(recv_pieces[i]);
+                                 for (std::size_t s = lo; s < hi; ++s) {
+                                   unpack_source(s);
                                  }
                                });
   } else {
-    for (const auto& piece : recv_pieces) decompress_piece(piece);
+    for (std::size_t s = 0; s < world; ++s) unpack_source(s);
   }
   stats.decompress_wall_seconds = decompress_timer.seconds();
 
@@ -203,6 +168,23 @@ A2AStats CompressedAllToAll::exchange(
                          stats.modeled_decompress_seconds);
   }
   return stats;
+}
+
+std::uint64_t CompressedAllToAll::workspace_grow_events() const {
+  std::uint64_t total = 0;
+  for (const auto& ws : scratch_.per_peer) total += ws->grow_events();
+  return total;
+}
+
+std::size_t CompressedAllToAll::scratch_capacity_bytes() const {
+  std::size_t total = 0;
+  for (const auto& ws : scratch_.per_peer) total += ws->capacity_bytes();
+  for (const auto& buf : scratch_.packed) total += buf.capacity();
+  for (const auto& dir : scratch_.dirs) {
+    total += dir.offsets.capacity() * sizeof(std::size_t) +
+             dir.sizes.capacity() * sizeof(std::size_t);
+  }
+  return total;
 }
 
 }  // namespace dlcomp

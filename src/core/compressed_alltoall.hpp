@@ -14,17 +14,28 @@
 /// Communicator::all_to_all_v, which charges the metadata exchange
 /// separately.
 ///
+/// Buffer optimization, CPU edition: stage (1) sizes each destination's
+/// directory up front and compresses every chunk *directly into* that
+/// destination's send buffer (directory sizes patched in place), instead
+/// of compressing into per-chunk vectors and gathering them afterwards.
+/// Together with per-task CompressionWorkspace leases this makes the
+/// steady-state codec path allocation-free: all scratch and all send
+/// buffers retain their high-water capacity across iterations
+/// (workspace_grow_events() exposes the counter tests assert on).
+///
 /// Wall time of the CPU codecs is measured and reported; simulated clocks
 /// are charged with modelled GPU codec time (calibrated throughput +
 /// kernel launches) so breakdowns compose consistently with the network
 /// model.
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "compress/compressor.hpp"
+#include "compress/workspace.hpp"
 #include "parallel/device_model.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -57,7 +68,8 @@ struct CompressedAllToAllConfig {
   /// Codec applied to every chunk; nullptr exchanges raw floats (the
   /// uncompressed baseline).
   const Compressor* codec = nullptr;
-  /// Pool for parallel per-chunk compression/decompression; may be null.
+  /// Pool for parallel per-destination compression/decompression; may be
+  /// null.
   ThreadPool* pool = nullptr;
   DeviceModel device;
   /// Throughputs used for the modelled codec time (ignored when codec is
@@ -77,6 +89,11 @@ class CompressedAllToAll {
   /// the application protocol, exactly as in the paper's trainer where
   /// every rank knows each table's slice shape.
   ///
+  /// Reuses instance-held send buffers and codec workspaces across calls;
+  /// an instance therefore supports one exchange at a time (the SPMD
+  /// pattern: one CompressedAllToAll per rank), though its internal codec
+  /// work may still fan out across the shared pool.
+  ///
   /// Phase attribution on the simulated clock: "<phase>/compress",
   /// "<phase>/metadata", "<phase>" (payload), "<phase>/decompress".
   A2AStats exchange(Communicator& comm,
@@ -84,8 +101,40 @@ class CompressedAllToAll {
                     const std::vector<std::vector<std::span<float>>>& recv,
                     const std::string& phase) const;
 
+  /// Total scratch (re)allocations across this instance's workspaces;
+  /// flat after warm-up == zero codec-path heap allocations per exchange.
+  [[nodiscard]] std::uint64_t workspace_grow_events() const;
+
+  /// High-water heap capacity of the reused send buffers + workspaces.
+  [[nodiscard]] std::size_t scratch_capacity_bytes() const;
+
  private:
+  /// Parsed view of one received packed buffer.
+  struct RecvDirectory {
+    std::vector<std::size_t> offsets;  // into payload
+    std::vector<std::size_t> sizes;
+    std::span<const std::byte> payload;
+  };
+
+  /// Per-instance reusable state. Mutable because exchange() is logically
+  /// const (scratch contents are never observable between calls).
+  ///
+  /// Workspaces are indexed by peer rank, not pooled: the compress and
+  /// decompress stages never overlap within one exchange, so workspace d
+  /// always sees destination d's chunks then source d's streams — sizes
+  /// are stable across iterations, which is what makes the zero-growth
+  /// guarantee deterministic rather than dependent on lease scheduling.
+  struct Scratch {
+    std::vector<std::unique_ptr<CompressionWorkspace>> per_peer;
+    std::vector<std::vector<std::byte>> packed;  // per destination
+    std::vector<RecvDirectory> dirs;             // per source
+  };
+
+  void read_directory_into(std::span<const std::byte> buffer,
+                           RecvDirectory& dir) const;
+
   CompressedAllToAllConfig config_;
+  mutable Scratch scratch_;
 };
 
 }  // namespace dlcomp

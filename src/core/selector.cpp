@@ -44,7 +44,7 @@ SelectionResult CompressorSelector::select(
 
     if (config_.use_calibrated_throughput) {
       const CodecThroughput calibrated =
-          calibrated_throughput(std::string(name).c_str());
+          calibrated_throughput(name);
       score.compress_bps = calibrated.compress_bps;
       score.decompress_bps = calibrated.decompress_bps;
     } else {
@@ -55,7 +55,7 @@ SelectionResult CompressorSelector::select(
     // calibrated values so Eq. (2) stays well defined.
     if (score.compress_bps <= 0.0 || score.decompress_bps <= 0.0) {
       const CodecThroughput calibrated =
-          calibrated_throughput(std::string(name).c_str());
+          calibrated_throughput(name);
       score.compress_bps = calibrated.compress_bps;
       score.decompress_bps = calibrated.decompress_bps;
     }

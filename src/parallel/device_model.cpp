@@ -1,11 +1,9 @@
 #include "parallel/device_model.hpp"
 
-#include <string_view>
-
 namespace dlcomp {
 
-CodecThroughput calibrated_throughput(const char* codec_name) noexcept {
-  const std::string_view name{codec_name};
+CodecThroughput calibrated_throughput(std::string_view codec_name) noexcept {
+  const std::string_view name = codec_name;
   constexpr double GB = 1e9;
   // Paper-quoted numbers (Sec. IV-C).
   if (name == "vector-lz") return {40.5 * GB, 205.4 * GB};

@@ -8,6 +8,7 @@
 /// model; see DESIGN.md "Hardware / data substitutions".
 
 #include <cstddef>
+#include <string_view>
 
 namespace dlcomp {
 
@@ -48,6 +49,6 @@ struct CodecThroughput {
 /// Values for codecs the paper does not quote are taken from the cited
 /// tools' own publications (cuSZ, nvCOMP-LZ4) and documented in
 /// EXPERIMENTS.md.
-CodecThroughput calibrated_throughput(const char* codec_name) noexcept;
+CodecThroughput calibrated_throughput(std::string_view codec_name) noexcept;
 
 }  // namespace dlcomp

@@ -30,9 +30,9 @@ DlrmModel::TableTransform InferenceEngine::lookup_transform() {
   if (codec_ == nullptr) return nullptr;
   return [this](std::size_t /*table*/, Matrix& data) {
     stream_.clear();
-    codec_->compress(data.flat(), params_, stream_);
+    codec_->compress(data.flat(), params_, stream_, workspace_);
     recon_.resize(data.size());
-    codec_->decompress(stream_, recon_);
+    codec_->decompress(stream_, recon_, workspace_);
 
     double max_err = max_lookup_error_;
     const std::span<float> flat = data.flat();

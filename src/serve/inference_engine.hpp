@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "compress/compressor.hpp"
+#include "compress/workspace.hpp"
 #include "data/synthetic.hpp"
 #include "dlrm/model.hpp"
 
@@ -93,7 +94,10 @@ class InferenceEngine {
   std::size_t lookup_compressed_bytes_ = 0;
   std::size_t samples_served_ = 0;
 
-  // Scratch reused across run() calls to keep the hot path allocation-light.
+  // Scratch reused across run() calls to keep the hot path allocation-free
+  // once warm: the codec workspace plus the stream/reconstruction buffers
+  // (an engine is single-threaded, so one workspace suffices).
+  CompressionWorkspace workspace_;
   std::vector<std::byte> stream_;
   std::vector<float> recon_;
 };

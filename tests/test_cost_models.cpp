@@ -46,7 +46,7 @@ TEST(CalibratedThroughput, PaperQuotedValues) {
 TEST(CalibratedThroughput, EveryRegisteredCodecHasPositiveRates) {
   for (const auto name : all_compressor_names()) {
     const CodecThroughput t =
-        calibrated_throughput(std::string(name).c_str());
+        calibrated_throughput(name);
     EXPECT_GT(t.compress_bps, 0.0) << name;
     EXPECT_GT(t.decompress_bps, 0.0) << name;
   }

@@ -1,0 +1,345 @@
+// Codec-throughput trajectory reporter. Runs the codec and all-to-all
+// microbenches on the standard 1 MiB embedding-shaped payload and emits
+// BENCH_codec.json so successive PRs have a recorded perf baseline to
+// regress against. Uses only the public codec API, so the same source
+// builds against any revision of the library (that is how baselines are
+// captured before an optimization lands).
+//
+// Usage: bench_report [--out FILE] [--reps N] [--label NAME] [--smoke]
+//   --smoke     1 rep per measurement (CI wiring check, numbers noisy)
+//   --label     free-form tag stored in the JSON ("baseline", "pr3", ...)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/arg_parser.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "comm/communicator.hpp"
+#include "compress/registry.hpp"
+#include "core/compressed_alltoall.hpp"
+#include "parallel/thread_pool.hpp"
+
+// The workspace API lands with the hot-path overhaul; guarding on the
+// header keeps this tool buildable against earlier revisions so baselines
+// can be captured before the optimization.
+#if __has_include("compress/workspace.hpp")
+#define DLCOMP_HAS_WORKSPACE 1
+#include "compress/workspace.hpp"
+#endif
+
+namespace {
+
+using namespace dlcomp;
+
+/// Embedding-batch-shaped payload, identical to bench_codec_throughput's:
+/// repeated vectors from a small pool plus Gaussian jitter, 1 MiB.
+std::vector<float> payload() {
+  Rng rng(17);
+  std::vector<float> out;
+  out.reserve(1 << 18);
+  std::vector<float> pool_vec(32);
+  for (std::size_t i = 0; i < (1u << 18); ++i) {
+    if (i % 32 == 0 && rng.bernoulli(0.4)) {
+      for (auto& v : pool_vec) v = static_cast<float>(rng.normal(0.0, 0.2));
+    }
+    out.push_back(pool_vec[i % 32]);
+  }
+  return out;
+}
+
+double mbps(std::size_t bytes, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(bytes) / seconds / 1e6 : 0.0;
+}
+
+struct CodecReport {
+  std::string name;
+  double compress_mbps = 0.0;
+  double decompress_mbps = 0.0;
+  double roundtrip_mbps = 0.0;
+  double ratio = 0.0;
+  std::uint32_t stream_crc32 = 0;
+  long long steady_grow_events = -1;  // -1: workspace API not available
+};
+
+CodecReport measure_codec(const std::string& name,
+                          std::span<const float> input, std::size_t reps) {
+  const Compressor& codec = get_compressor(name);
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+
+  CodecReport report;
+  report.name = name;
+
+#if defined(DLCOMP_HAS_WORKSPACE)
+  CompressionWorkspace ws;
+  auto do_compress = [&](std::vector<std::byte>& out) {
+    out.clear();
+    codec.compress(input, params, out, ws);
+  };
+  auto do_decompress = [&](std::span<const std::byte> stream,
+                           std::span<float> out) {
+    codec.decompress(stream, out, ws);
+  };
+#else
+  auto do_compress = [&](std::vector<std::byte>& out) {
+    out.clear();
+    codec.compress(input, params, out);
+  };
+  auto do_decompress = [&](std::span<const std::byte> stream,
+                           std::span<float> out) {
+    codec.decompress(stream, out);
+  };
+#endif
+
+  std::vector<std::byte> stream;
+  do_compress(stream);  // warm-up + reference stream
+  report.stream_crc32 = crc32(stream);
+  report.ratio = static_cast<double>(input.size_bytes()) /
+                 static_cast<double>(stream.size());
+
+  double best_compress = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    do_compress(stream);
+    best_compress = std::min(best_compress, timer.seconds());
+  }
+
+  std::vector<float> out(input.size());
+  do_decompress(stream, out);  // warm-up
+  double best_decompress = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    do_decompress(stream, out);
+    best_decompress = std::min(best_decompress, timer.seconds());
+  }
+
+#if defined(DLCOMP_HAS_WORKSPACE)
+  // Steady-state allocation check: after the loops above every scratch
+  // buffer has hit its high-water mark, so one more round-trip must not
+  // grow anything.
+  const std::uint64_t before = ws.grow_events();
+  do_compress(stream);
+  do_decompress(stream, out);
+  report.steady_grow_events =
+      static_cast<long long>(ws.grow_events() - before);
+#endif
+
+  report.compress_mbps = mbps(input.size_bytes(), best_compress);
+  report.decompress_mbps = mbps(input.size_bytes(), best_decompress);
+  report.roundtrip_mbps = mbps(input.size_bytes(), best_compress + best_decompress);
+  return report;
+}
+
+struct A2AReport {
+  double exchange_mbps = 0.0;        // raw payload bytes / wall seconds
+  double compression_ratio = 0.0;
+  long long steady_grow_events = -1;
+};
+
+A2AReport measure_alltoall(const std::string& codec_name,
+                           std::span<const float> input, std::size_t reps) {
+  constexpr int kWorld = 4;
+  constexpr std::size_t kChunksPerDest = 2;
+  const std::size_t chunk_elems =
+      input.size() / (kWorld * kChunksPerDest);
+
+  ThreadPool pool(4);
+  A2AReport report;
+  Cluster cluster(kWorld);
+
+  std::vector<double> rank_seconds(kWorld, 0.0);
+  std::vector<double> rank_ratio(kWorld, 0.0);
+  std::vector<long long> rank_grow(kWorld, -1);
+
+  cluster.run([&](Communicator& comm) {
+    CompressedAllToAllConfig config;
+    config.codec = &get_compressor(codec_name);
+    config.pool = &pool;
+    config.charge_modeled_time = false;
+    const CompressedAllToAll a2a(config);
+
+    CompressParams params;
+    params.error_bound = 0.01;
+    params.vector_dim = 32;
+
+    std::vector<std::vector<A2AChunkSpec>> send(kWorld);
+    for (int d = 0; d < kWorld; ++d) {
+      for (std::size_t c = 0; c < kChunksPerDest; ++c) {
+        const std::size_t offset =
+            (static_cast<std::size_t>(d) * kChunksPerDest + c) * chunk_elems;
+        send[static_cast<std::size_t>(d)].push_back(
+            {input.subspan(offset, chunk_elems), params});
+      }
+    }
+    std::vector<std::vector<float>> recv_storage(kWorld * kChunksPerDest,
+                                                 std::vector<float>(chunk_elems));
+    std::vector<std::vector<std::span<float>>> recv(kWorld);
+    for (int s = 0; s < kWorld; ++s) {
+      for (std::size_t c = 0; c < kChunksPerDest; ++c) {
+        recv[static_cast<std::size_t>(s)].push_back(
+            recv_storage[static_cast<std::size_t>(s) * kChunksPerDest + c]);
+      }
+    }
+
+    A2AStats stats = a2a.exchange(comm, send, recv, "bench");  // warm-up
+    double best = 1e300;
+    for (std::size_t r = 0; r < reps; ++r) {
+      WallTimer timer;
+      stats = a2a.exchange(comm, send, recv, "bench");
+      best = std::min(best, timer.seconds());
+    }
+#if defined(DLCOMP_HAS_WORKSPACE)
+    const std::uint64_t grow_before = a2a.workspace_grow_events();
+    a2a.exchange(comm, send, recv, "bench");
+    rank_grow[static_cast<std::size_t>(comm.rank())] =
+        static_cast<long long>(a2a.workspace_grow_events() - grow_before);
+#endif
+    rank_seconds[static_cast<std::size_t>(comm.rank())] = best;
+    rank_ratio[static_cast<std::size_t>(comm.rank())] = stats.compression_ratio();
+  });
+
+  const double worst =
+      *std::max_element(rank_seconds.begin(), rank_seconds.end());
+  report.exchange_mbps = mbps(input.size_bytes(), worst);
+  report.compression_ratio = rank_ratio[0];
+  report.steady_grow_events =
+      *std::max_element(rank_grow.begin(), rank_grow.end());
+  return report;
+}
+
+/// Pulls one numeric field for one codec back out of a previously
+/// emitted report (our own stable format — no JSON library needed).
+double baseline_field(const std::string& json, const std::string& codec,
+                      const std::string& field) {
+  const std::size_t at = json.find("\"" + codec + "\":");
+  if (at == std::string::npos) return 0.0;
+  const std::size_t f = json.find("\"" + field + "\":", at);
+  if (f == std::string::npos) return 0.0;
+  return std::atof(json.c_str() + f + field.size() + 3);
+}
+
+void write_json(const std::string& path, const std::string& label,
+                std::size_t payload_bytes, std::size_t reps,
+                const std::vector<CodecReport>& codecs, const A2AReport& a2a,
+                const std::string& baseline_json) {
+  std::ofstream out(path);
+  char buf[256];
+  out << "{\n";
+  out << "  \"label\": \"" << label << "\",\n";
+  out << "  \"payload_bytes\": " << payload_bytes << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"codecs\": {\n";
+  for (std::size_t i = 0; i < codecs.size(); ++i) {
+    const auto& c = codecs[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": {\"compress_MBps\": %.1f, "
+                  "\"decompress_MBps\": %.1f, \"roundtrip_MBps\": %.1f, "
+                  "\"ratio\": %.3f, \"stream_crc32\": %u, "
+                  "\"steady_grow_events\": %lld}%s\n",
+                  c.name.c_str(), c.compress_mbps, c.decompress_mbps,
+                  c.roundtrip_mbps, c.ratio, c.stream_crc32,
+                  c.steady_grow_events, i + 1 < codecs.size() ? "," : "");
+    out << buf;
+  }
+  out << "  },\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"alltoall_hybrid\": {\"exchange_MBps\": %.1f, "
+                "\"ratio\": %.3f, \"steady_grow_events\": %lld}%s\n",
+                a2a.exchange_mbps, a2a.compression_ratio,
+                a2a.steady_grow_events, baseline_json.empty() ? "" : ",");
+  out << buf;
+
+  if (!baseline_json.empty()) {
+    // Speedups + stream-identity against the recorded baseline, so the
+    // trajectory file states the regression verdict explicitly.
+    out << "  \"speedup_vs_baseline\": {\n";
+    for (std::size_t i = 0; i < codecs.size(); ++i) {
+      const auto& c = codecs[i];
+      const double base_c =
+          baseline_field(baseline_json, c.name, "compress_MBps");
+      const double base_d =
+          baseline_field(baseline_json, c.name, "decompress_MBps");
+      const double base_rt =
+          baseline_field(baseline_json, c.name, "roundtrip_MBps");
+      const auto base_crc = static_cast<std::uint32_t>(
+          baseline_field(baseline_json, c.name, "stream_crc32"));
+      std::snprintf(
+          buf, sizeof(buf),
+          "    \"%s\": {\"compress\": %.2f, \"decompress\": %.2f, "
+          "\"roundtrip\": %.2f, \"stream_identical\": %s},\n",
+          c.name.c_str(), base_c > 0 ? c.compress_mbps / base_c : 0.0,
+          base_d > 0 ? c.decompress_mbps / base_d : 0.0,
+          base_rt > 0 ? c.roundtrip_mbps / base_rt : 0.0,
+          base_crc == c.stream_crc32 ? "true" : "false");
+      out << buf;
+    }
+    const double base_a2a =
+        baseline_field(baseline_json, "alltoall_hybrid", "exchange_MBps");
+    std::snprintf(buf, sizeof(buf),
+                  "    \"alltoall_hybrid\": {\"exchange\": %.2f}\n  },\n",
+                  base_a2a > 0 ? a2a.exchange_mbps / base_a2a : 0.0);
+    out << buf;
+    out << "  \"baseline\": " << baseline_json << "\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv, 1, {"--out", "--reps", "--label", "--baseline"},
+                 {"--smoke"});
+  const std::string out_path = args.str("--out", "BENCH_codec.json");
+  const std::size_t reps = args.has("--smoke") ? 1 : args.uint("--reps", 7);
+  const std::string label = args.str("--label", "current");
+
+  std::string baseline_json;
+  const std::string baseline_path = args.str("--baseline", "");
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    baseline_json.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    while (!baseline_json.empty() &&
+           (baseline_json.back() == '\n' || baseline_json.back() == ' ')) {
+      baseline_json.pop_back();
+    }
+  }
+
+  const auto input = payload();
+  const std::vector<std::string> names = {"huffman",     "cusz-like",
+                                          "hybrid",      "vector-lz",
+                                          "fz-gpu-like", "fp16"};
+
+  std::vector<CodecReport> reports;
+  for (const auto& name : names) {
+    reports.push_back(measure_codec(name, input, reps));
+    const auto& r = reports.back();
+    std::printf("%-12s compress %8.1f MB/s  decompress %8.1f MB/s  "
+                "ratio %6.3f  crc %10u  grow %lld\n",
+                r.name.c_str(), r.compress_mbps, r.decompress_mbps, r.ratio,
+                r.stream_crc32, r.steady_grow_events);
+  }
+
+  const A2AReport a2a = measure_alltoall("hybrid", input, reps);
+  std::printf("alltoall     exchange %8.1f MB/s  ratio %6.3f  grow %lld\n",
+              a2a.exchange_mbps, a2a.compression_ratio,
+              a2a.steady_grow_events);
+
+  write_json(out_path, label, input.size() * sizeof(float), reps, reports,
+             a2a, baseline_json);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
