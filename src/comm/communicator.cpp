@@ -25,9 +25,65 @@ CommContext::CommContext(int world_size, NetworkModel model)
 
 }  // namespace detail
 
+PendingCollective::Charge PendingCollective::wait() {
+  Charge charge;
+  if (waited_) return charge;
+  waited_ = true;
+
+  const double local = clock_->now();
+
+  // Compute performed since issue first covers the pre-start gap (peers
+  // still arriving / link busy): that part would have been charged to
+  // "<phase>/wait" by a blocking call, so it counts as hidden wait —
+  // in the clock's ledger and in the returned charge, mirroring how the
+  // exposed stall below enters Charge.exposed_seconds.
+  const double hidden_wait = std::min(local, start_) - issue_;
+  if (hidden_wait > 0.0) {
+    clock_->record_hidden(names_->wait, hidden_wait);
+    charge.hidden_seconds += hidden_wait;
+  }
+
+  // If the rank ran out of compute before the collective even started, it
+  // idles until the start exactly like a blocking call would; that stall
+  // is exposed communication time.
+  const double stall = start_ - local;
+  if (stall > 0.0) {
+    clock_->sync_to(names_->wait, start_);
+    charge.exposed_seconds += stall;
+  }
+
+  // Walk the modelled interval [start, start + sum(segments)]. Everything
+  // the local clock already covers is hidden; the remainder is exposed
+  // and advances the clock. With local <= start (no overlapped compute)
+  // this degenerates to the blocking charge, bit for bit.
+  const double overlap_until = std::max(local, start_);
+  double seg_begin = start_;
+  for (std::size_t i = 0; i < segment_count_; ++i) {
+    const Segment& seg = segments_[i];
+    const double hidden =
+        std::clamp(overlap_until - seg_begin, 0.0, seg.seconds);
+    const double exposed = seg.seconds - hidden;
+    if (hidden > 0.0) {
+      clock_->record_hidden(*seg.phase, hidden);
+      charge.hidden_seconds += hidden;
+    }
+    // Advance whenever anything is exposed, and also for zero-duration
+    // segments with no hiding — the latter mirrors the blocking path,
+    // which creates the phase entry even at 0.0 seconds (bitwise parity).
+    // Fully hidden segments must NOT plant phantom 0.0 entries in the
+    // exposed breakdown.
+    if (exposed > 0.0 || hidden == 0.0) {
+      clock_->advance(*seg.phase, exposed);
+    }
+    charge.exposed_seconds += exposed;
+    seg_begin += seg.seconds;
+  }
+  return charge;
+}
+
 void Communicator::barrier() { ctx_.barrier.arrive_and_wait(); }
 
-void Communicator::charge_collective(const std::string& phase, double seconds) {
+void Communicator::charge_collective(const PhaseNames& names, double seconds) {
   // Between the two barriers every rank's clock is quiescent (owners only
   // mutate their clock after the second barrier), so scanning all clocks
   // to find the slowest arrival is race-free.
@@ -36,12 +92,12 @@ void Communicator::charge_collective(const std::string& phase, double seconds) {
   for (const auto& c : ctx_.clocks) latest = std::max(latest, c.now());
   ctx_.barrier.arrive_and_wait();
 
-  clock().sync_to(phase + "/wait", latest);
-  clock().advance(phase, seconds);
+  clock().sync_to(names.wait, latest);
+  clock().advance(names.base, seconds);
 }
 
 void Communicator::all_to_all(std::span<const float> send, std::span<float> recv,
-                              std::size_t count_per_rank, const std::string& phase) {
+                              std::size_t count_per_rank, std::string_view phase) {
   const auto world = static_cast<std::size_t>(ctx_.world);
   DLCOMP_CHECK_MSG(send.size() == world * count_per_rank,
                    "all_to_all send size " << send.size() << " != world*count "
@@ -61,16 +117,26 @@ void Communicator::all_to_all(std::span<const float> send, std::span<float> recv
 
   const std::size_t wire_bytes = (world - 1) * count_per_rank * sizeof(float);
   ctx_.wire_bytes_sent[me] += wire_bytes;
-  charge_collective(phase, ctx_.net.alltoall_seconds(wire_bytes, ctx_.world));
+  charge_collective(interned_phase(phase),
+                    ctx_.net.alltoall_seconds(wire_bytes, ctx_.world));
 }
 
 std::vector<std::vector<std::byte>> Communicator::all_to_all_v(
-    const std::vector<std::vector<std::byte>>& send, const std::string& phase) {
+    const std::vector<std::vector<std::byte>>& send, std::string_view phase) {
+  PendingCollective pending = all_to_all_v_async(send, phase);
+  pending.wait();
+  return std::move(pending.recv());
+}
+
+PendingCollective Communicator::all_to_all_v_async(
+    const std::vector<std::vector<std::byte>>& send, std::string_view phase,
+    double not_before) {
   const auto world = static_cast<std::size_t>(ctx_.world);
   DLCOMP_CHECK_MSG(send.size() == world,
                    "all_to_all_v needs one chunk per destination");
 
   const auto me = static_cast<std::size_t>(rank_);
+  const PhaseNames& names = interned_phase(phase);
 
   // Stage (2) of the paper's pipeline: exchange compressed sizes so peers
   // can size their receive buffers. world*8 bytes per rank over the wire.
@@ -85,7 +151,10 @@ std::vector<std::vector<std::byte>> Communicator::all_to_all_v(
   // Stage (3): move payloads. Every rank also computes the *global*
   // bottleneck wire volume -- max over ranks of max(sent, received) -- so
   // all ranks charge identical collective time. This is exact because the
-  // shared slots expose every rank's send vector.
+  // shared slots expose every rank's send vector. Clocks are quiescent in
+  // this window too (owners only mutate their own clock outside
+  // collectives), so the slowest-arrival scan shares the copy window's
+  // barrier pair: one pair per exchange instead of the former three.
   std::vector<std::vector<std::byte>> recv(world);
   std::size_t bottleneck = 0;
   for (std::size_t src = 0; src < world; ++src) {
@@ -104,19 +173,39 @@ std::vector<std::vector<std::byte>> Communicator::all_to_all_v(
     }
     bottleneck = std::max(bottleneck, recv_wire);
   }
+  double latest = not_before;
+  for (const auto& c : ctx_.clocks) latest = std::max(latest, c.now());
   ctx_.barrier.arrive_and_wait();
 
   ctx_.wire_bytes_sent[me] += send_wire + (world - 1) * sizeof(std::uint64_t);
-  charge_collective(phase + "/metadata",
-                    ctx_.net.alltoall_seconds((world - 1) * sizeof(std::uint64_t),
-                                              ctx_.world));
-  charge_collective(phase, ctx_.net.alltoall_seconds(bottleneck, ctx_.world));
-  return recv;
+
+  PendingCollective pending;
+  pending.clock_ = &clock();
+  pending.names_ = &names;
+  pending.issue_ = clock().now();
+  pending.start_ = latest;
+  pending.segments_[0] = {
+      &names.metadata,
+      ctx_.net.alltoall_seconds((world - 1) * sizeof(std::uint64_t),
+                                ctx_.world)};
+  pending.segments_[1] = {&names.base,
+                          ctx_.net.alltoall_seconds(bottleneck, ctx_.world)};
+  pending.segment_count_ = 2;
+  pending.recv_ = std::move(recv);
+  pending.waited_ = false;
+  return pending;
 }
 
-void Communicator::all_reduce_sum(std::span<float> data, const std::string& phase) {
+void Communicator::all_reduce_sum(std::span<float> data, std::string_view phase) {
+  PendingCollective pending = all_reduce_sum_async(data, phase);
+  pending.wait();
+}
+
+PendingCollective Communicator::all_reduce_sum_async(std::span<float> data,
+                                                     std::string_view phase) {
   const auto world = static_cast<std::size_t>(ctx_.world);
   const auto me = static_cast<std::size_t>(rank_);
+  const PhaseNames& names = interned_phase(phase);
 
   ctx_.slots[me] = data.data();
   ctx_.size_slots[me] = data.size();
@@ -129,12 +218,15 @@ void Communicator::all_reduce_sum(std::span<float> data, const std::string& phas
 
   // Deterministic accumulation in rank order into a private buffer; the
   // in-place write happens only after the second barrier so peers never
-  // read half-updated data.
+  // read half-updated data. The slowest-arrival scan shares this barrier
+  // pair (clocks are quiescent here, see all_to_all_v_async).
   std::vector<float> acc(data.size(), 0.0f);
   for (std::size_t src = 0; src < world; ++src) {
     const auto* peer = static_cast<const float*>(ctx_.slots[src]);
     for (std::size_t i = 0; i < data.size(); ++i) acc[i] += peer[i];
   }
+  double latest = 0.0;
+  for (const auto& c : ctx_.clocks) latest = std::max(latest, c.now());
   ctx_.barrier.arrive_and_wait();
 
   std::copy(acc.begin(), acc.end(), data.begin());
@@ -147,11 +239,21 @@ void Communicator::all_reduce_sum(std::span<float> data, const std::string& phas
                             static_cast<double>(ctx_.world);
   ctx_.wire_bytes_sent[me] +=
       static_cast<std::size_t>(ring_factor * static_cast<double>(bytes));
-  charge_collective(phase, ctx_.net.allreduce_seconds(bytes, ctx_.world));
+
+  PendingCollective pending;
+  pending.clock_ = &clock();
+  pending.names_ = &names;
+  pending.issue_ = clock().now();
+  pending.start_ = latest;
+  pending.segments_[0] = {&names.base,
+                          ctx_.net.allreduce_seconds(bytes, ctx_.world)};
+  pending.segment_count_ = 1;
+  pending.waited_ = false;
+  return pending;
 }
 
 std::vector<std::uint64_t> Communicator::all_gather_u64(std::uint64_t value,
-                                                        const std::string& phase) {
+                                                        std::string_view phase) {
   const auto world = static_cast<std::size_t>(ctx_.world);
   const auto me = static_cast<std::size_t>(rank_);
 
@@ -161,13 +263,13 @@ std::vector<std::uint64_t> Communicator::all_gather_u64(std::uint64_t value,
   ctx_.barrier.arrive_and_wait();
 
   ctx_.wire_bytes_sent[me] += sizeof(std::uint64_t) * (world - 1);
-  charge_collective(phase,
+  charge_collective(interned_phase(phase),
                     ctx_.net.allgather_seconds(sizeof(std::uint64_t), ctx_.world));
   return out;
 }
 
 void Communicator::all_gather(std::span<const float> send, std::span<float> recv,
-                              const std::string& phase) {
+                              std::string_view phase) {
   const auto world = static_cast<std::size_t>(ctx_.world);
   DLCOMP_CHECK(recv.size() == send.size() * world);
   const auto me = static_cast<std::size_t>(rank_);
@@ -185,10 +287,11 @@ void Communicator::all_gather(std::span<const float> send, std::span<float> recv
 
   const std::size_t bytes = send.size() * sizeof(float);
   ctx_.wire_bytes_sent[me] += bytes * (world - 1);
-  charge_collective(phase, ctx_.net.allgather_seconds(bytes, ctx_.world));
+  charge_collective(interned_phase(phase),
+                    ctx_.net.allgather_seconds(bytes, ctx_.world));
 }
 
-void Communicator::broadcast(std::span<float> data, int root, const std::string& phase) {
+void Communicator::broadcast(std::span<float> data, int root, std::string_view phase) {
   const auto world = static_cast<std::size_t>(ctx_.world);
   DLCOMP_CHECK(root >= 0 && root < ctx_.world);
   const auto me = static_cast<std::size_t>(rank_);
@@ -208,7 +311,8 @@ void Communicator::broadcast(std::span<float> data, int root, const std::string&
 
   const std::size_t bytes = data.size() * sizeof(float);
   if (rank_ == root) ctx_.wire_bytes_sent[me] += bytes;
-  charge_collective(phase, ctx_.net.broadcast_seconds(bytes, ctx_.world));
+  charge_collective(interned_phase(phase),
+                    ctx_.net.broadcast_seconds(bytes, ctx_.world));
 }
 
 Cluster::Cluster(int world_size, NetworkModel model)

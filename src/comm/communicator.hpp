@@ -7,17 +7,28 @@
 /// modelled by NetworkModel and accumulated on per-rank SimClocks, with
 /// per-phase attribution so benches can reproduce the paper's time
 /// breakdowns. See DESIGN.md "Hardware / data substitutions".
+///
+/// Collectives come in blocking and nonblocking flavors. A nonblocking
+/// call moves the payload immediately (ranks are threads, so real data
+/// motion is instantaneous relative to the simulated wire) but defers the
+/// *clock* charge to PendingCollective::wait(): compute charged between
+/// issue and wait overlaps the modelled wire time, and only the exposed
+/// remainder stalls the rank. See DESIGN.md "Overlap and the simulated
+/// clock".
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "comm/barrier.hpp"
 #include "comm/network_model.hpp"
+#include "comm/phase_names.hpp"
 #include "parallel/sim_clock.hpp"
 
 namespace dlcomp {
@@ -43,6 +54,87 @@ struct CommContext {
 
 }  // namespace detail
 
+/// Handle to a collective issued with one of the *_async entry points.
+/// The payload has already moved by the time the handle exists; what is
+/// in flight is *simulated wire time*. wait() is purely local (no
+/// barriers): it compares the rank's clock — advanced by whatever compute
+/// ran since issue — against the collective's modelled interval
+/// [start, start + duration], charges only the exposed remainder to the
+/// clock, and records the overlapped part in the clock's hidden ledger.
+/// Waiting immediately after issue reproduces the blocking collectives'
+/// charges bit for bit.
+class PendingCollective {
+ public:
+  /// Clock charge applied by wait().
+  struct Charge {
+    double exposed_seconds = 0.0;  ///< stall added to the rank's clock
+    double hidden_seconds = 0.0;   ///< wire seconds absorbed by overlap
+  };
+
+  PendingCollective() = default;
+  PendingCollective(PendingCollective&& other) noexcept { *this = std::move(other); }
+  PendingCollective& operator=(PendingCollective&& other) noexcept {
+    if (this != &other) {
+      clock_ = other.clock_;
+      names_ = other.names_;
+      issue_ = other.issue_;
+      start_ = other.start_;
+      segments_ = other.segments_;
+      segment_count_ = other.segment_count_;
+      recv_ = std::move(other.recv_);
+      waited_ = other.waited_;
+      other.waited_ = true;  // a moved-from handle must never charge again
+    }
+    return *this;
+  }
+  PendingCollective(const PendingCollective&) = delete;
+  PendingCollective& operator=(const PendingCollective&) = delete;
+
+  /// Completes the collective on this rank's simulated clock and returns
+  /// what was charged. Idempotent: later calls return a zero charge.
+  Charge wait();
+
+  /// True once wait() ran (or the handle was default-constructed/moved
+  /// from). A destroyed un-waited handle simply never charges its time.
+  [[nodiscard]] bool complete() const noexcept { return waited_; }
+
+  /// Simulated time the collective starts: the slowest rank's issue time,
+  /// floored by the issue-time `not_before` (link serialization).
+  [[nodiscard]] double start_seconds() const noexcept { return start_; }
+
+  /// Simulated completion time (start + every modelled segment).
+  [[nodiscard]] double completion_seconds() const noexcept {
+    double t = start_;
+    for (std::size_t i = 0; i < segment_count_; ++i) t += segments_[i].seconds;
+    return t;
+  }
+
+  /// Received per-source buffers (all_to_all_v_async only).
+  [[nodiscard]] std::vector<std::vector<std::byte>>& recv() noexcept {
+    return recv_;
+  }
+
+ private:
+  friend class Communicator;
+
+  /// One attributed slice of the collective's wire time, in order
+  /// (e.g. metadata then payload). Phase strings are interned, so the
+  /// pointers outlive every handle.
+  struct Segment {
+    const std::string* phase = nullptr;
+    double seconds = 0.0;
+  };
+
+  SimClock* clock_ = nullptr;
+  const PhaseNames* names_ = nullptr;
+  double issue_ = 0.0;  ///< this rank's clock when it issued
+  double start_ = 0.0;
+  std::array<Segment, 2> segments_{};
+  std::size_t segment_count_ = 0;
+  std::vector<std::vector<std::byte>> recv_;
+  bool waited_ = true;
+};
+
 /// Per-rank handle used inside Cluster::run callbacks. Not copyable; each
 /// rank owns exactly one for the duration of the SPMD region.
 class Communicator {
@@ -66,7 +158,7 @@ class Communicator {
   }
 
   /// Attributes modelled (non-communication) time to this rank's clock.
-  void advance_compute(const std::string& phase, double seconds) {
+  void advance_compute(std::string_view phase, double seconds) {
     clock().advance(phase, seconds);
   }
 
@@ -77,36 +169,53 @@ class Communicator {
   /// `count_per_rank` floats (block d goes to rank d); `recv` receives
   /// world() blocks (block s came from rank s). Sizes must match exactly.
   void all_to_all(std::span<const float> send, std::span<float> recv,
-                  std::size_t count_per_rank, const std::string& phase);
+                  std::size_t count_per_rank, std::string_view phase);
 
   /// Variable-size all-to-all over byte chunks: send[d] goes to rank d;
   /// result[s] is the chunk rank s sent here. This models the paper's
   /// stage (2)+(3): chunk sizes are exchanged first (metadata all-to-all,
   /// charged separately to phase "<phase>/metadata"), then payloads move.
+  /// One barrier pair per exchange; equivalent to all_to_all_v_async
+  /// immediately waited.
   [[nodiscard]] std::vector<std::vector<std::byte>> all_to_all_v(
-      const std::vector<std::vector<std::byte>>& send, const std::string& phase);
+      const std::vector<std::vector<std::byte>>& send, std::string_view phase);
+
+  /// Nonblocking all_to_all_v: payloads move now, the clock is charged at
+  /// handle.wait() under the overlap model. `not_before` floors the
+  /// simulated start time (every rank must pass the same value) — the
+  /// pipelined exchange uses it to serialize chunk groups on one link.
+  [[nodiscard]] PendingCollective all_to_all_v_async(
+      const std::vector<std::vector<std::byte>>& send, std::string_view phase,
+      double not_before = 0.0);
 
   /// In-place sum all-reduce (deterministic: every rank accumulates peer
   /// buffers in rank order, so results are bitwise identical everywhere).
-  void all_reduce_sum(std::span<float> data, const std::string& phase);
+  void all_reduce_sum(std::span<float> data, std::string_view phase);
+
+  /// Nonblocking all-reduce: `data` holds the reduced result on return
+  /// (real movement is immediate), but simulated completion is charged at
+  /// handle.wait(). Callers must not *logically* consume the result
+  /// before waiting.
+  [[nodiscard]] PendingCollective all_reduce_sum_async(std::span<float> data,
+                                                       std::string_view phase);
 
   /// Gathers one u64 from every rank (index = source rank).
   [[nodiscard]] std::vector<std::uint64_t> all_gather_u64(std::uint64_t value,
-                                                          const std::string& phase);
+                                                          std::string_view phase);
 
   /// Gathers a fixed-size float block from every rank into recv
   /// (world() * count floats, ordered by source rank).
   void all_gather(std::span<const float> send, std::span<float> recv,
-                  const std::string& phase);
+                  std::string_view phase);
 
   /// Broadcast from `root` into `data` (all ranks pass same-sized spans).
-  void broadcast(std::span<float> data, int root, const std::string& phase);
+  void broadcast(std::span<float> data, int root, std::string_view phase);
 
  private:
   /// Synchronizes clocks to the slowest rank (charged to "<phase>/wait")
   /// then advances all by `seconds` charged to `phase`. Must be called by
   /// every rank with the same `seconds`.
-  void charge_collective(const std::string& phase, double seconds);
+  void charge_collective(const PhaseNames& names, double seconds);
 
   detail::CommContext& ctx_;
   const int rank_;

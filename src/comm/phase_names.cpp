@@ -1,0 +1,55 @@
+#include "comm/phase_names.hpp"
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_hash.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+// unique_ptr values keep the bundles' addresses stable across rehashes.
+using Table = std::unordered_map<std::string, std::unique_ptr<PhaseNames>,
+                                 TransparentStringHash, std::equal_to<>>;
+
+std::shared_mutex& table_mutex() {
+  static std::shared_mutex mutex;
+  return mutex;
+}
+
+Table& table() {
+  static Table* instance = new Table;  // leaked: references outlive statics
+  return *instance;
+}
+
+}  // namespace
+
+const PhaseNames& interned_phase(std::string_view base) {
+  {
+    std::shared_lock lock(table_mutex());
+    if (const auto it = table().find(base); it != table().end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(table_mutex());
+  if (const auto it = table().find(base); it != table().end()) {
+    return *it->second;
+  }
+  auto names = std::make_unique<PhaseNames>();
+  names->base = std::string(base);
+  names->wait = names->base + "/wait";
+  names->metadata = names->base + "/metadata";
+  names->compress = names->base + "/compress";
+  names->decompress = names->base + "/decompress";
+  const PhaseNames& ref = *names;
+  std::string key = names->base;
+  table().emplace(std::move(key), std::move(names));
+  return ref;
+}
+
+}  // namespace dlcomp

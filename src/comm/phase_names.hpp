@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file phase_names.hpp
+/// Interned per-phase name bundles for the iteration hot path. Collectives
+/// and the codec pipeline attribute time to derived names ("x/wait",
+/// "x/metadata", "x/compress", ...); building those with string
+/// concatenation on every call allocated several std::strings per
+/// iteration per rank. The interner materializes each bundle once per
+/// unique base name; afterwards a lookup is a shared-lock hash probe and
+/// the returned references stay valid for the life of the process.
+
+#include <string>
+#include <string_view>
+
+namespace dlcomp {
+
+/// One phase's base name plus every derived attribution name the comm and
+/// codec layers charge against. Never destroyed once interned, so callers
+/// may cache pointers freely (PendingCollective does).
+struct PhaseNames {
+  std::string base;
+  std::string wait;        ///< "<base>/wait"
+  std::string metadata;    ///< "<base>/metadata"
+  std::string compress;    ///< "<base>/compress"
+  std::string decompress;  ///< "<base>/decompress"
+};
+
+/// Thread-safe interner: the first call for a base name allocates the
+/// bundle, every later call is allocation-free.
+const PhaseNames& interned_phase(std::string_view base);
+
+}  // namespace dlcomp

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file string_hash.hpp
+/// Transparent string hasher for heterogeneous (string_view) lookup in
+/// unordered containers keyed by std::string — pair it with
+/// std::equal_to<> so find()/count() accept string_views without
+/// materializing a temporary std::string.
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace dlcomp {
+
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+}  // namespace dlcomp

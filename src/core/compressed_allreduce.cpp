@@ -27,6 +27,7 @@ AllReduceStats CompressedAllReduce::reduce(Communicator& comm,
     return stats;
   }
   const auto world = static_cast<std::size_t>(comm.world());
+  const PhaseNames& names = interned_phase(phase);
 
   // Compress the local contribution once; the same stream goes to every
   // peer (an all-gather expressed over the variable all-to-all).
@@ -43,7 +44,7 @@ AllReduceStats CompressedAllReduce::reduce(Communicator& comm,
       static_cast<double>(stats.raw_bytes) / static_cast<double>(stream.size());
 
   if (config_.charge_modeled_time) {
-    comm.advance_compute(phase + "/compress",
+    comm.advance_compute(names.compress,
                          config_.device.codec_seconds(
                              1, stats.raw_bytes, config_.throughput->compress_bps));
   }
@@ -71,7 +72,7 @@ AllReduceStats CompressedAllReduce::reduce(Communicator& comm,
 
   if (config_.charge_modeled_time) {
     comm.advance_compute(
-        phase + "/decompress",
+        names.decompress,
         config_.device.codec_seconds(1, stats.raw_bytes * world,
                                      config_.throughput->decompress_bps));
   }

@@ -1,6 +1,7 @@
 #include "core/compressed_alltoall.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "common/byte_io.hpp"
 #include "common/error.hpp"
@@ -13,25 +14,54 @@ CompressedAllToAll::CompressedAllToAll(CompressedAllToAllConfig config)
   if (config_.codec != nullptr && !config_.throughput.has_value()) {
     config_.throughput = calibrated_throughput(config_.codec->name());
   }
+  DLCOMP_CHECK_MSG(config_.pipeline_stages >= 1,
+                   "pipeline_stages must be at least 1");
+}
+
+CompressedAllToAll::PendingExchange&
+CompressedAllToAll::PendingExchange::operator=(PendingExchange&& other) noexcept {
+  if (this != &other) {
+    owner_ = other.owner_;
+    comm_ = other.comm_;
+    recv_ = other.recv_;
+    names_ = other.names_;
+    groups_ = other.groups_;
+    pending_ = std::move(other.pending_);
+    stats_ = other.stats_;
+    finished_ = other.finished_;
+    other.finished_ = true;  // a moved-from exchange must never finish
+  }
+  return *this;
 }
 
 /// Directory layout prepended to each destination buffer:
-///   u32 chunk_count | u64 sizes[count] | payload (streams back-to-back,
+///   u32 chunk_count (group 0 only; the total across all groups)
+///   | u64 sizes[chunks in this group] | payload (streams back-to-back,
 ///   in chunk order).
 /// Offsets are implied by prefix sums of sizes, so the directory stays
 /// minimal (this is the per-destination metadata of the paper's stage 2).
 /// The sizes are reserved up front and patched after each chunk lands, so
-/// streams compress straight into the send buffer.
-void CompressedAllToAll::read_directory_into(std::span<const std::byte> buffer,
-                                             RecvDirectory& dir) const {
+/// streams compress straight into the send buffer. With one group
+/// (monolithic) this is the pre-pipelining framing unchanged; with G
+/// groups the bytes on the wire are *identical in total* -- the count
+/// travels once and every chunk's u64 size travels exactly once.
+void CompressedAllToAll::read_group_directory_into(
+    Communicator& comm, std::span<const std::byte> buffer, RecvDirectory& dir,
+    std::size_t src, std::size_t lo, std::size_t hi,
+    std::size_t total_expected, bool first_group) const {
   ByteReader reader(buffer);
-  const auto count = reader.read<std::uint32_t>();
+  if (first_group) {
+    const auto count = reader.read<std::uint32_t>();
+    DLCOMP_CHECK_MSG(count == total_expected,
+                     "rank " << comm.rank() << " expected " << total_expected
+                             << " chunks from " << src << ", got " << count);
+  }
   dir.offsets.clear();
   dir.sizes.clear();
-  dir.offsets.reserve(count);
-  dir.sizes.reserve(count);
+  dir.offsets.reserve(hi - lo);
+  dir.sizes.reserve(hi - lo);
   std::size_t cursor = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
+  for (std::size_t i = lo; i < hi; ++i) {
     const auto size = static_cast<std::size_t>(reader.read<std::uint64_t>());
     dir.offsets.push_back(cursor);
     dir.sizes.push_back(size);
@@ -43,38 +73,27 @@ void CompressedAllToAll::read_directory_into(std::span<const std::byte> buffer,
   }
 }
 
-A2AStats CompressedAllToAll::exchange(
+std::size_t CompressedAllToAll::pack_group(
     Communicator& comm, const std::vector<std::vector<A2AChunkSpec>>& send,
-    const std::vector<std::vector<std::span<float>>>& recv,
-    const std::string& phase) const {
+    std::size_t g, std::size_t groups, A2AStats& stats) const {
   const auto world = static_cast<std::size_t>(comm.world());
-  DLCOMP_CHECK_MSG(send.size() == world, "need one chunk list per destination");
-  DLCOMP_CHECK_MSG(recv.size() == world, "need one output list per source");
 
-  A2AStats stats;
-
-  // ---- Stage (1): compress every chunk straight into its destination's
-  // packed buffer (directory first, sizes patched in place). One task per
-  // destination; each task uses its peer's dedicated workspace.
   WallTimer compress_timer;
-  scratch_.packed.resize(world);
-  if (scratch_.per_peer.size() < world) {
-    scratch_.per_peer.reserve(world);
-    while (scratch_.per_peer.size() < world) {
-      scratch_.per_peer.push_back(std::make_unique<CompressionWorkspace>());
-    }
-  }
-
   auto pack_destination = [&](std::size_t d) {
     std::vector<std::byte>& buf = scratch_.packed[d];
+    const std::size_t cap_before = buf.capacity();
     buf.clear();
     const auto& chunks = send[d];
-    append_pod(buf, static_cast<std::uint32_t>(chunks.size()));
+    const std::size_t lo = group_begin(chunks.size(), groups, g);
+    const std::size_t hi = group_begin(chunks.size(), groups, g + 1);
+    if (g == 0) {
+      append_pod(buf, static_cast<std::uint32_t>(chunks.size()));
+    }
     const std::size_t sizes_at = buf.size();
-    buf.resize(sizes_at + chunks.size() * sizeof(std::uint64_t));
+    buf.resize(sizes_at + (hi - lo) * sizeof(std::uint64_t));
 
     CompressionWorkspace& ws = *scratch_.per_peer[d];
-    for (std::size_t i = 0; i < chunks.size(); ++i) {
+    for (std::size_t i = lo; i < hi; ++i) {
       const std::size_t before = buf.size();
       if (config_.codec != nullptr) {
         config_.codec->compress(chunks[i].data, chunks[i].params, buf, ws);
@@ -86,8 +105,11 @@ A2AStats CompressedAllToAll::exchange(
       }
       const auto stream_bytes =
           static_cast<std::uint64_t>(buf.size() - before);
-      std::memcpy(buf.data() + sizes_at + i * sizeof(std::uint64_t),
+      std::memcpy(buf.data() + sizes_at + (i - lo) * sizeof(std::uint64_t),
                   &stream_bytes, sizeof(stream_bytes));
+    }
+    if (buf.capacity() != cap_before) {
+      scratch_.grow_events.fetch_add(1, std::memory_order_relaxed);
     }
   };
   if (config_.pool != nullptr && world > 1) {
@@ -100,45 +122,56 @@ A2AStats CompressedAllToAll::exchange(
   } else {
     for (std::size_t d = 0; d < world; ++d) pack_destination(d);
   }
-  stats.compress_wall_seconds = compress_timer.seconds();
+  stats.compress_wall_seconds += compress_timer.seconds();
 
+  std::size_t group_raw = 0;
   for (std::size_t d = 0; d < world; ++d) {
-    for (const auto& chunk : send[d]) {
-      stats.send_raw_bytes += chunk.data.size_bytes();
+    const auto& chunks = send[d];
+    const std::size_t lo = group_begin(chunks.size(), groups, g);
+    const std::size_t hi = group_begin(chunks.size(), groups, g + 1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      group_raw += chunks[i].data.size_bytes();
     }
     stats.send_wire_bytes += scratch_.packed[d].size();
   }
+  return group_raw;
+}
 
-  // Charge modelled codec time (single fused kernel writing into the
-  // send buffer, per the buffer optimization).
-  if (config_.charge_modeled_time && config_.codec != nullptr) {
-    stats.modeled_compress_seconds = config_.device.codec_seconds(
-        1, stats.send_raw_bytes, config_.throughput->compress_bps);
-    comm.advance_compute(phase + "/compress", stats.modeled_compress_seconds);
-  }
+void CompressedAllToAll::land_group(
+    Communicator& comm, PendingCollective& pending, std::size_t g,
+    std::size_t groups, const std::vector<std::vector<std::span<float>>>& recv,
+    const PhaseNames& names, A2AStats& stats) const {
+  const auto world = static_cast<std::size_t>(comm.world());
 
-  // ---- Stages (2) + (3): metadata exchange then payload exchange.
-  const auto received = comm.all_to_all_v(scratch_.packed, phase);
+  const PendingCollective::Charge charge = pending.wait();
+  stats.exposed_comm_seconds += charge.exposed_seconds;
+  stats.hidden_comm_seconds += charge.hidden_seconds;
+  const auto& received = pending.recv();
 
-  // ---- Stage (4): decompress (parallel across sources, chunks within a
-  // source in order; workspaces leased per task as above).
+  // ---- Stage (4): decompress this group (parallel across sources,
+  // chunks within a source in order; per-peer workspaces as in stage 1 —
+  // the two stages never run concurrently, so sharing is safe).
   WallTimer decompress_timer;
   scratch_.dirs.resize(world);
-  std::size_t recv_raw_bytes = 0;
+  std::size_t group_recv_raw = 0;
   for (std::size_t s = 0; s < world; ++s) {
-    read_directory_into(received[s], scratch_.dirs[s]);
-    DLCOMP_CHECK_MSG(scratch_.dirs[s].sizes.size() == recv[s].size(),
-                     "rank " << comm.rank() << " expected " << recv[s].size()
-                             << " chunks from " << s << ", got "
-                             << scratch_.dirs[s].sizes.size());
-    for (const auto& out : recv[s]) recv_raw_bytes += out.size() * sizeof(float);
+    const std::size_t lo = group_begin(recv[s].size(), groups, g);
+    const std::size_t hi = group_begin(recv[s].size(), groups, g + 1);
+    read_group_directory_into(comm, received[s], scratch_.dirs[s], s, lo, hi,
+                              recv[s].size(), g == 0);
+    for (std::size_t i = lo; i < hi; ++i) {
+      group_recv_raw += recv[s][i].size() * sizeof(float);
+    }
   }
 
   auto unpack_source = [&](std::size_t s) {
     const RecvDirectory& dir = scratch_.dirs[s];
     CompressionWorkspace& ws = *scratch_.per_peer[s];
-    for (std::size_t i = 0; i < recv[s].size(); ++i) {
-      const auto stream = dir.payload.subspan(dir.offsets[i], dir.sizes[i]);
+    const std::size_t lo = group_begin(recv[s].size(), groups, g);
+    const std::size_t hi = group_begin(recv[s].size(), groups, g + 1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto stream =
+          dir.payload.subspan(dir.offsets[i - lo], dir.sizes[i - lo]);
       auto out = recv[s][i];
       if (config_.codec != nullptr) {
         config_.codec->decompress(stream, out, ws);
@@ -159,19 +192,101 @@ A2AStats CompressedAllToAll::exchange(
   } else {
     for (std::size_t s = 0; s < world; ++s) unpack_source(s);
   }
-  stats.decompress_wall_seconds = decompress_timer.seconds();
+  stats.decompress_wall_seconds += decompress_timer.seconds();
 
   if (config_.charge_modeled_time && config_.codec != nullptr) {
-    stats.modeled_decompress_seconds = config_.device.codec_seconds(
-        1, recv_raw_bytes, config_.throughput->decompress_bps);
-    comm.advance_compute(phase + "/decompress",
-                         stats.modeled_decompress_seconds);
+    const double modeled = config_.device.codec_seconds(
+        1, group_recv_raw, config_.throughput->decompress_bps);
+    stats.modeled_decompress_seconds += modeled;
+    comm.advance_compute(names.decompress, modeled);
   }
-  return stats;
+}
+
+CompressedAllToAll::PendingExchange CompressedAllToAll::exchange_begin(
+    Communicator& comm, const std::vector<std::vector<A2AChunkSpec>>& send,
+    const std::vector<std::vector<std::span<float>>>& recv,
+    std::string_view phase) const {
+  const auto world = static_cast<std::size_t>(comm.world());
+  DLCOMP_CHECK_MSG(send.size() == world, "need one chunk list per destination");
+  DLCOMP_CHECK_MSG(recv.size() == world, "need one output list per source");
+
+  const PhaseNames& names = interned_phase(phase);
+  const std::size_t groups = config_.pipeline_stages;
+
+  PendingExchange ex;
+  ex.owner_ = this;
+  ex.comm_ = &comm;
+  ex.recv_ = &recv;
+  ex.names_ = &names;
+  ex.groups_ = groups;
+  ex.finished_ = false;
+
+  scratch_.packed.resize(world);
+  if (scratch_.per_peer.size() < world) {
+    scratch_.per_peer.reserve(world);
+    while (scratch_.per_peer.size() < world) {
+      scratch_.per_peer.push_back(std::make_unique<CompressionWorkspace>());
+      scratch_.grow_events.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  for (std::size_t d = 0; d < world; ++d) {
+    for (const auto& chunk : send[d]) {
+      ex.stats_.send_raw_bytes += chunk.data.size_bytes();
+    }
+  }
+
+  // ---- Stages (1)-(3), group by group. Group g+1 compresses while group
+  // g's payload is on the simulated wire; group g decompresses while
+  // group g+1 is in flight. Groups serialize on the link: stage g may not
+  // start before stage g-1's completion (`not_before`), which every rank
+  // computes identically.
+  PendingCollective in_flight;
+  double link_free_at = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t group_raw = pack_group(comm, send, g, groups, ex.stats_);
+
+    // Modelled codec time for this group (one fused kernel per group,
+    // writing into the send buffer per the buffer optimization). Charged
+    // before the group is issued, so it overlaps the previous group's
+    // wire time.
+    if (config_.charge_modeled_time && config_.codec != nullptr) {
+      const double modeled = config_.device.codec_seconds(
+          1, group_raw, config_.throughput->compress_bps);
+      ex.stats_.modeled_compress_seconds += modeled;
+      comm.advance_compute(names.compress, modeled);
+    }
+
+    PendingCollective issued =
+        comm.all_to_all_v_async(scratch_.packed, phase, link_free_at);
+    link_free_at = issued.completion_seconds();
+    if (g > 0) {
+      land_group(comm, in_flight, g - 1, groups, recv, names, ex.stats_);
+    }
+    in_flight = std::move(issued);
+  }
+  ex.pending_ = std::move(in_flight);
+  return ex;
+}
+
+A2AStats CompressedAllToAll::PendingExchange::finish() {
+  DLCOMP_CHECK_MSG(!finished_, "exchange already finished");
+  finished_ = true;
+  owner_->land_group(*comm_, pending_, groups_ - 1, groups_, *recv_, *names_,
+                     stats_);
+  return stats_;
+}
+
+A2AStats CompressedAllToAll::exchange(
+    Communicator& comm, const std::vector<std::vector<A2AChunkSpec>>& send,
+    const std::vector<std::vector<std::span<float>>>& recv,
+    std::string_view phase) const {
+  PendingExchange ex = exchange_begin(comm, send, recv, phase);
+  return ex.finish();
 }
 
 std::uint64_t CompressedAllToAll::workspace_grow_events() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = scratch_.grow_events.load(std::memory_order_relaxed);
   for (const auto& ws : scratch_.per_peer) total += ws->grow_events();
   return total;
 }

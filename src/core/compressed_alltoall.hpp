@@ -23,17 +23,30 @@
 /// buffers retain their high-water capacity across iterations
 /// (workspace_grow_events() exposes the counter tests assert on).
 ///
+/// Stage pipelining (`pipeline_stages > 1`): each destination's chunk
+/// list is split into contiguous groups; group k+1 compresses while group
+/// k's payload is in flight on the simulated wire and groups decompress
+/// as they land, so codec time hides wire time (and vice versa). Groups
+/// serialize on the link (`not_before` floors each stage's start), the
+/// framing carries exactly the monolithic path's bytes (the u32 chunk
+/// count travels once, with group 0), and the received floats are
+/// byte-identical to the monolithic path -- both asserted in tests.
+///
 /// Wall time of the CPU codecs is measured and reported; simulated clocks
 /// are charged with modelled GPU codec time (calibrated throughput +
 /// kernel launches) so breakdowns compose consistently with the network
-/// model.
+/// model. A2AStats splits the modelled wire time into exposed (stalled
+/// the rank) and hidden (overlapped by codec/compute) seconds.
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/phase_names.hpp"
 #include "compress/compressor.hpp"
 #include "compress/workspace.hpp"
 #include "parallel/device_model.hpp"
@@ -55,6 +68,12 @@ struct A2AStats {
   double decompress_wall_seconds = 0.0;
   double modeled_compress_seconds = 0.0;
   double modeled_decompress_seconds = 0.0;
+  /// Modelled wire seconds (metadata + payload + wait) that stalled this
+  /// rank's clock vs. the part absorbed by overlapped codec/compute work.
+  /// Serial (monolithic, no exchange_begin overlap) exchanges expose
+  /// everything.
+  double exposed_comm_seconds = 0.0;
+  double hidden_comm_seconds = 0.0;
 
   [[nodiscard]] double compression_ratio() const noexcept {
     return send_wire_bytes == 0
@@ -77,11 +96,46 @@ struct CompressedAllToAllConfig {
   std::optional<CodecThroughput> throughput;
   /// Whether to advance the rank's SimClock by modelled codec time.
   bool charge_modeled_time = true;
+  /// Chunk groups per destination for the stage-pipelined exchange; 1 =
+  /// monolithic (compress everything, then one collective). Every rank
+  /// must configure the same value.
+  std::size_t pipeline_stages = 1;
 };
 
 class CompressedAllToAll {
  public:
   explicit CompressedAllToAll(CompressedAllToAllConfig config);
+
+  /// An exchange whose final payload group is still on the simulated
+  /// wire. Between exchange_begin() and finish(), compute charged on the
+  /// rank's clock hides that wire time (trainer-level overlap). The
+  /// `send`/`recv` structures passed to exchange_begin() must stay alive
+  /// until finish() returns. Move-only; finish() must be called exactly
+  /// once.
+  class PendingExchange {
+   public:
+    PendingExchange(PendingExchange&& other) noexcept { *this = std::move(other); }
+    PendingExchange& operator=(PendingExchange&& other) noexcept;
+    PendingExchange(const PendingExchange&) = delete;
+    PendingExchange& operator=(const PendingExchange&) = delete;
+
+    /// Lands the final group (overlap-charged wait), decompresses it into
+    /// the receive spans, and returns the completed stats.
+    A2AStats finish();
+
+   private:
+    friend class CompressedAllToAll;
+    PendingExchange() = default;
+
+    const CompressedAllToAll* owner_ = nullptr;
+    Communicator* comm_ = nullptr;
+    const std::vector<std::vector<std::span<float>>>* recv_ = nullptr;
+    const PhaseNames* names_ = nullptr;
+    std::size_t groups_ = 1;
+    PendingCollective pending_;  ///< last issued group's collective
+    A2AStats stats_;
+    bool finished_ = true;
+  };
 
   /// Performs the pipeline. `send[d]` lists chunks for destination d
   /// (d in [0, world)); `recv[s][i]` must be pre-sized to the element
@@ -95,21 +149,34 @@ class CompressedAllToAll {
   /// work may still fan out across the shared pool.
   ///
   /// Phase attribution on the simulated clock: "<phase>/compress",
-  /// "<phase>/metadata", "<phase>" (payload), "<phase>/decompress".
+  /// "<phase>/metadata", "<phase>" (payload), "<phase>/decompress",
+  /// "<phase>/wait" (slowest-rank sync). Equivalent to exchange_begin()
+  /// immediately finish()ed.
   A2AStats exchange(Communicator& comm,
                     const std::vector<std::vector<A2AChunkSpec>>& send,
                     const std::vector<std::vector<std::span<float>>>& recv,
-                    const std::string& phase) const;
+                    std::string_view phase) const;
 
-  /// Total scratch (re)allocations across this instance's workspaces;
-  /// flat after warm-up == zero codec-path heap allocations per exchange.
+  /// Starts an exchange and returns with the last chunk group still in
+  /// flight on the simulated wire (earlier groups, if pipelining, have
+  /// already landed and decompressed). The caller may charge overlapped
+  /// compute before finish().
+  [[nodiscard]] PendingExchange exchange_begin(
+      Communicator& comm, const std::vector<std::vector<A2AChunkSpec>>& send,
+      const std::vector<std::vector<std::span<float>>>& recv,
+      std::string_view phase) const;
+
+  /// Total scratch (re)allocations across this instance's workspaces and
+  /// packed send buffers (buffer growth and workspace creation both
+  /// count); flat after warm-up == zero codec-path heap allocations per
+  /// exchange.
   [[nodiscard]] std::uint64_t workspace_grow_events() const;
 
   /// High-water heap capacity of the reused send buffers + workspaces.
   [[nodiscard]] std::size_t scratch_capacity_bytes() const;
 
  private:
-  /// Parsed view of one received packed buffer.
+  /// Parsed view of one received packed buffer (one chunk group).
   struct RecvDirectory {
     std::vector<std::size_t> offsets;  // into payload
     std::vector<std::size_t> sizes;
@@ -119,19 +186,68 @@ class CompressedAllToAll {
   /// Per-instance reusable state. Mutable because exchange() is logically
   /// const (scratch contents are never observable between calls).
   ///
-  /// Workspaces are indexed by peer rank, not pooled: the compress and
-  /// decompress stages never overlap within one exchange, so workspace d
-  /// always sees destination d's chunks then source d's streams — sizes
-  /// are stable across iterations, which is what makes the zero-growth
-  /// guarantee deterministic rather than dependent on lease scheduling.
+  /// Workspaces are indexed by peer rank, not pooled: within one exchange
+  /// the compress and decompress stages of any chunk group never run
+  /// concurrently, so workspace d always sees destination d's chunks then
+  /// source d's streams — sizes are stable across iterations, which is
+  /// what makes the zero-growth guarantee deterministic rather than
+  /// dependent on lease scheduling.
   struct Scratch {
+    Scratch() = default;
+    // The atomic member deletes the implicit moves vectors need; moving
+    // an instance is only ever done while no exchange is running.
+    Scratch(Scratch&& other) noexcept
+        : per_peer(std::move(other.per_peer)),
+          packed(std::move(other.packed)),
+          dirs(std::move(other.dirs)),
+          grow_events(other.grow_events.load(std::memory_order_relaxed)) {}
+    Scratch& operator=(Scratch&& other) noexcept {
+      per_peer = std::move(other.per_peer);
+      packed = std::move(other.packed);
+      dirs = std::move(other.dirs);
+      grow_events.store(other.grow_events.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      return *this;
+    }
+
     std::vector<std::unique_ptr<CompressionWorkspace>> per_peer;
     std::vector<std::vector<std::byte>> packed;  // per destination
     std::vector<RecvDirectory> dirs;             // per source
+    /// Packed-buffer capacity growth + workspace creation, counted so a
+    /// freshly constructed (or wrongly re-constructed-per-iteration)
+    /// instance is visible to the steady-state grow-event tests. Atomic:
+    /// packing fans out across the pool.
+    std::atomic<std::uint64_t> grow_events{0};
   };
 
-  void read_directory_into(std::span<const std::byte> buffer,
-                           RecvDirectory& dir) const;
+  /// First chunk index of group g when `count` chunks split into `groups`
+  /// contiguous groups (deterministic on both sender and receiver).
+  static std::size_t group_begin(std::size_t count, std::size_t groups,
+                                 std::size_t g) noexcept {
+    return count * g / groups;
+  }
+
+  /// Compresses group g of every destination into scratch_.packed.
+  /// Returns the group's raw payload bytes; adds its wire bytes and wall
+  /// seconds to `stats`.
+  std::size_t pack_group(Communicator& comm,
+                         const std::vector<std::vector<A2AChunkSpec>>& send,
+                         std::size_t g, std::size_t groups,
+                         A2AStats& stats) const;
+
+  /// Waits for group g's collective (overlap-charged), decompresses its
+  /// chunks into the receive spans and charges modelled decompress time.
+  void land_group(Communicator& comm, PendingCollective& pending,
+                  std::size_t g, std::size_t groups,
+                  const std::vector<std::vector<std::span<float>>>& recv,
+                  const PhaseNames& names, A2AStats& stats) const;
+
+  void read_group_directory_into(Communicator& comm,
+                                 std::span<const std::byte> buffer,
+                                 RecvDirectory& dir, std::size_t src,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t total_expected,
+                                 bool first_group) const;
 
   CompressedAllToAllConfig config_;
   mutable Scratch scratch_;

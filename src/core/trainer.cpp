@@ -43,9 +43,9 @@ std::vector<std::size_t> top_dims(const DatasetSpec& spec,
   return dims;
 }
 
-/// Flattens MLP gradients into one buffer, all-reduces, averages by
-/// world, writes back.
-void allreduce_mlp_grads(Communicator& comm, RankState& state) {
+/// Flattens MLP gradients into state.grad_scratch (the all-reduce send
+/// buffer, reused across iterations).
+void pack_mlp_grads(RankState& state) {
   auto views_b = state.bottom->grad_views();
   auto views_t = state.top->grad_views();
   std::size_t total = 0;
@@ -60,11 +60,14 @@ void allreduce_mlp_grads(Communicator& comm, RankState& state) {
   };
   for (auto& v : views_b) pack(v);
   for (auto& v : views_t) pack(v);
+}
 
-  comm.all_reduce_sum(state.grad_scratch, phases::kAllReduce);
-
-  const float inv_world = 1.0f / static_cast<float>(comm.world());
-  cursor = 0;
+/// Writes the reduced gradients back into the MLPs, averaged by world.
+void unpack_mlp_grads(RankState& state, int world) {
+  auto views_b = state.bottom->grad_views();
+  auto views_t = state.top->grad_views();
+  const float inv_world = 1.0f / static_cast<float>(world);
+  std::size_t cursor = 0;
   auto unpack = [&](std::span<float> v) {
     for (std::size_t i = 0; i < v.size(); ++i) {
       v[i] = state.grad_scratch[cursor + i] * inv_world;
@@ -73,6 +76,23 @@ void allreduce_mlp_grads(Communicator& comm, RankState& state) {
   };
   for (auto& v : views_b) unpack(v);
   for (auto& v : views_t) unpack(v);
+}
+
+/// Serial pack + all-reduce + unpack (the non-overlapped schedule).
+void allreduce_mlp_grads(Communicator& comm, RankState& state) {
+  pack_mlp_grads(state);
+  comm.all_reduce_sum(state.grad_scratch, phases::kAllReduce);
+  unpack_mlp_grads(state, comm.world());
+}
+
+/// A phase counts as communication if it belongs to one of the collective
+/// families and is not a codec slice (compress/decompress are compute).
+bool is_comm_phase(const std::string& phase) {
+  const bool comm_family = phase.rfind(phases::kAllToAllFwd, 0) == 0 ||
+                           phase.rfind(phases::kAllToAllBwd, 0) == 0 ||
+                           phase.rfind(phases::kAllReduce, 0) == 0;
+  return comm_family && phase.find("/compress") == std::string::npos &&
+         phase.find("/decompress") == std::string::npos;
 }
 
 /// Rank-0 held-out evaluation using its MLP replicas and the shared
@@ -105,6 +125,22 @@ LossResult evaluate_full(Mlp& bottom, Mlp& top,
 }
 
 }  // namespace
+
+double TrainingResult::exposed_comm_seconds() const {
+  double total = 0.0;
+  for (const auto& [phase, seconds] : phase_seconds) {
+    if (is_comm_phase(phase)) total += seconds;
+  }
+  return total;
+}
+
+double TrainingResult::hidden_comm_seconds() const {
+  double total = 0.0;
+  for (const auto& [phase, seconds] : hidden_phase_seconds) {
+    if (is_comm_phase(phase)) total += seconds;
+  }
+  return total;
+}
 
 HybridParallelTrainer::HybridParallelTrainer(TrainerConfig config)
     : config_(std::move(config)) {
@@ -215,6 +251,7 @@ TrainingResult HybridParallelTrainer::train(
   std::atomic<std::uint64_t> fwd_wire{0};
   std::atomic<std::uint64_t> bwd_raw{0};
   std::atomic<std::uint64_t> bwd_wire{0};
+  std::atomic<std::uint64_t> steady_grow{0};
 
   WallTimer wall;
   Cluster cluster(config_.world, config_.network);
@@ -240,7 +277,30 @@ TrainingResult HybridParallelTrainer::train(
     a2a_config.codec = codec;
     a2a_config.pool = &codec_pool;
     a2a_config.device = config_.device;
+    a2a_config.pipeline_stages =
+        std::max<std::size_t>(1, config_.overlap.pipeline_stages);
     const CompressedAllToAll a2a(a2a_config);
+
+    // Raw-gradient exchange for compress_backward=false, hoisted next to
+    // the forward instance: constructing it inside the iteration loop
+    // reallocated its send buffers and per-peer workspaces every
+    // iteration, defeating the zero-allocation steady state.
+    std::unique_ptr<const CompressedAllToAll> raw_a2a;
+    if (codec != nullptr && !config_.compression.compress_backward) {
+      CompressedAllToAllConfig raw_config = a2a_config;
+      raw_config.codec = nullptr;
+      raw_config.throughput.reset();
+      // A raw exchange charges no codec time, so pipelining it has
+      // nothing to hide and would only add per-group metadata/alpha cost.
+      raw_config.pipeline_stages = 1;
+      raw_a2a = std::make_unique<const CompressedAllToAll>(raw_config);
+    }
+    const CompressedAllToAll& bwd_a2a = raw_a2a ? *raw_a2a : a2a;
+    const auto grow_events_total = [&] {
+      return a2a.workspace_grow_events() +
+             (raw_a2a ? raw_a2a->workspace_grow_events() : 0);
+    };
+    std::uint64_t grow_baseline = 0;
 
     // Reused buffers.
     std::vector<Matrix> owned_lookup(num_tables);   // B_glob x dim (owned only)
@@ -263,10 +323,15 @@ TrainingResult HybridParallelTrainer::train(
         local_labels[b] = batch.labels[row0 + b];
       }
 
-      // ---- Forward: bottom MLP on the local dense slice.
-      const Matrix& z0 = state.bottom->forward(local_dense);
-      comm.advance_compute(phases::kBottomMlp,
-                           config_.compute.mlp_seconds(local_batch, bdims));
+      // ---- Forward: bottom MLP on the local dense slice. With forward
+      // overlap it instead runs while the forward all-to-all is in flight
+      // (the two are data-independent); the math is identical either way.
+      const Matrix* z0 = nullptr;
+      if (!config_.overlap.forward) {
+        z0 = &state.bottom->forward(local_dense);
+        comm.advance_compute(phases::kBottomMlp,
+                             config_.compute.mlp_seconds(local_batch, bdims));
+      }
 
       // ---- Forward: owned-table lookups over the *global* batch.
       std::size_t lookup_bytes = 0;
@@ -300,14 +365,25 @@ TrainingResult HybridParallelTrainer::train(
           recv_fwd[s].push_back(local_lookup[t].flat());
         }
       }
-      const A2AStats fwd_stats =
-          a2a.exchange(comm, send_fwd, recv_fwd, phases::kAllToAllFwd);
+      A2AStats fwd_stats;
+      if (config_.overlap.forward) {
+        // Issue the exchange, run the bottom MLP "under" the wire, then
+        // land the final payload group.
+        auto pending_fwd =
+            a2a.exchange_begin(comm, send_fwd, recv_fwd, phases::kAllToAllFwd);
+        z0 = &state.bottom->forward(local_dense);
+        comm.advance_compute(phases::kBottomMlp,
+                             config_.compute.mlp_seconds(local_batch, bdims));
+        fwd_stats = pending_fwd.finish();
+      } else {
+        fwd_stats = a2a.exchange(comm, send_fwd, recv_fwd, phases::kAllToAllFwd);
+      }
       fwd_raw.fetch_add(fwd_stats.send_raw_bytes, std::memory_order_relaxed);
       fwd_wire.fetch_add(fwd_stats.send_wire_bytes, std::memory_order_relaxed);
 
       // ---- Forward: interaction + top MLP + loss on the local slice.
       Matrix feat(local_batch, DotInteraction::output_dim(num_tables, dim));
-      DotInteraction::forward(z0, local_lookup, feat);
+      DotInteraction::forward(*z0, local_lookup, feat);
       comm.advance_compute(
           phases::kInteraction,
           config_.compute.interaction_seconds(local_batch, num_tables, dim));
@@ -329,7 +405,7 @@ TrainingResult HybridParallelTrainer::train(
       for (std::size_t t = 0; t < num_tables; ++t) {
         demb[t].resize(local_batch, dim);
       }
-      DotInteraction::backward(z0, local_lookup, dfeat, dz0,
+      DotInteraction::backward(*z0, local_lookup, dfeat, dz0,
                                std::span<Matrix>(demb));
       comm.advance_compute(
           phases::kInteraction,
@@ -359,43 +435,62 @@ TrainingResult HybridParallelTrainer::train(
               local_batch * dim));
         }
       }
-      if (config_.compression.compress_backward || codec == nullptr) {
+      // ---- Backward all-to-all + bottom MLP + embedding update + MLP
+      // gradient all-reduce. The serial schedule runs them in that order;
+      // with backward overlap the bottom-MLP backward runs first (so
+      // every MLP gradient exists), the all-reduce goes on the wire
+      // nonblocking (NVLink-class link in the network model, disjoint
+      // from the all-to-all fabric), and the gradient all-to-all plus the
+      // embedding update run under it. Identical float operations on
+      // identical inputs either way.
+      const auto run_bwd_exchange = [&] {
         const A2AStats bwd_stats =
-            a2a.exchange(comm, send_bwd, recv_bwd, phases::kAllToAllBwd);
+            bwd_a2a.exchange(comm, send_bwd, recv_bwd, phases::kAllToAllBwd);
         bwd_raw.fetch_add(bwd_stats.send_raw_bytes, std::memory_order_relaxed);
         bwd_wire.fetch_add(bwd_stats.send_wire_bytes, std::memory_order_relaxed);
+      };
+      const auto run_bottom_backward = [&] {
+        (void)state.bottom->backward(dz0);
+        comm.advance_compute(
+            phases::kBottomMlp,
+            2.0 * config_.compute.mlp_seconds(local_batch, bdims));
+      };
+      const auto run_emb_update = [&] {
+        // Embedding updates are global-batch means: scale by 1/world,
+        // see header.
+        std::size_t update_bytes = 0;
+        const float lr_scale = 1.0f / static_cast<float>(world);
+        for (const std::size_t t : state.owned_tables) {
+          optimizers[t].apply(tables[t], batch.indices[t], grad_assembled[t],
+                              lr_scale);
+          update_bytes += grad_assembled[t].size() * sizeof(float);
+        }
+        comm.advance_compute(phases::kEmbUpdate,
+                             config_.compute.memory_bound_seconds(update_bytes));
+      };
+
+      if (config_.overlap.backward) {
+        run_bottom_backward();
+        pack_mlp_grads(state);
+        PendingCollective pending_ar =
+            comm.all_reduce_sum_async(state.grad_scratch, phases::kAllReduce);
+        run_bwd_exchange();
+        run_emb_update();
+        pending_ar.wait();
+        unpack_mlp_grads(state, comm.world());
       } else {
-        // Backward compression disabled: raw exchange.
-        CompressedAllToAllConfig raw_config = a2a_config;
-        raw_config.codec = nullptr;
-        const CompressedAllToAll raw_a2a(raw_config);
-        const A2AStats bwd_stats =
-            raw_a2a.exchange(comm, send_bwd, recv_bwd, phases::kAllToAllBwd);
-        bwd_raw.fetch_add(bwd_stats.send_raw_bytes, std::memory_order_relaxed);
-        bwd_wire.fetch_add(bwd_stats.send_wire_bytes, std::memory_order_relaxed);
+        run_bwd_exchange();
+        run_bottom_backward();
+        run_emb_update();
+        allreduce_mlp_grads(comm, state);
       }
-
-      // ---- Backward: bottom MLP; embedding updates (global-batch mean:
-      // scale by 1/world, see header).
-      (void)state.bottom->backward(dz0);
-      comm.advance_compute(
-          phases::kBottomMlp,
-          2.0 * config_.compute.mlp_seconds(local_batch, bdims));
-
-      std::size_t update_bytes = 0;
-      const float lr_scale = 1.0f / static_cast<float>(world);
-      for (const std::size_t t : state.owned_tables) {
-        optimizers[t].apply(tables[t], batch.indices[t], grad_assembled[t],
-                            lr_scale);
-        update_bytes += grad_assembled[t].size() * sizeof(float);
-      }
-      comm.advance_compute(phases::kEmbUpdate,
-                           config_.compute.memory_bound_seconds(update_bytes));
-
-      // ---- MLP gradient all-reduce + step.
-      allreduce_mlp_grads(comm, state);
       state.bottom->sgd_step(config_.model.learning_rate);
       state.top->sgd_step(config_.model.learning_rate);
+
+      // Steady-state allocation accounting: the first two iterations are
+      // warm-up (buffers and workspaces reach their high-water marks);
+      // growth after that is a regression the tests assert against.
+      if (iter < start_iter + 2) grow_baseline = grow_events_total();
 
       // ---- Bookkeeping (rank 0 records/saves; all ranks barrier so the
       // snapshot is a consistent cut of tables and optimizer state).
@@ -447,6 +542,9 @@ TrainingResult HybridParallelTrainer::train(
       }
     }
 
+    steady_grow.fetch_add(grow_events_total() - grow_baseline,
+                          std::memory_order_relaxed);
+
     // Final held-out evaluation.
     comm.barrier();
     if (rank == 0) {
@@ -465,12 +563,15 @@ TrainingResult HybridParallelTrainer::train(
   result.backward_raw_bytes = bwd_raw.load();
   result.backward_wire_bytes = bwd_wire.load();
 
-  // Slowest rank's per-phase breakdown.
+  result.steady_state_grow_events = steady_grow.load();
+
+  // Slowest rank's per-phase breakdown (exposed + hidden ledgers).
   double latest = -1.0;
   for (const auto& clock : cluster.clocks()) {
     if (clock.now() > latest) {
       latest = clock.now();
       result.phase_seconds = clock.breakdown();
+      result.hidden_phase_seconds = clock.hidden_breakdown();
     }
   }
   return result;

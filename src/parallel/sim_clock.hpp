@@ -5,52 +5,103 @@
 /// advance it by modelled kernel times, collectives advance it by modelled
 /// wire times; the per-phase sums feed the Fig. 1 / Fig. 12 breakdown
 /// benches.
+///
+/// Overlap model (see DESIGN.md "Overlap and the simulated clock"): a
+/// nonblocking collective that finishes "under" compute does not stall the
+/// rank, so its seconds must not advance now() — they are recorded in a
+/// separate *hidden* ledger via record_hidden(). Invariant the tests
+/// assert: the exposed breakdown() sums to now() exactly on every rank,
+/// with or without overlap; hidden_breakdown() is bookkeeping on the side.
+///
+/// Phase keys are stored in a transparent-hash map so the hot path
+/// (advance/sync_to on every modelled kernel and collective, every
+/// iteration) looks names up by string_view without materializing a
+/// std::string; a phase allocates its key exactly once, on first use.
 
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/string_hash.hpp"
 
 namespace dlcomp {
 
 class SimClock {
  public:
   /// Advances simulated time, attributing the interval to `phase`.
-  void advance(const std::string& phase, double seconds) {
+  void advance(std::string_view phase, double seconds) {
     now_ += seconds;
-    phase_seconds_[phase] += seconds;
+    accumulate(phase_seconds_, phase, seconds);
   }
 
   /// Current simulated time (seconds since reset).
   [[nodiscard]] double now() const noexcept { return now_; }
 
-  /// Seconds attributed to one phase so far.
-  [[nodiscard]] double phase_seconds(const std::string& phase) const {
+  /// Seconds attributed to one phase so far (exposed time only).
+  [[nodiscard]] double phase_seconds(std::string_view phase) const {
     const auto it = phase_seconds_.find(phase);
     return it == phase_seconds_.end() ? 0.0 : it->second;
   }
 
-  /// All phases and their accumulated seconds.
-  [[nodiscard]] const std::map<std::string, double>& breakdown() const noexcept {
-    return phase_seconds_;
+  /// All phases and their accumulated clock-advancing seconds, sorted by
+  /// name. Sums to now() exactly; overlapped communication lives in
+  /// hidden_breakdown() instead.
+  [[nodiscard]] std::map<std::string, double> breakdown() const {
+    return {phase_seconds_.begin(), phase_seconds_.end()};
+  }
+
+  /// Records communication seconds that elapsed while this rank was busy
+  /// computing: the interval was already paid for by the compute phase,
+  /// so it must not advance now() — it is "hidden" in the Fig. 12 sense.
+  void record_hidden(std::string_view phase, double seconds) {
+    accumulate(hidden_seconds_, phase, seconds);
+  }
+
+  /// Hidden (overlapped) seconds recorded against one phase.
+  [[nodiscard]] double hidden_seconds(std::string_view phase) const {
+    const auto it = hidden_seconds_.find(phase);
+    return it == hidden_seconds_.end() ? 0.0 : it->second;
+  }
+
+  /// Hidden-ledger counterpart of breakdown(); not part of now().
+  [[nodiscard]] std::map<std::string, double> hidden_breakdown() const {
+    return {hidden_seconds_.begin(), hidden_seconds_.end()};
   }
 
   void reset() {
     now_ = 0.0;
     phase_seconds_.clear();
+    hidden_seconds_.clear();
   }
 
   /// Synchronization helper: jumps this clock forward to `t` if t is later
   /// (used when a collective releases all ranks at the slowest rank's
   /// arrival time). The skipped interval is attributed to `phase` (wait).
-  void sync_to(const std::string& phase, double t) {
+  void sync_to(std::string_view phase, double t) {
     if (t > now_) {
-      phase_seconds_[phase] += t - now_;
+      accumulate(phase_seconds_, phase, t - now_);
       now_ = t;
     }
   }
 
  private:
+  using PhaseMap = std::unordered_map<std::string, double,
+                                      TransparentStringHash, std::equal_to<>>;
+
+  static void accumulate(PhaseMap& map, std::string_view phase, double seconds) {
+    const auto it = map.find(phase);
+    if (it == map.end()) {
+      map.emplace(std::string(phase), seconds);
+    } else {
+      it->second += seconds;
+    }
+  }
+
   double now_ = 0.0;
-  std::map<std::string, double> phase_seconds_;
+  PhaseMap phase_seconds_;
+  PhaseMap hidden_seconds_;
 };
 
 }  // namespace dlcomp
