@@ -20,6 +20,7 @@
 #include "common/timer.hpp"
 #include "dlrm/model.hpp"
 #include "parallel/thread_pool.hpp"
+#include "data/synthetic.hpp"
 
 using namespace dlcomp;
 

@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "core/trainer.hpp"
+#include "data/synthetic.hpp"
 
 int main() {
   using namespace dlcomp;

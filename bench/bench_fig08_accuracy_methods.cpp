@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_training.hpp"
+#include "data/synthetic.hpp"
 
 int main() {
   using namespace dlcomp;

@@ -7,6 +7,7 @@
 
 #include "bench_training.hpp"
 #include "core/offline_analyzer.hpp"
+#include "data/synthetic.hpp"
 
 int main() {
   using namespace dlcomp;

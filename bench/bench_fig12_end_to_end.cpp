@@ -6,8 +6,10 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/arg_parser.hpp"
 #include "core/offline_analyzer.hpp"
 #include "core/trainer.hpp"
+#include "data/synthetic.hpp"
 
 namespace {
 
@@ -21,7 +23,7 @@ struct RunSummary {
   TrainingResult result;
 };
 
-RunSummary run(const SyntheticClickDataset& data, TrainerConfig config) {
+RunSummary run(const BatchSource& data, TrainerConfig config) {
   HybridParallelTrainer trainer(std::move(config));
   RunSummary summary;
   summary.result = trainer.train(data);
@@ -42,7 +44,7 @@ RunSummary run(const SyntheticClickDataset& data, TrainerConfig config) {
 /// world size, reporting the exposed-communication reduction (the
 /// overlap runtime's headline number; paper Figs. 12/15 hide codec and
 /// wire time behind compute the same way).
-void run_overlap_comparison(const SyntheticClickDataset& data,
+void run_overlap_comparison(const BatchSource& data,
                             TrainerConfig config, int world,
                             std::size_t stages,
                             const RunSummary* serial_precomputed = nullptr) {
@@ -79,9 +81,12 @@ void run_overlap_comparison(const SyntheticClickDataset& data,
             << "x)\n";
 }
 
-void run_dataset(const std::string& name, DatasetSpec spec, double sampling_eb) {
+/// `source` may be the synthetic generator or a ShardedDatasetReader
+/// over converted Criteo shards (--data); everything downstream sees the
+/// same BatchSource interface.
+void run_dataset(const std::string& name, DatasetSpec spec, double sampling_eb,
+                 const BatchSource& data) {
   std::cout << "\n--- workload: " << name << " ---\n";
-  const SyntheticClickDataset data(spec, 67);
 
   TrainerConfig config;
   config.world = 32;
@@ -157,15 +162,37 @@ void run_dataset(const std::string& name, DatasetSpec spec, double sampling_eb) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("bench_fig12_end_to_end",
          "Fig. 12: end-to-end breakdown with compression at 32 ranks");
+  const ArgParser args(argc, argv, 1, {"--data", "--dataset"});
+  const std::string data_dir = args.str("--data");
+  const std::string which = args.str("--dataset", "kaggle");
+  if (which != "kaggle" && which != "terabyte") {
+    std::cerr << "unknown --dataset: " << which
+              << " (expected kaggle|terabyte)\n";
+    return 2;
+  }
+
+  if (!data_dir.empty()) {
+    // Real Criteo shards (see README "Real data"): one workload, shaped
+    // by --dataset, batches read from the converted shard directory.
+    const bool kaggle_shape = which == "kaggle";
+    DatasetSpec spec = kaggle_shape ? DatasetSpec::criteo_kaggle_like(20000)
+                                    : DatasetSpec::criteo_terabyte_like(20000);
+    const auto source = open_data_source(data_dir, spec);
+    run_dataset("criteo-" + which + " (real shards)", spec,
+                kaggle_shape ? 0.01 : 0.005, *source);
+    return 0;
+  }
 
   DatasetSpec kaggle = DatasetSpec::criteo_kaggle_like(20000);
-  run_dataset("criteo-kaggle-like", kaggle, 0.01);
+  run_dataset("criteo-kaggle-like", kaggle, 0.01,
+              SyntheticClickDataset(kaggle, 67));
 
   DatasetSpec terabyte = DatasetSpec::criteo_terabyte_like(20000);
-  run_dataset("criteo-terabyte-like", terabyte, 0.005);
+  run_dataset("criteo-terabyte-like", terabyte, 0.005,
+              SyntheticClickDataset(terabyte, 67));
 
   std::cout << "\nexpected shape: compression shrinks the all-to-all slices "
                "by roughly the CR while adding small codec slices; the "

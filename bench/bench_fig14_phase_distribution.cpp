@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "core/trainer.hpp"
+#include "data/synthetic.hpp"
 
 int main() {
   using namespace dlcomp;

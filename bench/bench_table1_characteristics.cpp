@@ -7,20 +7,31 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/arg_parser.hpp"
 #include "core/offline_analyzer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlcomp;
   using namespace dlcomp::bench;
   banner("bench_table1_characteristics",
          "Table I: characteristics of representative EMB tables (Kaggle)");
+  const ArgParser args(argc, argv, 1, {"--data"});
 
+  // With --data the query stream comes from converted Criteo shards
+  // instead of the synthetic generator; the embedding tables themselves
+  // are still the spec-shaped synthetic set (they are model state, not
+  // dataset content).
   const Workload w = kaggle_workload();
+  const auto real = open_data_source(args.str("--data"), w.spec);
+  const BatchSource& data =
+      real ? static_cast<const BatchSource&>(*real)
+           : static_cast<const BatchSource&>(w.dataset);
+
   AnalyzerConfig config;
   config.sample_batches = 2;
   config.sampling_eb = 0.01;
   const OfflineAnalyzer analyzer(config);
-  const AnalysisReport report = analyzer.analyze(w.dataset, w.tables);
+  const AnalysisReport report = analyzer.analyze(data, w.tables);
 
   TablePrinter table({"EMB Table ID", "False Prediction",
                       "Violent Vector Homogenization", "Gaussian Distribution",

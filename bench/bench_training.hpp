@@ -16,6 +16,7 @@
 #include "compress/registry.hpp"
 #include "core/eb_scheduler.hpp"
 #include "dlrm/model.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp::bench {
 

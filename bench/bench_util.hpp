@@ -9,11 +9,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/table_printer.hpp"
+#include "data/shard_reader.hpp"
 #include "data/synthetic.hpp"
 #include "dlrm/embedding_table.hpp"
 #include "tensor/matrix.hpp"
@@ -77,6 +79,21 @@ inline std::vector<float> sample_table_lookups(const Workload& w,
     out.insert(out.end(), lookup.flat().begin(), lookup.flat().end());
   }
   return out;
+}
+
+/// Real-data switch shared by the benches that accept `--data <dir>`:
+/// returns a sharded reader over the directory (converted with
+/// `dlcomp data convert`), or null when `dir` is empty -- callers fall
+/// back to the synthetic generator. The spec still supplies table
+/// cardinalities (the hashing trick folds shard ids into them),
+/// embedding dims and batch sizes.
+inline std::unique_ptr<BatchSource> open_data_source(const std::string& dir,
+                                                     DatasetSpec spec) {
+  if (dir.empty()) return nullptr;
+  auto reader = std::make_unique<ShardedDatasetReader>(std::move(spec), dir);
+  std::cout << "real data: " << dir << " (" << reader->num_samples()
+            << " samples in " << reader->shards().size() << " shards)\n";
+  return reader;
 }
 
 /// Formats "measured (paper: X)" annotations.

@@ -11,6 +11,7 @@
 #include "core/auto_tuner.hpp"
 #include "core/offline_analyzer.hpp"
 #include "core/report_io.hpp"
+#include "data/synthetic.hpp"
 
 int main() {
   using namespace dlcomp;

@@ -14,6 +14,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "core/trainer.hpp"
 #include "serve/inference_engine.hpp"
+#include "data/synthetic.hpp"
 
 using namespace dlcomp;
 

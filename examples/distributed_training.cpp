@@ -9,6 +9,7 @@
 
 #include "core/offline_analyzer.hpp"
 #include "core/trainer.hpp"
+#include "data/synthetic.hpp"
 
 int main() {
   using namespace dlcomp;

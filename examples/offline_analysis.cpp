@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "core/offline_analyzer.hpp"
+#include "data/synthetic.hpp"
 
 int main() {
   using namespace dlcomp;

@@ -10,7 +10,7 @@ namespace dlcomp {
 namespace {
 
 /// One probe training run; returns held-out accuracy and the forward CR.
-AutoTunerResult::Probe probe_run(const SyntheticClickDataset& dataset,
+AutoTunerResult::Probe probe_run(const BatchSource& dataset,
                                  const AutoTunerConfig& config,
                                  double error_bound) {
   const DatasetSpec& spec = dataset.spec();
@@ -52,7 +52,7 @@ AutoTunerResult::Probe probe_run(const SyntheticClickDataset& dataset,
 
 }  // namespace
 
-AutoTunerResult auto_select_global_eb(const SyntheticClickDataset& dataset,
+AutoTunerResult auto_select_global_eb(const BatchSource& dataset,
                                       const AutoTunerConfig& config) {
   DLCOMP_CHECK_MSG(!config.candidates.empty(), "no candidate bounds");
   DLCOMP_CHECK_MSG(

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "data/synthetic.hpp"
+#include "data/batch_source.hpp"
 #include "dlrm/model.hpp"
 
 namespace dlcomp {
@@ -55,7 +55,7 @@ struct AutoTunerResult {
 };
 
 /// Runs the search. Deterministic in (config.seed, dataset seed).
-AutoTunerResult auto_select_global_eb(const SyntheticClickDataset& dataset,
+AutoTunerResult auto_select_global_eb(const BatchSource& dataset,
                                       const AutoTunerConfig& config);
 
 /// Online error-bound controller (future-work companion): multiply the

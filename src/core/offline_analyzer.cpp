@@ -44,7 +44,7 @@ std::vector<HybridChoice> AnalysisReport::table_choices() const {
 }
 
 AnalysisReport OfflineAnalyzer::analyze(
-    const SyntheticClickDataset& dataset,
+    const BatchSource& dataset,
     std::span<const EmbeddingTable> tables) const {
   const DatasetSpec& spec = dataset.spec();
   DLCOMP_CHECK_MSG(tables.size() == spec.num_tables(),

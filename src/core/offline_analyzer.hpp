@@ -16,7 +16,7 @@
 #include "core/homo_index.hpp"
 #include "core/selector.hpp"
 #include "core/table_classifier.hpp"
-#include "data/synthetic.hpp"
+#include "data/batch_source.hpp"
 #include "dlrm/embedding_table.hpp"
 
 namespace dlcomp {
@@ -73,7 +73,7 @@ class OfflineAnalyzer {
   /// Analyzes every table: samples lookups, computes metrics, classifies
   /// and selects codecs. `tables` must match dataset.spec().
   [[nodiscard]] AnalysisReport analyze(
-      const SyntheticClickDataset& dataset,
+      const BatchSource& dataset,
       std::span<const EmbeddingTable> tables) const;
 
  private:

@@ -100,7 +100,7 @@ bool is_comm_phase(const std::string& phase) {
 LossResult evaluate_full(Mlp& bottom, Mlp& top,
                          std::span<EmbeddingTable> tables,
                          const DatasetSpec& spec,
-                         const SyntheticClickDataset& dataset,
+                         const BatchSource& dataset,
                          std::size_t batch_size, std::size_t batches) {
   LossResult total;
   std::vector<Matrix> lookups(tables.size());
@@ -148,8 +148,7 @@ HybridParallelTrainer::HybridParallelTrainer(TrainerConfig config)
   DLCOMP_CHECK(config_.iterations >= 1);
 }
 
-TrainingResult HybridParallelTrainer::train(
-    const SyntheticClickDataset& dataset) {
+TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
   const DatasetSpec& spec = dataset.spec();
   const std::size_t global_batch =
       config_.global_batch > 0 ? config_.global_batch : spec.default_batch;

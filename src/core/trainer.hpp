@@ -25,7 +25,7 @@
 #include "core/compressed_alltoall.hpp"
 #include "core/compute_model.hpp"
 #include "core/eb_scheduler.hpp"
-#include "data/synthetic.hpp"
+#include "data/batch_source.hpp"
 #include "dlrm/loss.hpp"
 #include "dlrm/model.hpp"
 
@@ -192,8 +192,9 @@ class HybridParallelTrainer {
   explicit HybridParallelTrainer(TrainerConfig config);
 
   /// Runs the full training loop on a fresh simulated cluster and model
-  /// state. Deterministic in (config.seed, dataset seed).
-  [[nodiscard]] TrainingResult train(const SyntheticClickDataset& dataset);
+  /// state. Deterministic in (config.seed, data source). `dataset` may be
+  /// synthetic or a ShardedDatasetReader over real shards.
+  [[nodiscard]] TrainingResult train(const BatchSource& dataset);
 
  private:
   TrainerConfig config_;

@@ -1,0 +1,68 @@
+#include "data/criteo_tsv.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace dlcomp {
+
+namespace {
+
+/// Parses a (possibly empty) integer field. Empty means missing -> 0.
+bool parse_int_field(std::string_view token, long long& out) noexcept {
+  if (token.empty()) {
+    out = 0;
+    return true;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+float CriteoTsvParser::transform_dense(long long raw) noexcept {
+  return raw <= 0 ? 0.0f
+                  : static_cast<float>(std::log1p(static_cast<double>(raw)));
+}
+
+bool CriteoTsvParser::parse_line(std::string_view line, float& label,
+                                 std::span<float> dense,
+                                 std::span<std::uint32_t> cats) const noexcept {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  const std::size_t expected = 1 + num_dense_ + num_cat_;
+  std::size_t field = 0;
+  std::size_t start = 0;
+  bool consumed_line = false;
+  // One pass over the line; `field` indexes the current token.
+  while (field < expected) {
+    const std::size_t tab = line.find('\t', start);
+    const bool last = tab == std::string_view::npos;
+    const std::string_view token =
+        line.substr(start, last ? std::string_view::npos : tab - start);
+
+    if (field == 0) {
+      long long v = 0;
+      if (!parse_int_field(token, v) || (v != 0 && v != 1)) return false;
+      label = static_cast<float>(v);
+    } else if (field <= num_dense_) {
+      long long v = 0;
+      if (!parse_int_field(token, v)) return false;
+      dense[field - 1] = transform_dense(v);
+    } else {
+      cats[field - 1 - num_dense_] = hash_token(token);
+    }
+
+    ++field;
+    if (last) {
+      consumed_line = true;
+      break;
+    }
+    start = tab + 1;
+  }
+  // Malformed when short (fewer fields than expected) or long (the last
+  // expected field was followed by more bytes).
+  return field == expected && consumed_line;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file criteo_tsv.hpp
+/// Parser for the Criteo click-log TSV format (Kaggle display-advertising
+/// and Terabyte datasets): one sample per line,
+///
+///   label \t I1..I13 \t C1..C26
+///
+/// where the 13 integer features and 26 hex-string categorical features
+/// may be empty (missing). Parsing applies the standard DLRM
+/// preprocessing inline:
+///   - dense:  x -> log(1 + max(x, 0)), missing -> 0,
+///   - categorical: the hashing trick. Tokens are hashed to a full 32-bit
+///     id (FNV-1a); the *reader* folds ids into each table's index space
+///     (`hash % cardinality`) so shard files stay valid for any
+///     cardinality cap (see shard_reader.hpp).
+/// Missing categorical tokens map to id 0, a reserved "null" id.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dlcomp {
+
+class CriteoTsvParser {
+ public:
+  /// Field counts; the real datasets are (13, 26) but the parser is
+  /// shape-generic so tests and other logs can use smaller layouts.
+  CriteoTsvParser(std::size_t num_dense = 13, std::size_t num_cat = 26)
+      : num_dense_(num_dense), num_cat_(num_cat) {}
+
+  [[nodiscard]] std::size_t num_dense() const noexcept { return num_dense_; }
+  [[nodiscard]] std::size_t num_cat() const noexcept { return num_cat_; }
+
+  /// Parses one line (no trailing newline; a trailing '\r' is tolerated)
+  /// into the caller's storage. `dense` must have size num_dense(),
+  /// `cats` size num_cat(). Returns false -- leaving outputs unspecified
+  /// -- when the line is malformed: wrong field count, or a label/dense
+  /// field that is neither empty nor an integer.
+  bool parse_line(std::string_view line, float& label, std::span<float> dense,
+                  std::span<std::uint32_t> cats) const noexcept;
+
+  /// The hashing trick's full-width hash: FNV-1a over the token bytes.
+  /// Empty tokens (missing values) map to the reserved id 0.
+  [[nodiscard]] static std::uint32_t hash_token(std::string_view token) noexcept {
+    if (token.empty()) return 0;
+    std::uint32_t h = 0x811C9DC5u;
+    for (const char c : token) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x01000193u;
+    }
+    return h;
+  }
+
+  /// Standard DLRM dense transform: log(1 + max(x, 0)).
+  [[nodiscard]] static float transform_dense(long long raw) noexcept;
+
+ private:
+  std::size_t num_dense_;
+  std::size_t num_cat_;
+};
+
+}  // namespace dlcomp

@@ -14,35 +14,29 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "data/batch_source.hpp"
 #include "data/dataset_spec.hpp"
 #include "data/zipf.hpp"
 #include "tensor/matrix.hpp"
 
 namespace dlcomp {
 
-/// One mini-batch of samples.
-struct SampleBatch {
-  Matrix dense;                                      ///< B x num_dense
-  std::vector<std::vector<std::uint32_t>> indices;   ///< [table][B]
-  std::vector<float> labels;                         ///< B, in {0, 1}
-
-  [[nodiscard]] std::size_t batch_size() const noexcept { return labels.size(); }
-};
-
-class SyntheticClickDataset {
+class SyntheticClickDataset : public BatchSource {
  public:
   SyntheticClickDataset(DatasetSpec spec, std::uint64_t seed);
 
-  [[nodiscard]] const DatasetSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const DatasetSpec& spec() const noexcept override {
+    return spec_;
+  }
 
   /// Generates batch number `batch_index` with `batch_size` samples.
   /// Deterministic in (seed, batch_index, batch_size).
   [[nodiscard]] SampleBatch make_batch(std::size_t batch_size,
-                                       std::uint64_t batch_index) const;
+                                       std::uint64_t batch_index) const override;
 
   /// Held-out evaluation batch stream (separate seed space from training).
-  [[nodiscard]] SampleBatch make_eval_batch(std::size_t batch_size,
-                                            std::uint64_t batch_index) const;
+  [[nodiscard]] SampleBatch make_eval_batch(
+      std::size_t batch_size, std::uint64_t batch_index) const override;
 
   /// The teacher's per-row latent weight for (table, row); exposed so
   /// tests can verify labels are actually learnable.

@@ -126,7 +126,7 @@ void DlrmModel::predict(const SampleBatch& batch,
   }
 }
 
-LossResult DlrmModel::evaluate_stream(const SyntheticClickDataset& data,
+LossResult DlrmModel::evaluate_stream(const BatchSource& data,
                                       std::size_t batch_size,
                                       std::size_t batches) {
   DLCOMP_CHECK(batches > 0);

@@ -16,7 +16,7 @@
 #include <span>
 #include <vector>
 
-#include "data/synthetic.hpp"
+#include "data/batch_source.hpp"
 #include "dlrm/embedding_table.hpp"
 #include "dlrm/interaction.hpp"
 #include "dlrm/loss.hpp"
@@ -65,7 +65,7 @@ class DlrmModel {
                const TableTransform& lookup_transform = nullptr);
 
   /// Mean evaluation over `batches` held-out batches.
-  LossResult evaluate_stream(const SyntheticClickDataset& data,
+  LossResult evaluate_stream(const BatchSource& data,
                              std::size_t batch_size, std::size_t batches);
 
   [[nodiscard]] std::size_t num_tables() const noexcept { return tables_.size(); }

@@ -34,6 +34,9 @@ class Matrix {
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  /// Allocated element capacity; resize() within it never reallocates
+  /// (the shard reader's grow-event accounting watches this).
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.capacity(); }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
   [[nodiscard]] float* data() noexcept { return data_.data(); }

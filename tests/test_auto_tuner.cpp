@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/auto_tuner.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "core/trainer.hpp"
 #include "serve/inference_engine.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

@@ -13,6 +13,7 @@
 #include "dlrm/loss.hpp"
 #include "dlrm/mlp.hpp"
 #include "dlrm/model.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/offline_analyzer.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

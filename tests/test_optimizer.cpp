@@ -8,6 +8,7 @@
 #include "core/trainer.hpp"
 #include "dlrm/model.hpp"
 #include "dlrm/optimizer.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

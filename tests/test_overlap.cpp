@@ -15,6 +15,7 @@
 #include "compress/registry.hpp"
 #include "core/compressed_alltoall.hpp"
 #include "core/trainer.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

@@ -6,6 +6,7 @@
 
 #include "core/offline_analyzer.hpp"
 #include "core/report_io.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

@@ -15,6 +15,7 @@
 #include "serve/inference_engine.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/simulator.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

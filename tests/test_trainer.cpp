@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "core/trainer.hpp"
+#include "data/synthetic.hpp"
 
 namespace dlcomp {
 namespace {

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -25,6 +26,8 @@
 #include "comm/communicator.hpp"
 #include "compress/registry.hpp"
 #include "core/compressed_alltoall.hpp"
+#include "data/shard_converter.hpp"
+#include "data/shard_reader.hpp"
 #include "parallel/thread_pool.hpp"
 
 // The workspace API lands with the hot-path overhaul; guarding on the
@@ -312,6 +315,110 @@ OverlapReport measure_overlap(const std::string& codec_name,
   return report;
 }
 
+struct DataPipelineReport {
+  std::size_t samples = 0;
+  std::size_t shards = 0;
+  double convert_mbps = 0.0;  ///< TSV bytes through the converter
+  double read_mbps = 0.0;     ///< logical sample bytes through the stream
+  long long steady_grow_events = -1;
+  std::vector<std::uint32_t> shard_crcs;  ///< whole-file CRC per shard
+};
+
+/// Converter + reader throughput on a deterministic synthetic Criteo-
+/// style TSV (fixed seed and line count, so the shard CRCs are identical
+/// on every machine -- they regress like the codec stream CRCs).
+DataPipelineReport measure_dataset_pipeline(std::size_t reps) {
+  namespace fs = std::filesystem;
+  constexpr std::size_t kLines = 8192;
+  constexpr std::size_t kSamplesPerShard = 2048;
+  constexpr std::size_t kNumDense = 13;
+  constexpr std::size_t kNumCat = 26;
+  const fs::path root = fs::temp_directory_path() / "dlcomp_bench_dataset";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const fs::path tsv = root / "input.tsv";
+  const fs::path shards_dir = root / "shards";
+
+  {
+    Rng rng(31);
+    std::ofstream os(tsv);
+    char token[16];
+    for (std::size_t i = 0; i < kLines; ++i) {
+      os << (rng.bernoulli(0.23) ? '1' : '0');
+      for (std::size_t d = 0; d < kNumDense; ++d) {
+        os << '\t';
+        if (!rng.bernoulli(0.1)) os << rng.next_below(4000);
+      }
+      for (std::size_t c = 0; c < kNumCat; ++c) {
+        std::snprintf(token, sizeof(token), "%08llx",
+                      static_cast<unsigned long long>(rng.next_u64() & 0xFFFFFFFFull));
+        os << '\t' << (rng.bernoulli(0.05) ? "" : token);
+      }
+      os << '\n';
+    }
+  }
+
+  DataPipelineReport report;
+  ThreadPool pool;
+  double best_convert = 1e300;
+  ConvertOptions options;
+  options.input_tsv = tsv.string();
+  options.output_dir = shards_dir.string();
+  options.samples_per_shard = kSamplesPerShard;
+  options.pool = &pool;
+  for (std::size_t r = 0; r < reps; ++r) {
+    fs::remove_all(shards_dir);
+    const ConvertReport converted = convert_criteo_tsv(options);
+    report.samples = converted.samples;
+    report.shards = converted.shards;
+    best_convert = std::min(best_convert, converted.seconds);
+  }
+  report.convert_mbps =
+      best_convert > 0.0
+          ? static_cast<double>(fs::file_size(tsv)) / best_convert / 1e6
+          : 0.0;
+
+  for (const auto& entry : fs::directory_iterator(shards_dir)) {
+    std::ifstream is(entry.path(), std::ios::binary);
+    std::vector<char> bytes{std::istreambuf_iterator<char>(is),
+                            std::istreambuf_iterator<char>()};
+    report.shard_crcs.push_back(
+        crc32({reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()}));
+  }
+  std::sort(report.shard_crcs.begin(), report.shard_crcs.end());
+
+  // Streaming read throughput: double-buffered prefetch, batches of 512,
+  // epoch 0 is warm-up (buffers reach the largest shard), later epochs
+  // must be allocation-free.
+  DatasetSpec spec = DatasetSpec::criteo_kaggle_like(100000);
+  const ShardedDatasetReader reader(spec, shards_dir.string());
+  ShardBatchStream stream(reader, 512);
+  SampleBatch batch;
+  const std::size_t batches_per_epoch =
+      static_cast<std::size_t>(reader.num_samples()) / 512;
+  for (std::size_t b = 0; b < 2 * batches_per_epoch; ++b) stream.next(batch);
+  const std::uint64_t grow_before = stream.grow_events();
+  const std::uint64_t delivered_before = stream.samples_delivered();
+  double best_read = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    for (std::size_t b = 0; b < batches_per_epoch; ++b) stream.next(batch);
+    best_read = std::min(best_read, timer.seconds());
+  }
+  const double bytes_per_sample =
+      static_cast<double>((kNumDense + 1) * sizeof(float) +
+                          kNumCat * sizeof(std::uint32_t));
+  const double epoch_bytes =
+      static_cast<double>(stream.samples_delivered() - delivered_before) /
+      static_cast<double>(reps) * bytes_per_sample;
+  report.read_mbps = best_read > 0.0 ? epoch_bytes / best_read / 1e6 : 0.0;
+  report.steady_grow_events =
+      static_cast<long long>(stream.grow_events() - grow_before);
+
+  fs::remove_all(root);
+  return report;
+}
+
 /// Pulls one numeric field for one codec back out of a previously
 /// emitted report (our own stable format — no JSON library needed).
 double baseline_field(const std::string& json, const std::string& codec,
@@ -326,7 +433,8 @@ double baseline_field(const std::string& json, const std::string& codec,
 void write_json(const std::string& path, const std::string& label,
                 std::size_t payload_bytes, std::size_t reps,
                 const std::vector<CodecReport>& codecs, const A2AReport& a2a,
-                const OverlapReport& overlap, const std::string& baseline_json) {
+                const OverlapReport& overlap, const DataPipelineReport& data,
+                const std::string& baseline_json) {
   std::ofstream out(path);
   char buf[256];
   out << "{\n";
@@ -362,9 +470,19 @@ void write_json(const std::string& path, const std::string& label,
                 overlap.world,
                 overlap.serial_exposed_us, overlap.pipelined_exposed_us,
                 overlap.pipelined_hidden_us, overlap.exposed_reduction_pct,
-                overlap.sim_exchange_speedup,
-                baseline_json.empty() ? "" : ",");
+                overlap.sim_exchange_speedup, ",");
   out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"dataset_pipeline\": {\"samples\": %zu, \"shards\": %zu, "
+                "\"convert_MBps\": %.1f, \"read_MBps\": %.1f, "
+                "\"steady_grow_events\": %lld, \"shard_crc32\": [",
+                data.samples, data.shards, data.convert_mbps, data.read_mbps,
+                data.steady_grow_events);
+  out << buf;
+  for (std::size_t i = 0; i < data.shard_crcs.size(); ++i) {
+    out << data.shard_crcs[i] << (i + 1 < data.shard_crcs.size() ? ", " : "");
+  }
+  out << "]}" << (baseline_json.empty() ? "" : ",") << "\n";
 
   if (!baseline_json.empty()) {
     // Speedups + stream-identity against the recorded baseline, so the
@@ -467,8 +585,15 @@ int main(int argc, char** argv) {
               overlap.serial_exposed_us, overlap.pipelined_exposed_us,
               overlap.exposed_reduction_pct, overlap.sim_exchange_speedup);
 
+  const DataPipelineReport data_pipeline = measure_dataset_pipeline(reps);
+  std::printf("dataset      convert %8.1f MB/s  read %10.1f MB/s  "
+              "(%zu samples, %zu shards, grow %lld)\n",
+              data_pipeline.convert_mbps, data_pipeline.read_mbps,
+              data_pipeline.samples, data_pipeline.shards,
+              data_pipeline.steady_grow_events);
+
   write_json(out_path, label, input.size() * sizeof(float), reps, reports,
-             a2a, overlap, baseline_json);
+             a2a, overlap, data_pipeline, baseline_json);
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

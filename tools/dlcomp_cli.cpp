@@ -9,6 +9,7 @@
 //   dlcomp analyze    <kaggle|terabyte> <plan-out.txt> [sampling-eb]
 //   dlcomp serve      [--pattern poisson|bursty|diurnal] [--qps N] ...
 //   dlcomp ckpt       save|inspect|verify|diff ...
+//   dlcomp data       convert|inspect|stats ...
 //   dlcomp codecs
 //
 // <in.f32> is a raw little-endian float32 file (e.g. from numpy's
@@ -19,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -27,12 +29,17 @@
 #include "common/arg_parser.hpp"
 #include "common/error.hpp"
 #include "common/table_printer.hpp"
+#include "common/timer.hpp"
 #include "compress/format.hpp"
 #include "compress/registry.hpp"
 #include "core/offline_analyzer.hpp"
 #include "core/report_io.hpp"
+#include "data/shard_converter.hpp"
+#include "data/shard_format.hpp"
+#include "data/shard_reader.hpp"
 #include "serve/simulator.hpp"
 #include "tensor/ops.hpp"
+#include "data/synthetic.hpp"
 
 namespace {
 
@@ -490,6 +497,128 @@ int cmd_ckpt(int argc, char** argv) {
   return 2;
 }
 
+// ------------------------------------------------------------------ data
+
+constexpr const char* kDataUsage =
+    "usage: dlcomp data convert <in.tsv> <out-dir>\n"
+    "           [--samples-per-shard N] [--max-samples N] [--threads N]\n"
+    "           [--dense N] [--cat N]\n"
+    "       dlcomp data inspect <shard.dlshard>\n"
+    "       dlcomp data stats   <dir> [--dataset kaggle|terabyte|small]\n"
+    "           [--batches N] [--batch N] [--mode mmap|buffered]\n";
+
+int cmd_data_convert(const ArgParser& args) {
+  ConvertOptions options;
+  options.input_tsv = args.positional(1);
+  options.output_dir = args.positional(2);
+  options.samples_per_shard = args.uint("--samples-per-shard", 65536);
+  options.max_samples = args.uint("--max-samples", 0);
+  options.num_dense = args.uint("--dense", 13);
+  options.num_cat = args.uint("--cat", 26);
+
+  const std::size_t threads = args.uint("--threads", 0);
+  ThreadPool pool(static_cast<unsigned>(threads));
+  options.pool = &pool;
+
+  const ConvertReport report = convert_criteo_tsv(options);
+  std::printf(
+      "converted %zu samples into %zu shards (%zu malformed lines "
+      "skipped)\n%llu TSV bytes -> %llu shard bytes in %.2f s "
+      "(%.1f MB/s, %u threads)\n",
+      report.samples, report.shards, report.malformed_lines,
+      static_cast<unsigned long long>(report.input_bytes),
+      static_cast<unsigned long long>(report.shard_bytes), report.seconds,
+      report.convert_mb_per_s(), pool.thread_count());
+  return report.samples > 0 ? 0 : 1;
+}
+
+int cmd_data_inspect(const ArgParser& args) {
+  const auto bytes = read_file(args.positional(1));
+  const ShardView view = decode_shard(bytes);
+  std::printf("version:     %d\n", kShardVersion);
+  std::printf("num dense:   %u\n", view.header.num_dense);
+  std::printf("num tables:  %u\n", view.header.num_cat);
+  std::printf("samples:     %u\n", view.header.sample_count);
+  std::printf("sections:    %u\n", view.header.section_count);
+  std::printf("file bytes:  %zu\n", bytes.size());
+  std::printf("crc:         OK (all sections verified)\n");
+  double positives = 0.0;
+  for (const float label : view.labels) positives += label;
+  if (view.sample_count() > 0) {
+    std::printf("label rate:  %.4f\n",
+                positives / static_cast<double>(view.sample_count()));
+  }
+  return 0;
+}
+
+int cmd_data_stats(const ArgParser& args) {
+  const DatasetSpec spec = spec_by_name(args.str("--dataset", "kaggle"));
+  ShardReaderConfig reader_config;
+  const std::string mode = args.str("--mode", "mmap");
+  if (mode == "buffered") {
+    reader_config.mode = ShardIoMode::kBuffered;
+  } else if (mode != "mmap") {
+    throw Error("unknown mode: " + mode + " (expected mmap|buffered)");
+  }
+  const ShardedDatasetReader reader(spec, args.positional(1), reader_config);
+
+  TablePrinter table({"shard", "samples", "bytes", "first sample"});
+  for (const auto& shard : reader.shards()) {
+    table.add_row({std::filesystem::path(shard.path).filename().string(),
+                   std::to_string(shard.samples),
+                   std::to_string(shard.file_bytes),
+                   std::to_string(shard.first_sample)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("train: %llu samples | eval holdout: %llu samples in %zu "
+              "shards | %zu shards total (%zu empty skipped), "
+              "%zu tables x %zu dense, mode %s\n",
+              static_cast<unsigned long long>(reader.num_samples()),
+              static_cast<unsigned long long>(reader.num_eval_samples()),
+              reader.num_eval_shards(), reader.shards().size(),
+              reader.empty_shards_skipped(), spec.num_tables(),
+              spec.num_dense, mode.c_str());
+
+  // Streaming read-throughput probe over the requested batch budget.
+  const std::size_t batch = args.uint("--batch", spec.default_batch);
+  const std::size_t batches = args.uint("--batches", 64);
+  ShardBatchStream stream(reader, batch);
+  SampleBatch scratch;
+  WallTimer timer;
+  for (std::size_t b = 0; b < batches; ++b) stream.next(scratch);
+  const double seconds = timer.seconds();
+  const double bytes_read =
+      static_cast<double>(stream.samples_delivered()) *
+      (static_cast<double>(spec.num_dense + 1) * sizeof(float) +
+       static_cast<double>(spec.num_tables()) * sizeof(std::uint32_t));
+  std::printf(
+      "read %zu batches x %zu samples in %.3f s: %.1f MB/s, "
+      "%llu grow events, epoch %llu\n",
+      batches, batch, seconds,
+      seconds > 0 ? bytes_read / seconds / 1e6 : 0.0,
+      static_cast<unsigned long long>(stream.grow_events()),
+      static_cast<unsigned long long>(stream.epoch()));
+  return 0;
+}
+
+int cmd_data(int argc, char** argv) {
+  const ArgParser args(argc, argv, 2,
+                       {"--samples-per-shard", "--max-samples", "--threads",
+                        "--dense", "--cat", "--dataset", "--batches",
+                        "--batch", "--mode"});
+  const auto& pos = args.positionals();
+  if (pos.empty()) {
+    std::fprintf(stderr, "%s", kDataUsage);
+    return 2;
+  }
+  const std::string& verb = pos[0];
+  if (verb == "convert" && pos.size() == 3) return cmd_data_convert(args);
+  if (verb == "inspect" && pos.size() == 2) return cmd_data_inspect(args);
+  if (verb == "stats" && pos.size() == 2) return cmd_data_stats(args);
+  std::fprintf(stderr, "%s", kDataUsage);
+  return 2;
+}
+
 int cmd_codecs() {
   std::printf("registered codecs:\n");
   for (const auto name : all_compressor_names()) {
@@ -512,16 +641,18 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
     if (command == "ckpt") return cmd_ckpt(argc, argv);
+    if (command == "data") return cmd_data(argc, argv);
     if (command == "codecs") return cmd_codecs();
     std::fprintf(stderr,
                  "dlcomp -- error-bounded compression for DLRM training\n"
                  "commands: compress decompress inspect analyze serve ckpt "
-                 "codecs\n");
+                 "data codecs\n");
     return command.empty() ? 2 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     if (command == "serve") std::fprintf(stderr, "%s", kServeUsage);
     if (command == "ckpt") std::fprintf(stderr, "%s", kCkptUsage);
+    if (command == "data") std::fprintf(stderr, "%s", kDataUsage);
     return 1;
   }
 }
