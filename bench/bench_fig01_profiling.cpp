@@ -7,14 +7,19 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/arg_parser.hpp"
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
+#include "obs/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlcomp;
   using namespace dlcomp::bench;
   banner("bench_fig01_profiling",
          "Fig. 1: training-time breakdown at 32 ranks (uncompressed)");
+  const ArgParser args(argc, argv, 1, {"--trace"});
+  const std::string trace_path = args.str("--trace");
+  if (!trace_path.empty()) Tracer::instance().enable();
 
   DatasetSpec spec = DatasetSpec::criteo_terabyte_like(20000);
   spec.embedding_dim = scaled(32, 64);
@@ -30,6 +35,11 @@ int main() {
   config.record_every = 1;
   HybridParallelTrainer trainer(config);
   const TrainingResult result = trainer.train(data);
+  if (!trace_path.empty()) {
+    Tracer::instance().disable();
+    Tracer::instance().export_chrome_trace(trace_path);
+    std::cout << "trace written to " << trace_path << "\n";
+  }
 
   double total = 0.0;
   for (const auto& [phase, seconds] : result.phase_seconds) total += seconds;

@@ -10,6 +10,7 @@
 #include "core/offline_analyzer.hpp"
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -165,7 +166,7 @@ void run_dataset(const std::string& name, DatasetSpec spec, double sampling_eb,
 int main(int argc, char** argv) {
   banner("bench_fig12_end_to_end",
          "Fig. 12: end-to-end breakdown with compression at 32 ranks");
-  const ArgParser args(argc, argv, 1, {"--data", "--dataset"});
+  const ArgParser args(argc, argv, 1, {"--data", "--dataset", "--trace"});
   const std::string data_dir = args.str("--data");
   const std::string which = args.str("--dataset", "kaggle");
   if (which != "kaggle" && which != "terabyte") {
@@ -173,6 +174,16 @@ int main(int argc, char** argv) {
               << " (expected kaggle|terabyte)\n";
     return 2;
   }
+  // --trace captures the whole bench (every baseline/compressed/overlap
+  // run) into one Chrome trace-event file.
+  const std::string trace_path = args.str("--trace");
+  if (!trace_path.empty()) Tracer::instance().enable();
+  const auto export_trace = [&] {
+    if (trace_path.empty()) return;
+    Tracer::instance().disable();
+    Tracer::instance().export_chrome_trace(trace_path);
+    std::cout << "trace written to " << trace_path << "\n";
+  };
 
   if (!data_dir.empty()) {
     // Real Criteo shards (see README "Real data"): one workload, shaped
@@ -183,6 +194,7 @@ int main(int argc, char** argv) {
     const auto source = open_data_source(data_dir, spec);
     run_dataset("criteo-" + which + " (real shards)", spec,
                 kaggle_shape ? 0.01 : 0.005, *source);
+    export_trace();
     return 0;
   }
 
@@ -193,6 +205,7 @@ int main(int argc, char** argv) {
   DatasetSpec terabyte = DatasetSpec::criteo_terabyte_like(20000);
   run_dataset("criteo-terabyte-like", terabyte, 0.005,
               SyntheticClickDataset(terabyte, 67));
+  export_trace();
 
   std::cout << "\nexpected shape: compression shrinks the all-to-all slices "
                "by roughly the CR while adding small codec slices; the "

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace dlcomp {
 
@@ -21,6 +22,11 @@ CommContext::CommContext(int world_size, NetworkModel model)
       clocks(static_cast<std::size_t>(world_size)),
       wire_bytes_sent(static_cast<std::size_t>(world_size), 0) {
   DLCOMP_CHECK(world_size >= 1);
+  // Bind each per-rank clock to its sim-timeline trace track once; the
+  // binding survives reset() across Cluster::run calls.
+  for (int r = 0; r < world_size; ++r) {
+    clocks[static_cast<std::size_t>(r)].set_trace_rank(r);
+  }
 }
 
 }  // namespace detail
@@ -37,10 +43,16 @@ PendingCollective::Charge PendingCollective::wait() {
   // "<phase>/wait" by a blocking call, so it counts as hidden wait —
   // in the clock's ledger and in the returned charge, mirroring how the
   // exposed stall below enters Charge.exposed_seconds.
+  const bool traced = trace_enabled() && clock_->trace_rank() >= 0;
+
   const double hidden_wait = std::min(local, start_) - issue_;
   if (hidden_wait > 0.0) {
     clock_->record_hidden(names_->wait, hidden_wait);
     charge.hidden_seconds += hidden_wait;
+    if (traced) {
+      trace_sim_async(clock_->trace_rank(), names_->wait.c_str(), issue_,
+                      issue_ + hidden_wait);
+    }
   }
 
   // If the rank ran out of compute before the collective even started, it
@@ -66,6 +78,10 @@ PendingCollective::Charge PendingCollective::wait() {
     if (hidden > 0.0) {
       clock_->record_hidden(*seg.phase, hidden);
       charge.hidden_seconds += hidden;
+      if (traced) {
+        trace_sim_async(clock_->trace_rank(), seg.phase->c_str(), seg_begin,
+                        seg_begin + hidden);
+      }
     }
     // Advance whenever anything is exposed, and also for zero-duration
     // segments with no hiding — the latter mirrors the blocking path,
@@ -330,6 +346,9 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
   threads.reserve(static_cast<std::size_t>(world_));
   for (int r = 0; r < world_; ++r) {
     threads.emplace_back([&, r] {
+      // Wall spans recorded on this thread group under "rank r" in the
+      // exported trace; the binding dies with the thread.
+      trace_bind_thread_rank(r);
       Communicator comm(ctx_, r);
       try {
         fn(comm);

@@ -36,6 +36,10 @@ LatencySummary LatencyRecorder::summary() const {
   return s;
 }
 
+void LatencyRecorder::fill_histogram(HistogramMetric& hist) const {
+  for (const float s : samples_) hist.observe(s);
+}
+
 void LatencyRecorder::reset() {
   samples_.clear();
   sum_ = 0.0;

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dlcomp {
 
 /// Percentile summary of a latency sample, all in seconds.
@@ -41,7 +43,20 @@ class LatencyRecorder {
   }
 
   /// Computes mean/max and nearest-rank p50/p95/p99/p99.9 (sorts a copy).
+  /// The rank rule is the shared `nearest_rank()` estimator, so these
+  /// agree with HistogramMetric quantiles up to bucket resolution.
   [[nodiscard]] LatencySummary summary() const;
+
+  /// Replays every sample into a histogram metric — how a recorder
+  /// enters a MetricsSnapshot (the serving report publishes its merged
+  /// recorder this way).
+  void fill_histogram(HistogramMetric& hist) const;
+
+  /// Bucket layout used for latency histograms: 1 us .. ~67 s,
+  /// x2 exponential.
+  [[nodiscard]] static HistogramBuckets default_buckets() {
+    return HistogramBuckets::exponential(1e-6, 2.0, 26);
+  }
 
   void reset();
 

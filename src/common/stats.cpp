@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace dlcomp {
 
@@ -100,13 +101,10 @@ double percentile(std::span<const float> values, double q) {
 double percentile_sorted(std::span<const float> sorted, double q) {
   if (sorted.empty()) return 0.0;
   DLCOMP_CHECK_MSG(q >= 0.0 && q <= 100.0, "q=" << q);
-  // Nearest rank: ceil(q/100 * N), clamped to [1, N]. The epsilon keeps
-  // q*N that is an exact integer from rounding up (e.g. 99.9% of 1000
-  // evaluating to 999.0000000000001).
-  const auto n = static_cast<double>(sorted.size());
-  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n - 1e-9));
-  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
-  return sorted[rank - 1];
+  // The rank rule (nearest rank with the exact-boundary epsilon) is
+  // shared with HistogramMetric::quantile — one percentile definition
+  // for the whole repo.
+  return sorted[nearest_rank(sorted.size(), q) - 1];
 }
 
 double entropy_bits(std::span<const std::uint64_t> frequencies) {

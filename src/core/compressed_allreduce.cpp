@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace dlcomp {
 
@@ -18,6 +19,7 @@ CompressedAllReduce::CompressedAllReduce(CompressedAllReduceConfig config)
 AllReduceStats CompressedAllReduce::reduce(Communicator& comm,
                                            std::span<float> data,
                                            const std::string& phase) const {
+  DLCOMP_TRACE_SPAN("allreduce");
   AllReduceStats stats;
   stats.raw_bytes = data.size_bytes();
 
@@ -31,6 +33,7 @@ AllReduceStats CompressedAllReduce::reduce(Communicator& comm,
 
   // Compress the local contribution once; the same stream goes to every
   // peer (an all-gather expressed over the variable all-to-all).
+  DLCOMP_TRACE_INSTANT("allreduce/compress");
   WallTimer compress_timer;
   CompressParams params;
   params.error_bound = config_.relative_eb;

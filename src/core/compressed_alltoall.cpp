@@ -1,11 +1,13 @@
 #include "core/compressed_alltoall.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "common/byte_io.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace dlcomp {
 
@@ -78,8 +80,10 @@ std::size_t CompressedAllToAll::pack_group(
     std::size_t g, std::size_t groups, A2AStats& stats) const {
   const auto world = static_cast<std::size_t>(comm.world());
 
+  DLCOMP_TRACE_SPAN("a2a/pack_group");
   WallTimer compress_timer;
   auto pack_destination = [&](std::size_t d) {
+    DLCOMP_TRACE_SPAN("a2a/compress");
     std::vector<std::byte>& buf = scratch_.packed[d];
     const std::size_t cap_before = buf.capacity();
     buf.clear();
@@ -107,6 +111,10 @@ std::size_t CompressedAllToAll::pack_group(
           static_cast<std::uint64_t>(buf.size() - before);
       std::memcpy(buf.data() + sizes_at + (i - lo) * sizeof(std::uint64_t),
                   &stream_bytes, sizeof(stream_bytes));
+      if (chunks[i].tag != A2AChunkSpec::kNoTag) {
+        scratch_.tag_wire[chunks[i].tag].fetch_add(
+            stream_bytes, std::memory_order_relaxed);
+      }
     }
     if (buf.capacity() != cap_before) {
       scratch_.grow_events.fetch_add(1, std::memory_order_relaxed);
@@ -143,6 +151,7 @@ void CompressedAllToAll::land_group(
     const PhaseNames& names, A2AStats& stats) const {
   const auto world = static_cast<std::size_t>(comm.world());
 
+  DLCOMP_TRACE_SPAN("a2a/land_group");
   const PendingCollective::Charge charge = pending.wait();
   stats.exposed_comm_seconds += charge.exposed_seconds;
   stats.hidden_comm_seconds += charge.hidden_seconds;
@@ -165,6 +174,7 @@ void CompressedAllToAll::land_group(
   }
 
   auto unpack_source = [&](std::size_t s) {
+    DLCOMP_TRACE_SPAN("a2a/decompress");
     const RecvDirectory& dir = scratch_.dirs[s];
     CompressionWorkspace& ws = *scratch_.per_peer[s];
     const std::size_t lo = group_begin(recv[s].size(), groups, g);
@@ -230,9 +240,35 @@ CompressedAllToAll::PendingExchange CompressedAllToAll::exchange_begin(
     }
   }
 
+  // Size the per-tag accumulators to the high-water tag id before the
+  // packing tasks fan out (they only fetch_add into existing slots).
+  std::size_t tags_needed = 0;
   for (std::size_t d = 0; d < world; ++d) {
     for (const auto& chunk : send[d]) {
       ex.stats_.send_raw_bytes += chunk.data.size_bytes();
+      if (chunk.tag != A2AChunkSpec::kNoTag) {
+        tags_needed = std::max<std::size_t>(tags_needed, chunk.tag + 1);
+      }
+    }
+  }
+  if (tags_needed > scratch_.tag_count) {
+    auto grown = std::make_unique<std::atomic<std::uint64_t>[]>(tags_needed);
+    for (std::size_t t = 0; t < tags_needed; ++t) {
+      grown[t].store(t < scratch_.tag_count
+                         ? scratch_.tag_wire[t].load(std::memory_order_relaxed)
+                         : 0,
+                     std::memory_order_relaxed);
+    }
+    scratch_.tag_wire = std::move(grown);
+    scratch_.tag_raw.resize(tags_needed, 0);
+    scratch_.tag_count = tags_needed;
+    scratch_.grow_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (std::size_t d = 0; d < world; ++d) {
+    for (const auto& chunk : send[d]) {
+      if (chunk.tag != A2AChunkSpec::kNoTag) {
+        scratch_.tag_raw[chunk.tag] += chunk.data.size_bytes();
+      }
     }
   }
 
@@ -289,6 +325,16 @@ std::uint64_t CompressedAllToAll::workspace_grow_events() const {
   std::uint64_t total = scratch_.grow_events.load(std::memory_order_relaxed);
   for (const auto& ws : scratch_.per_peer) total += ws->grow_events();
   return total;
+}
+
+std::vector<CompressedAllToAll::TagBytes> CompressedAllToAll::per_tag_bytes()
+    const {
+  std::vector<TagBytes> out(scratch_.tag_count);
+  for (std::size_t t = 0; t < scratch_.tag_count; ++t) {
+    out[t].raw = scratch_.tag_raw[t];
+    out[t].wire = scratch_.tag_wire[t].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::size_t CompressedAllToAll::scratch_capacity_bytes() const {

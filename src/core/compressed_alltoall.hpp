@@ -56,8 +56,15 @@ namespace dlcomp {
 
 /// One tensor chunk addressed to a destination rank.
 struct A2AChunkSpec {
+  /// Chunks carrying the same tag are accumulated together in the
+  /// per-tag byte accounting (the trainer tags chunks with the owning
+  /// embedding table id, giving per-table compression ratios in the
+  /// metrics snapshot). kNoTag opts out at zero cost.
+  static constexpr std::uint32_t kNoTag = UINT32_MAX;
+
   std::span<const float> data;
   CompressParams params;
+  std::uint32_t tag = kNoTag;
 };
 
 /// Per-rank statistics for one exchange.
@@ -172,6 +179,14 @@ class CompressedAllToAll {
   /// exchange.
   [[nodiscard]] std::uint64_t workspace_grow_events() const;
 
+  /// Cumulative bytes sent per chunk tag (indexed by tag; raw = payload
+  /// floats, wire = compressed stream). Empty when no chunk was tagged.
+  struct TagBytes {
+    std::uint64_t raw = 0;
+    std::uint64_t wire = 0;
+  };
+  [[nodiscard]] std::vector<TagBytes> per_tag_bytes() const;
+
   /// High-water heap capacity of the reused send buffers + workspaces.
   [[nodiscard]] std::size_t scratch_capacity_bytes() const;
 
@@ -200,11 +215,17 @@ class CompressedAllToAll {
         : per_peer(std::move(other.per_peer)),
           packed(std::move(other.packed)),
           dirs(std::move(other.dirs)),
+          tag_raw(std::move(other.tag_raw)),
+          tag_wire(std::move(other.tag_wire)),
+          tag_count(other.tag_count),
           grow_events(other.grow_events.load(std::memory_order_relaxed)) {}
     Scratch& operator=(Scratch&& other) noexcept {
       per_peer = std::move(other.per_peer);
       packed = std::move(other.packed);
       dirs = std::move(other.dirs);
+      tag_raw = std::move(other.tag_raw);
+      tag_wire = std::move(other.tag_wire);
+      tag_count = other.tag_count;
       grow_events.store(other.grow_events.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
       return *this;
@@ -213,6 +234,13 @@ class CompressedAllToAll {
     std::vector<std::unique_ptr<CompressionWorkspace>> per_peer;
     std::vector<std::vector<std::byte>> packed;  // per destination
     std::vector<RecvDirectory> dirs;             // per source
+    /// Per-tag cumulative totals. Raw bytes accumulate serially in
+    /// exchange_begin; wire bytes accumulate from the packing tasks, so
+    /// they are atomic (many destinations carry the same tag). Sized to
+    /// the high-water tag count (growth counted like any other scratch).
+    std::vector<std::uint64_t> tag_raw;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> tag_wire;
+    std::size_t tag_count = 0;
     /// Packed-buffer capacity growth + workspace creation, counted so a
     /// freshly constructed (or wrongly re-constructed-per-iteration)
     /// instance is visible to the steady-state grow-event tests. Atomic:

@@ -7,11 +7,14 @@
 #include <memory>
 #include <thread>
 
+#include <mutex>
+
 #include "ckpt/checkpoint.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "compress/registry.hpp"
 #include "dlrm/interaction.hpp"
+#include "obs/trace.hpp"
 
 namespace dlcomp {
 
@@ -252,6 +255,28 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
   std::atomic<std::uint64_t> bwd_wire{0};
   std::atomic<std::uint64_t> steady_grow{0};
 
+  // Per-table byte totals from the tagged all-to-all chunks, merged
+  // across ranks after each rank's loop ends.
+  std::mutex tag_mutex;
+  std::vector<CompressedAllToAll::TagBytes> fwd_tag_bytes;
+  std::vector<CompressedAllToAll::TagBytes> bwd_tag_bytes;
+  // `lo` selects the direction's tag range: forward chunks are tagged
+  // [0, num_tables), backward ones [num_tables, 2*num_tables).
+  const auto merge_tags = [num_tables](
+                              std::vector<CompressedAllToAll::TagBytes>& into,
+                              std::vector<CompressedAllToAll::TagBytes> from,
+                              std::size_t lo) {
+    const std::size_t hi = std::min(from.size(), lo + num_tables);
+    for (std::size_t t = lo; t < hi; ++t) {
+      if (into.size() <= t - lo) into.resize(t - lo + 1);
+      into[t - lo].raw += from[t].raw;
+      into[t - lo].wire += from[t].wire;
+    }
+  };
+
+  // Rank 0's per-iteration wall times (1 us .. ~2 s exponential buckets).
+  HistogramMetric iter_wall_hist(HistogramBuckets::exponential(1e-6, 2.0, 22));
+
   WallTimer wall;
   Cluster cluster(config_.world, config_.network);
   cluster.run([&](Communicator& comm) {
@@ -310,6 +335,8 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
     std::vector<float> local_labels(local_batch);
 
     for (std::size_t iter = start_iter; iter < config_.iterations; ++iter) {
+      DLCOMP_TRACE_SPAN("train/iteration");
+      WallTimer iter_timer;
       const double eb_scale = scheduler.scale_at(iter);
 
       // Every rank regenerates the same global batch deterministically.
@@ -354,6 +381,7 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
           chunk.params.eb_mode = EbMode::kAbsolute;
           chunk.params.vector_dim = dim;
           chunk.params.hybrid_choice = table_choice[t];
+          chunk.tag = static_cast<std::uint32_t>(t);
           send_fwd[d].push_back(chunk);
         }
       }
@@ -365,6 +393,7 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
         }
       }
       A2AStats fwd_stats;
+      DLCOMP_TRACE_INSTANT("train/forward_exchange");
       if (config_.overlap.forward) {
         // Issue the exchange, run the bottom MLP "under" the wire, then
         // land the final payload group.
@@ -420,6 +449,10 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
           chunk.params.eb_mode = EbMode::kRangeRelative;
           chunk.params.vector_dim = dim;
           chunk.params.hybrid_choice = table_choice[t];
+          // Backward tags live in [num_tables, 2*num_tables): when the
+          // backward path is compressed it shares the forward exchange
+          // object, so the directions must not share accumulator slots.
+          chunk.tag = static_cast<std::uint32_t>(num_tables + t);
           send_bwd[d].push_back(chunk);
         }
       }
@@ -468,6 +501,7 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
                              config_.compute.memory_bound_seconds(update_bytes));
       };
 
+      DLCOMP_TRACE_INSTANT("train/backward_exchange");
       if (config_.overlap.backward) {
         run_bottom_backward();
         pack_mlp_grads(state);
@@ -490,6 +524,8 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
       // warm-up (buffers and workspaces reach their high-water marks);
       // growth after that is a regression the tests assert against.
       if (iter < start_iter + 2) grow_baseline = grow_events_total();
+
+      if (rank == 0) iter_wall_hist.observe(iter_timer.seconds());
 
       // ---- Bookkeeping (rank 0 records/saves; all ranks barrier so the
       // snapshot is a consistent cut of tables and optimizer state).
@@ -543,6 +579,11 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
 
     steady_grow.fetch_add(grow_events_total() - grow_baseline,
                           std::memory_order_relaxed);
+    {
+      std::lock_guard lock(tag_mutex);
+      merge_tags(fwd_tag_bytes, a2a.per_tag_bytes(), 0);
+      merge_tags(bwd_tag_bytes, bwd_a2a.per_tag_bytes(), num_tables);
+    }
 
     // Final held-out evaluation.
     comm.barrier();
@@ -566,13 +607,60 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
 
   // Slowest rank's per-phase breakdown (exposed + hidden ledgers).
   double latest = -1.0;
+  const SimClock* slowest = nullptr;
   for (const auto& clock : cluster.clocks()) {
     if (clock.now() > latest) {
       latest = clock.now();
+      slowest = &clock;
       result.phase_seconds = clock.breakdown();
       result.hidden_phase_seconds = clock.hidden_breakdown();
     }
   }
+
+  // ---- Metrics snapshot: the machine-readable face of this result.
+  MetricsSnapshot& snap = result.metrics;
+  snap.set("train/iterations",
+           static_cast<double>(config_.iterations - start_iter));
+  snap.set("train/world", static_cast<double>(config_.world));
+  snap.set("train/forward_raw_bytes",
+           static_cast<double>(result.forward_raw_bytes));
+  snap.set("train/forward_wire_bytes",
+           static_cast<double>(result.forward_wire_bytes));
+  snap.set("train/forward_cr", result.forward_cr());
+  snap.set("train/backward_raw_bytes",
+           static_cast<double>(result.backward_raw_bytes));
+  snap.set("train/backward_wire_bytes",
+           static_cast<double>(result.backward_wire_bytes));
+  snap.set("train/backward_cr", result.backward_cr());
+  snap.set("train/steady_grow_events",
+           static_cast<double>(result.steady_state_grow_events));
+  snap.set("train/wall_seconds", result.wall_seconds);
+  snap.set("train/exposed_comm_seconds", result.exposed_comm_seconds());
+  snap.set("train/hidden_comm_seconds", result.hidden_comm_seconds());
+  if (!result.history.empty()) {
+    snap.set("train/final_loss", result.history.back().train_loss);
+    snap.set("train/final_accuracy", result.history.back().train_accuracy);
+  }
+  snap.set("train/eval_loss", result.final_eval.loss);
+  snap.set("train/eval_accuracy", result.final_eval.accuracy);
+  snapshot_histogram(snap, "train/iter_wall_s", iter_wall_hist);
+  if (slowest != nullptr) slowest->export_to(snap, "sim/");
+  const auto table_keys = [&snap](const char* dir,
+                                  const std::vector<CompressedAllToAll::TagBytes>&
+                                      tags) {
+    for (std::size_t t = 0; t < tags.size(); ++t) {
+      const std::string base =
+          std::string("train/table/") + std::to_string(t) + "/" + dir;
+      snap.set(base + "_raw_bytes", static_cast<double>(tags[t].raw));
+      snap.set(base + "_wire_bytes", static_cast<double>(tags[t].wire));
+      snap.set(base + "_cr",
+               tags[t].wire == 0 ? 1.0
+                                 : static_cast<double>(tags[t].raw) /
+                                       static_cast<double>(tags[t].wire));
+    }
+  };
+  table_keys("fwd", fwd_tag_bytes);
+  table_keys("bwd", bwd_tag_bytes);
   return result;
 }
 

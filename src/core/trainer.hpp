@@ -28,6 +28,7 @@
 #include "data/batch_source.hpp"
 #include "dlrm/loss.hpp"
 #include "dlrm/model.hpp"
+#include "obs/metrics.hpp"
 
 namespace dlcomp {
 
@@ -166,6 +167,13 @@ struct TrainingResult {
   std::uint64_t forward_wire_bytes = 0;
   std::uint64_t backward_raw_bytes = 0;
   std::uint64_t backward_wire_bytes = 0;
+
+  /// Machine-readable run telemetry: byte totals and compression ratios
+  /// (overall and per table, via the tagged all-to-all chunks), loss,
+  /// iteration wall-time histogram, grow events, and the slowest rank's
+  /// SimClock ledgers under "sim/" (SimClock::export_to). Everything the
+  /// fields above carry is also here, in one flat sorted namespace.
+  MetricsSnapshot metrics;
 
   [[nodiscard]] double forward_cr() const noexcept {
     return forward_wire_bytes == 0

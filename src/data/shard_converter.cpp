@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "common/timer.hpp"
 #include "data/shard_format.hpp"
 
@@ -171,6 +172,9 @@ ConvertReport convert_criteo_tsv(const ConvertOptions& options) {
   ConvertReport report;
   report.samples = sink.samples.load();
   report.malformed_lines = sink.malformed.load();
+  MetricsRegistry::global()
+      .counter("data/malformed_lines_skipped")
+      .add(report.malformed_lines);
   report.shards = sink.shards.load();
   report.input_bytes = input_bytes;
   report.shard_bytes = sink.shard_bytes.load();

@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DLCOMP_HAS_MMAP 1
@@ -241,6 +243,11 @@ const ShardedDatasetReader::LoadedShard& ShardedDatasetReader::shard(
     bytes = shard->buffer;
   }
   shard->view = decode_shard(bytes, config_.verify_crc);
+  if (config_.verify_crc) {
+    static Counter& crc_verifies =
+        MetricsRegistry::global().counter("data/shard_crc_verifies");
+    crc_verifies.add();
+  }
   if (shard->view.header.sample_count != info.samples) {
     throw FormatError(info.path + ": sample count changed since open");
   }
@@ -452,7 +459,15 @@ void ShardBatchStream::wait_and_swap() {
     return;
   }
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return back_ready_; });
+  if (!back_ready_) {
+    // The consumer got here before the prefetch worker finished: the
+    // pipeline failed to hide the shard IO and the trainer stalls.
+    static Counter& stalls =
+        MetricsRegistry::global().counter("data/prefetch_stalls");
+    stalls.add();
+    DLCOMP_TRACE_SPAN("data/prefetch_stall");
+    cv_.wait(lock, [this] { return back_ready_; });
+  }
   back_ready_ = false;
   if (!load_error_.empty()) {
     const std::string error = load_error_;
@@ -478,6 +493,9 @@ void ShardBatchStream::next(SampleBatch& out) {
       try {
         // First touch of freshly read bytes: always verify CRCs.
         front_view_ = decode_shard(front_bytes_);
+        static Counter& crc_verifies =
+            MetricsRegistry::global().counter("data/shard_crc_verifies");
+        crc_verifies.add();
       } catch (...) {
         // Same retry contract as a failed load: re-request the shard so
         // a caught-and-retried next() waits on a fresh attempt instead

@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+std::size_t nearest_rank(std::size_t count, double q) noexcept {
+  if (count == 0) return 0;
+  const double clamped_q = std::clamp(q, 0.0, 100.0);
+  // The epsilon keeps ceil() from rounding q * n / 100 up past an exact
+  // integer boundary that double arithmetic overshoots by an ulp
+  // (p50 of 10 samples must pick rank 5, not 6).
+  const auto n = static_cast<double>(count);
+  auto rank =
+      static_cast<std::size_t>(std::ceil(clamped_q / 100.0 * n - 1e-9));
+  return std::clamp<std::size_t>(rank, 1, count);
+}
+
+HistogramBuckets HistogramBuckets::exponential(double first, double growth,
+                                               std::size_t count) {
+  DLCOMP_CHECK(first > 0.0 && growth > 1.0 && count > 0);
+  HistogramBuckets out;
+  out.upper_bounds.reserve(count);
+  double bound = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.upper_bounds.push_back(bound);
+    bound *= growth;
+  }
+  return out;
+}
+
+HistogramBuckets HistogramBuckets::linear(double lo, double hi,
+                                          std::size_t count) {
+  DLCOMP_CHECK(hi > lo && count > 0);
+  HistogramBuckets out;
+  out.upper_bounds.reserve(count);
+  const double width = (hi - lo) / static_cast<double>(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    out.upper_bounds.push_back(lo + width * static_cast<double>(i));
+  }
+  return out;
+}
+
+HistogramMetric::HistogramMetric(HistogramBuckets buckets)
+    : bounds_(std::move(buckets.upper_bounds)) {
+  DLCOMP_CHECK(!bounds_.empty());
+  DLCOMP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void HistogramMetric::observe(double value) noexcept {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prior = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+  if (prior == 0) {
+    // First sample seeds min/max; racing observers fix it up below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  atomic_min_double(min_, value);
+  atomic_max_double(max_, value);
+}
+
+double HistogramMetric::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double HistogramMetric::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const std::uint64_t rank = nearest_rank(total, q);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      const double estimate =
+          i < bounds_.size() ? bounds_[i]
+                             : max_.load(std::memory_order_relaxed);
+      return std::clamp(estimate, min(), max());
+    }
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> HistogramMetric::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+bool MetricsSnapshot::has(std::string_view name) const {
+  return values.find(std::string(name)) != values.end();
+}
+
+double MetricsSnapshot::value(std::string_view name, double fallback) const {
+  const auto it = values.find(std::string(name));
+  return it == values.end() ? fallback : it->second;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream out;
+  for (const auto& [key, val] : values) {
+    out << key << ' ' << val << '\n';
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            const HistogramBuckets& buckets) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<HistogramMetric>(buckets))
+             .first;
+  }
+  return *it->second;
+}
+
+void snapshot_histogram(MetricsSnapshot& snap, const std::string& name,
+                        const HistogramMetric& hist) {
+  snap.set(name + "/count", static_cast<double>(hist.count()));
+  snap.set(name + "/mean", hist.mean());
+  snap.set(name + "/min", hist.min());
+  snap.set(name + "/max", hist.max());
+  snap.set(name + "/p50", hist.quantile(50.0));
+  snap.set(name + "/p95", hist.quantile(95.0));
+  snap.set(name + "/p99", hist.quantile(99.0));
+  snap.set(name + "/p999", hist.quantile(99.9));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    snap.set(name, static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.set(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snapshot_histogram(snap, name, *h);
+  }
+  return snap;
+}
+
+}  // namespace dlcomp

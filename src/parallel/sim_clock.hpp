@@ -25,13 +25,21 @@
 #include <unordered_map>
 
 #include "common/string_hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dlcomp {
 
 class SimClock {
  public:
   /// Advances simulated time, attributing the interval to `phase`.
+  /// When the tracer is on and this clock is rank-bound, the interval is
+  /// also emitted as a sim-timeline slice — the trace is fed by the same
+  /// ledger entries breakdown() sums, so the two agree exactly.
   void advance(std::string_view phase, double seconds) {
+    if (trace_rank_ >= 0 && trace_enabled()) [[unlikely]] {
+      trace_sim_slice(trace_rank_, phase, now_, seconds);
+    }
     now_ += seconds;
     accumulate(phase_seconds_, phase, seconds);
   }
@@ -81,9 +89,34 @@ class SimClock {
   /// arrival time). The skipped interval is attributed to `phase` (wait).
   void sync_to(std::string_view phase, double t) {
     if (t > now_) {
+      if (trace_rank_ >= 0 && trace_enabled()) [[unlikely]] {
+        trace_sim_slice(trace_rank_, phase, now_, t - now_);
+      }
       accumulate(phase_seconds_, phase, t - now_);
       now_ = t;
     }
+  }
+
+  /// Binds this clock to a rank's sim-timeline track; advance/sync_to
+  /// then mirror every ledger entry into the tracer. -1 (default) keeps
+  /// the clock untraced. Survives reset().
+  void set_trace_rank(int rank) noexcept { trace_rank_ = rank; }
+  [[nodiscard]] int trace_rank() const noexcept { return trace_rank_; }
+
+  /// Publishes both ledgers into a metrics snapshot as sorted key/value
+  /// pairs: "<prefix><phase>" for exposed seconds, "<prefix>hidden/<phase>"
+  /// for hidden, plus "<prefix>makespan" = now(). Consumers (bench JSON,
+  /// TrainingResult) read phase totals from here instead of re-deriving
+  /// them from strings.
+  void export_to(MetricsSnapshot& snap, std::string_view prefix) const {
+    const std::string pre(prefix);
+    for (const auto& [phase, seconds] : phase_seconds_) {
+      snap.set(pre + phase, seconds);
+    }
+    for (const auto& [phase, seconds] : hidden_seconds_) {
+      snap.set(pre + "hidden/" + phase, seconds);
+    }
+    snap.set(pre + "makespan", now_);
   }
 
  private:
@@ -100,6 +133,7 @@ class SimClock {
   }
 
   double now_ = 0.0;
+  int trace_rank_ = -1;
   PhaseMap phase_seconds_;
   PhaseMap hidden_seconds_;
 };

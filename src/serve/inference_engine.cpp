@@ -7,6 +7,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "common/error.hpp"
 #include "compress/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace dlcomp {
 
@@ -29,6 +30,7 @@ InferenceEngine::InferenceEngine(const DatasetSpec& spec,
 DlrmModel::TableTransform InferenceEngine::lookup_transform() {
   if (codec_ == nullptr) return nullptr;
   return [this](std::size_t /*table*/, Matrix& data) {
+    DLCOMP_TRACE_SPAN("serve/codec_roundtrip");
     stream_.clear();
     codec_->compress(data.flat(), params_, stream_, workspace_);
     recon_.resize(data.size());
@@ -48,6 +50,7 @@ DlrmModel::TableTransform InferenceEngine::lookup_transform() {
 }
 
 std::vector<float> InferenceEngine::run(const SampleBatch& batch) {
+  DLCOMP_TRACE_SPAN("serve/forward");
   std::vector<float> probabilities(batch.batch_size());
   model_.predict(batch, probabilities, lookup_transform());
   samples_served_ += batch.batch_size();

@@ -11,6 +11,7 @@
 #include "common/table_printer.hpp"
 #include "common/timer.hpp"
 #include "data/synthetic.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace dlcomp {
@@ -71,6 +72,7 @@ ServingReport ServingSimulator::run() {
       // Round-robin assignment keeps the plan deterministic and the
       // per-replica load balanced.
       for (std::size_t b = r; b < batches.size(); b += replicas) {
+        DLCOMP_TRACE_SPAN("serve/batch");
         const InferenceBatch& batch = batches[b];
         const SampleBatch samples =
             dataset.make_batch(batch.total_samples(), b);
@@ -133,6 +135,31 @@ ServingReport ServingSimulator::run() {
       comp_bytes == 0 ? 0.0
                       : static_cast<double>(in_bytes) /
                             static_cast<double>(comp_bytes);
+
+  // ---- Metrics snapshot: latency recorder -> histogram metric, plus
+  // queue depth and the fleet counters.
+  MetricsSnapshot& snap = report.metrics;
+  HistogramMetric latency_hist(LatencyRecorder::default_buckets());
+  merged.fill_histogram(latency_hist);
+  snapshot_histogram(snap, "serve/latency_s", latency_hist);
+  HistogramMetric depth_hist(HistogramBuckets::exponential(1.0, 2.0, 16));
+  for (const InferenceBatch& b : batches) {
+    depth_hist.observe(static_cast<double>(b.queries.size()));
+  }
+  snapshot_histogram(snap, "serve/queue_depth", depth_hist);
+  snap.set("serve/queries", static_cast<double>(report.queries));
+  snap.set("serve/batches", static_cast<double>(report.batches));
+  snap.set("serve/samples", static_cast<double>(report.samples));
+  snap.set("serve/replicas", static_cast<double>(replicas));
+  snap.set("serve/offered_qps", report.offered_qps);
+  snap.set("serve/achieved_qps", report.achieved_qps);
+  snap.set("serve/serve_wall_s", report.serve_wall_s);
+  snap.set("serve/mean_service_s", report.mean_service_s);
+  snap.set("serve/max_lookup_error", report.max_lookup_error);
+  snap.set("serve/lookup_cr", report.lookup_compression_ratio);
+  snap.set("serve/lookup_input_bytes", static_cast<double>(in_bytes));
+  snap.set("serve/lookup_compressed_bytes",
+           static_cast<double>(comp_bytes));
   return report;
 }
 

@@ -55,6 +55,12 @@ struct ServingReport {
   /// Compression telemetry (0 when serving exact).
   double max_lookup_error = 0.0;
   double lookup_compression_ratio = 0.0;
+
+  /// Machine-readable telemetry under "serve/": the merged latency
+  /// recorder as a histogram metric (quantiles via the shared
+  /// nearest-rank estimator), per-batch queue depth, byte/query/batch
+  /// counters and the throughput gauges.
+  MetricsSnapshot metrics;
 };
 
 class ServingSimulator {

@@ -28,6 +28,7 @@
 #include "core/compressed_alltoall.hpp"
 #include "data/shard_converter.hpp"
 #include "data/shard_reader.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 // The workspace API lands with the hot-path overhaul; guarding on the
@@ -419,6 +420,53 @@ DataPipelineReport measure_dataset_pipeline(std::size_t reps) {
   return report;
 }
 
+struct ObservabilityReport {
+  double span_ns = 0.0;           ///< enabled cost per begin/end span pair
+  double disabled_span_ns = 0.0;  ///< macro cost with the tracer off
+  double events_per_s = 0.0;      ///< enabled recording throughput
+  long long steady_grow_events = -1;
+};
+
+/// Tracer overhead on this machine: one thread recording begin/end span
+/// pairs into its ring. The first span allocates the thread's ring; after
+/// that warm-up, recording must not grow anything (the `steady_grow_events
+/// == 0` line CI asserts on).
+ObservabilityReport measure_observability(std::size_t reps) {
+  constexpr std::size_t kSpans = 200000;
+  ObservabilityReport report;
+  Tracer& tracer = Tracer::instance();
+
+  double best_disabled = 1e300;
+  for (std::size_t r = 0; r < std::max<std::size_t>(reps, 3); ++r) {
+    WallTimer timer;
+    for (std::size_t i = 0; i < kSpans; ++i) {
+      DLCOMP_TRACE_SPAN("bench/span");
+    }
+    best_disabled = std::min(best_disabled, timer.seconds());
+  }
+  report.disabled_span_ns = best_disabled / kSpans * 1e9;
+
+  tracer.enable();
+  { DLCOMP_TRACE_SPAN("bench/warmup"); }  // allocates this thread's ring
+  const std::uint64_t grow_before = tracer.buffer_grow_events();
+  double best = 1e300;
+  for (std::size_t r = 0; r < std::max<std::size_t>(reps, 3); ++r) {
+    WallTimer timer;
+    for (std::size_t i = 0; i < kSpans; ++i) {
+      DLCOMP_TRACE_SPAN("bench/span");
+    }
+    best = std::min(best, timer.seconds());
+  }
+  report.steady_grow_events =
+      static_cast<long long>(tracer.buffer_grow_events() - grow_before);
+  tracer.disable();
+
+  report.span_ns = best / kSpans * 1e9;
+  report.events_per_s =
+      best > 0.0 ? 2.0 * static_cast<double>(kSpans) / best : 0.0;
+  return report;
+}
+
 /// Pulls one numeric field for one codec back out of a previously
 /// emitted report (our own stable format — no JSON library needed).
 double baseline_field(const std::string& json, const std::string& codec,
@@ -434,6 +482,7 @@ void write_json(const std::string& path, const std::string& label,
                 std::size_t payload_bytes, std::size_t reps,
                 const std::vector<CodecReport>& codecs, const A2AReport& a2a,
                 const OverlapReport& overlap, const DataPipelineReport& data,
+                const ObservabilityReport& obs,
                 const std::string& baseline_json) {
   std::ofstream out(path);
   char buf[256];
@@ -471,6 +520,13 @@ void write_json(const std::string& path, const std::string& label,
                 overlap.serial_exposed_us, overlap.pipelined_exposed_us,
                 overlap.pipelined_hidden_us, overlap.exposed_reduction_pct,
                 overlap.sim_exchange_speedup, ",");
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"observability\": {\"span_ns\": %.1f, "
+                "\"disabled_span_ns\": %.2f, \"events_per_s\": %.0f, "
+                "\"steady_grow_events\": %lld},\n",
+                obs.span_ns, obs.disabled_span_ns, obs.events_per_s,
+                obs.steady_grow_events);
   out << buf;
   std::snprintf(buf, sizeof(buf),
                 "  \"dataset_pipeline\": {\"samples\": %zu, \"shards\": %zu, "
@@ -592,8 +648,14 @@ int main(int argc, char** argv) {
               data_pipeline.samples, data_pipeline.shards,
               data_pipeline.steady_grow_events);
 
+  const ObservabilityReport obs = measure_observability(reps);
+  std::printf("tracer       span %8.1f ns enabled / %.2f ns disabled  "
+              "(%.1f M events/s, grow %lld)\n",
+              obs.span_ns, obs.disabled_span_ns, obs.events_per_s / 1e6,
+              obs.steady_grow_events);
+
   write_json(out_path, label, input.size() * sizeof(float), reps, reports,
-             a2a, overlap, data_pipeline, baseline_json);
+             a2a, overlap, data_pipeline, obs, baseline_json);
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -8,6 +8,7 @@
 //   dlcomp inspect    <in.dlcp>
 //   dlcomp analyze    <kaggle|terabyte> <plan-out.txt> [sampling-eb]
 //   dlcomp serve      [--pattern poisson|bursty|diurnal] [--qps N] ...
+//   dlcomp trace      [--mode train|serve] [--out PREFIX] ...
 //   dlcomp ckpt       save|inspect|verify|diff ...
 //   dlcomp data       convert|inspect|stats ...
 //   dlcomp codecs
@@ -34,6 +35,8 @@
 #include "compress/registry.hpp"
 #include "core/offline_analyzer.hpp"
 #include "core/report_io.hpp"
+#include "core/trainer.hpp"
+#include "obs/trace.hpp"
 #include "data/shard_converter.hpp"
 #include "data/shard_format.hpp"
 #include "data/shard_reader.hpp"
@@ -261,6 +264,108 @@ int cmd_serve(int argc, char** argv) {
       "compressed max lookup error %.6g (bound %g)\n",
       exact.achieved_qps, compressed.achieved_qps, exact.offered_qps,
       compressed.max_lookup_error, eb);
+  return 0;
+}
+
+// ----------------------------------------------------------------- trace
+
+constexpr const char* kTraceUsage =
+    "usage: dlcomp trace [--out PREFIX] [--mode train|serve]\n"
+    "    [--world N] [--iters N] [--batch N] [--stages N] [--no-overlap]\n"
+    "    [--codec NAME|none] [--eb X] [--dataset kaggle|terabyte|small]\n"
+    "    [--queries N] [--qps X] [--ring N] [--seed N]\n"
+    "runs an instrumented scenario and writes PREFIX.trace.json (Chrome\n"
+    "trace-event JSON; open in Perfetto or chrome://tracing -- pid 0 is\n"
+    "the wall clock per thread, pid 1 the simulated clock per rank with\n"
+    "hidden communication as async slices) plus PREFIX.metrics.txt (the\n"
+    "run's flattened metrics snapshot, one `name value` line per key)\n";
+
+int cmd_trace(int argc, char** argv) {
+  const ArgParser args(argc, argv, 2,
+                       {"--out", "--mode", "--world", "--iters", "--batch",
+                        "--stages", "--codec", "--eb", "--dataset",
+                        "--queries", "--qps", "--ring", "--seed"},
+                       {"--no-overlap"});
+  if (!args.positionals().empty()) throw Error("trace takes no positionals");
+
+  const std::string out = args.str("--out", "dlcomp");
+  const std::string mode = args.str("--mode", "train");
+  const std::string trace_path = out + ".trace.json";
+  const std::string metrics_path = out + ".metrics.txt";
+  const std::uint64_t seed = args.u64("--seed", 42);
+  const DatasetSpec spec = spec_by_name(args.str("--dataset", "small"));
+  std::string codec = args.str("--codec", "hybrid");
+  if (codec == "none") codec.clear();
+  if (!codec.empty()) (void)get_compressor(codec);  // fail before running
+  const double eb = args.num("--eb", 0.01);
+  const std::size_t ring =
+      args.uint("--ring", Tracer::kDefaultRingCapacity);
+
+  Tracer& tracer = Tracer::instance();
+  MetricsSnapshot metrics;
+
+  if (mode == "train") {
+    // Default scenario: pipelined-overlap compressed training at world 8,
+    // the configuration whose hidden-vs-exposed comm the trace is for.
+    TrainerConfig config;
+    config.world = static_cast<int>(args.uint("--world", 8));
+    config.iterations = args.uint("--iters", 4);
+    config.global_batch = args.uint("--batch", 1024);
+    config.record_every = 1;
+    config.seed = seed;
+    config.compression.codec = codec;
+    config.compression.global_eb = eb;
+    config.overlap.forward = !args.has("--no-overlap");
+    config.overlap.backward = config.overlap.forward;
+    config.overlap.pipeline_stages = args.uint("--stages", 4);
+    const SyntheticClickDataset data(spec, seed);
+
+    tracer.enable(ring);
+    const TrainingResult result = HybridParallelTrainer(config).train(data);
+    tracer.disable();
+    metrics = result.metrics;
+    std::printf(
+        "traced %zu iterations at world=%d (%s): sim makespan %.3f ms, "
+        "exposed comm %.3f ms, hidden comm %.3f ms\n",
+        config.iterations, config.world,
+        codec.empty() ? "uncompressed" : codec.c_str(),
+        result.makespan_seconds * 1e3, result.exposed_comm_seconds() * 1e3,
+        result.hidden_comm_seconds() * 1e3);
+  } else if (mode == "serve") {
+    ServingConfig config;
+    config.spec = spec;
+    config.load.num_queries = args.uint("--queries", 1000);
+    config.load.qps = args.num("--qps", 2000.0);
+    config.load.seed = seed;
+    config.seed = seed;
+    config.engine.codec = codec;
+    config.engine.error_bound = eb;
+    ServingSimulator simulator(config);
+
+    tracer.enable(ring);
+    const ServingReport report = simulator.run();
+    tracer.disable();
+    metrics = report.metrics;
+    std::printf("traced %zu queries in %zu batches: achieved %.0f qps "
+                "(offered %.0f), p99 %.3f ms\n",
+                report.queries, report.batches, report.achieved_qps,
+                report.offered_qps, report.latency.p99_s * 1e3);
+  } else {
+    throw Error("unknown --mode: " + mode + " (expected train|serve)");
+  }
+
+  tracer.export_chrome_trace(trace_path);
+  std::ofstream os(metrics_path);
+  if (!os.good()) throw Error("cannot open for writing: " + metrics_path);
+  os << metrics.to_text();
+  if (!os.good()) throw Error("write failed: " + metrics_path);
+
+  std::uint64_t events = 0;
+  for (const auto& thread : tracer.collect()) events += thread.events.size();
+  std::printf("wrote %s (%llu events, %llu dropped) and %s (%zu metrics)\n",
+              trace_path.c_str(), static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(tracer.dropped_events()),
+              metrics_path.c_str(), metrics.values.size());
   return 0;
 }
 
@@ -640,17 +745,19 @@ int main(int argc, char** argv) {
     if (command == "inspect") return cmd_inspect(argc, argv);
     if (command == "analyze") return cmd_analyze(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "trace") return cmd_trace(argc, argv);
     if (command == "ckpt") return cmd_ckpt(argc, argv);
     if (command == "data") return cmd_data(argc, argv);
     if (command == "codecs") return cmd_codecs();
     std::fprintf(stderr,
                  "dlcomp -- error-bounded compression for DLRM training\n"
-                 "commands: compress decompress inspect analyze serve ckpt "
-                 "data codecs\n");
+                 "commands: compress decompress inspect analyze serve trace "
+                 "ckpt data codecs\n");
     return command.empty() ? 2 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     if (command == "serve") std::fprintf(stderr, "%s", kServeUsage);
+    if (command == "trace") std::fprintf(stderr, "%s", kTraceUsage);
     if (command == "ckpt") std::fprintf(stderr, "%s", kCkptUsage);
     if (command == "data") std::fprintf(stderr, "%s", kDataUsage);
     return 1;
