@@ -16,6 +16,7 @@
 
 #include "bench_util.hpp"
 #include "ckpt/checkpoint.hpp"
+#include "common/arg_parser.hpp"
 #include "common/table_printer.hpp"
 #include "common/timer.hpp"
 #include "dlrm/model.hpp"
@@ -37,9 +38,16 @@ double mbps(std::size_t bytes, double seconds) {
   return seconds > 0.0 ? static_cast<double>(bytes) / seconds / 1e6 : 0.0;
 }
 
+/// "hybrid" + eb 0.01 -> "hybrid_eb_0.01"; lossless -> "raw".
+std::string cell_key(const std::string& codec, double eb) {
+  if (codec.empty()) return "raw";
+  return codec + "_eb_" + TablePrinter::num(eb, 3);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv, 1, {"--metrics"});
   bench::banner("checkpoint size / throughput: lossless vs error-bounded",
                 "extension (Check-N-Run-style compressed checkpointing)");
 
@@ -77,6 +85,7 @@ int main() {
 
   TablePrinter table({"codec", "eb", "file MB", "table CR", "save MB/s",
                       "load MB/s", "max err"});
+  MetricsSnapshot all_metrics;
   for (const auto& config : configs) {
     CheckpointOptions options;
     options.codec = config.codec;
@@ -103,6 +112,15 @@ int main() {
       }
     }
     const ContainerInfo info = inspect_checkpoint(path);
+    const std::string key = "ckpt/" + cell_key(config.codec, config.eb);
+    all_metrics.set(key + "/file_bytes",
+                    static_cast<double>(info.file_bytes));
+    all_metrics.set(key + "/table_cr",
+                    static_cast<double>(info.table_raw_bytes) /
+                        static_cast<double>(info.table_stored_bytes));
+    all_metrics.set(key + "/save_s", save_s);
+    all_metrics.set(key + "/load_s", load_s);
+    all_metrics.set(key + "/max_err", max_err);
     table.add_row(
         {config.label, config.codec.empty() ? "-" : TablePrinter::num(config.eb, 3),
          TablePrinter::num(static_cast<double>(info.file_bytes) / 1e6, 2),
@@ -146,6 +164,13 @@ int main() {
     }
     const ContainerInfo info = inspect_checkpoint(path);
     if (leg == 0) full_bytes = info.file_bytes;
+    const std::string key = "ckpt/delta/leg" + std::to_string(leg);
+    all_metrics.set(key + "/file_bytes",
+                    static_cast<double>(info.file_bytes));
+    if (leg > 0) {
+      all_metrics.set(key + "/touched_rows",
+                      static_cast<double>(info.delta_touched_rows));
+    }
     delta_table.add_row(
         {std::to_string(leg), leg == 0 ? "full" : "delta",
          TablePrinter::num(static_cast<double>(info.file_bytes) / 1e6, 3),
@@ -157,6 +182,7 @@ int main() {
   }
   std::printf("%s\n", delta_table.to_string().c_str());
 
+  bench::dump_metrics(args.str("--metrics"), all_metrics);
   std::filesystem::remove_all(dir);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/arg_parser.hpp"
 #include "common/latency_recorder.hpp"
 #include "common/table_printer.hpp"
 #include "serve/simulator.hpp"
@@ -23,9 +24,18 @@ struct CodecPath {
   double eb;
 };
 
+/// Prefixes one pattern x path cell's snapshot into the combined dump.
+void merge_cell_metrics(MetricsSnapshot& all, const MetricsSnapshot& cell,
+                        const std::string& prefix) {
+  for (const auto& [key, value] : cell.values) {
+    all.set(prefix + "/" + key, value);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv, 1, {"--metrics"});
   bench::banner("bench_serving_latency",
                 "online serving extension (DeepRecSys-style load, "
                 "compressed embedding payloads)");
@@ -55,6 +65,7 @@ int main() {
   TablePrinter table({"pattern", "path", "p50 ms", "p95 ms", "p99 ms",
                       "p99.9 ms", "achieved qps", "batch", "ratio",
                       "max err"});
+  MetricsSnapshot all_metrics;
   for (const ArrivalPattern pattern : patterns) {
     for (const CodecPath& path : paths) {
       ServingConfig config = base;
@@ -62,6 +73,13 @@ int main() {
       config.engine.codec = path.codec;
       config.engine.error_bound = path.eb;
       const ServingReport r = ServingSimulator(config).run();
+      std::string cell = path.label;  // "hybrid eb=0.01" -> "hybrid_eb_0.01"
+      for (char& c : cell) {
+        if (c == ' ' || c == '=') c = '_';
+      }
+      merge_cell_metrics(all_metrics, r.metrics,
+                         std::string(arrival_pattern_name(pattern)) + "/" +
+                             cell);
       table.add_row(
           {std::string(arrival_pattern_name(pattern)), path.label,
            TablePrinter::num(r.latency.p50_s * 1e3, 3),
@@ -82,5 +100,6 @@ int main() {
   std::printf(
       "latency = simulated queueing delay + measured forward wall time; "
       "achieved qps = queries / serve wall time.\n");
+  bench::dump_metrics(args.str("--metrics"), all_metrics);
   return 0;
 }

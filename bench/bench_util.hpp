@@ -8,12 +8,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "common/table_printer.hpp"
 #include "data/shard_reader.hpp"
 #include "data/synthetic.hpp"
@@ -100,6 +104,32 @@ inline std::unique_ptr<BatchSource> open_data_source(const std::string& dir,
 inline std::string with_paper(double measured, const std::string& paper,
                               int precision = 2) {
   return TablePrinter::num(measured, precision) + " (paper: " + paper + ")";
+}
+
+/// `--metrics <path>` support shared by the bench binaries. A `.json`
+/// path gets a flat name->value JSON object that `dlcomp obs diff`
+/// consumes directly; anything else gets "name value" lines (the same
+/// format as `dlcomp trace`'s PREFIX.metrics.txt). No-op when `path` is
+/// empty.
+inline void dump_metrics(const std::string& path,
+                         const MetricsSnapshot& snapshot) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os.good()) {
+    throw Error("bench: cannot open metrics output: " + path);
+  }
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    JsonValue doc = JsonValue::object();
+    for (const auto& [name, value] : snapshot.values) {
+      doc.set(name, JsonValue(value));
+    }
+    os << doc.dump(2) << '\n';
+  } else {
+    os << snapshot.to_text();
+  }
+  if (!os.good()) throw Error("bench: metrics write failed: " + path);
+  std::cout << "metrics written to " << path << " ("
+            << snapshot.values.size() << " keys)\n";
 }
 
 }  // namespace dlcomp::bench

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value: parse, serialize, and flatten. Just enough for the
+/// observability plane -- run manifests (`obs/manifest.hpp`), the
+/// `dlcomp obs diff` loader (which must also read BENCH_codec.json and
+/// Chrome trace files), and the /status endpoint -- without pulling in a
+/// dependency. Numbers are doubles (like JavaScript); object key order is
+/// preserved on parse and emit so serialized manifests diff cleanly.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dlcomp {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+  /// Object member by key; null pointer when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  void push_back(JsonValue v);
+  /// Appends (does not replace) a member; manifests never repeat keys.
+  void set(std::string key, JsonValue v);
+
+  /// Compact serialization (stable: preserves member order, "%.17g"
+  /// numbers that round-trip doubles exactly, integral values without a
+  /// trailing ".0"). `indent` > 0 pretty-prints.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+/// Parses a complete JSON document; throws dlcomp::Error with position
+/// information on malformed input or trailing garbage.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+/// Escapes `s` into a JSON string literal (quotes included). Shared by
+/// the serializer, the JSONL logger and the /status endpoint.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Flattens every numeric leaf into "a/b/c" -> value pairs (array indices
+/// become path components). Booleans flatten to 0/1; strings and nulls
+/// are skipped. This is how `obs diff` compares arbitrary JSON reports.
+void json_flatten_numbers(
+    const JsonValue& value, const std::string& prefix,
+    std::vector<std::pair<std::string, double>>& out);
+
+}  // namespace dlcomp

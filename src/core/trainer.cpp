@@ -14,6 +14,7 @@
 #include "common/timer.hpp"
 #include "compress/registry.hpp"
 #include "dlrm/interaction.hpp"
+#include "obs/obs_server.hpp"
 #include "obs/trace.hpp"
 
 namespace dlcomp {
@@ -229,6 +230,9 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
         "checkpoint optimizer kind does not match the trainer config");
     apply_model_state(loaded, shared_state(0));
     start_iter = static_cast<std::size_t>(loaded.header.iteration);
+    DLCOMP_LOG_INFO("train", "resumed from checkpoint",
+                    {"path", config_.checkpoint.resume_from},
+                    {"iteration", start_iter});
     DLCOMP_CHECK_MSG(start_iter <= config_.iterations,
                      "checkpoint is at iteration "
                          << start_iter << ", config trains only "
@@ -276,6 +280,12 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
 
   // Rank 0's per-iteration wall times (1 us .. ~2 s exponential buckets).
   HistogramMetric iter_wall_hist(HistogramBuckets::exponential(1e-6, 2.0, 22));
+
+  if (config_.status != nullptr) {
+    config_.status->set_total_iterations(config_.iterations);
+    config_.status->set_state("training");
+    config_.status->set_ready(true);
+  }
 
   WallTimer wall;
   Cluster cluster(config_.world, config_.network);
@@ -559,6 +569,15 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
             }
             result.history.push_back(rec);
           }
+          if (config_.status != nullptr) {
+            const double elapsed = wall.seconds();
+            const double samples_per_s =
+                elapsed > 0.0 ? static_cast<double>(
+                                    (iter + 1 - start_iter) * global_batch) /
+                                    elapsed
+                              : 0.0;
+            config_.status->heartbeat(iter + 1, samples_per_s);
+          }
           if (save_now) {
             char name[32];
             std::snprintf(name, sizeof(name), "ckpt_%06llu.dlck",
@@ -571,6 +590,9 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
             snap.top = state.top.get();
             result.checkpoints_written.push_back(
                 ckpt_writer->save(path, snap, config_.checkpoint.full_every));
+            DLCOMP_LOG_INFO("train", "checkpoint saved",
+                            {"path", result.checkpoints_written.back()},
+                            {"iteration", iter + 1});
           }
         }
         comm.barrier();  // others wait for rank 0's eval/save before mutating

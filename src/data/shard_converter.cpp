@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "common/timer.hpp"
 #include "data/shard_format.hpp"
@@ -73,6 +74,10 @@ void convert_group(const CriteoTsvParser& parser,
                              cat_row.end());
   }
   sink.malformed.fetch_add(malformed, std::memory_order_relaxed);
+  if (malformed > 0) {
+    DLCOMP_LOG_WARN("data", "malformed input lines skipped",
+                    {"count", malformed});
+  }
   const std::size_t n = content.labels.size();
   if (n == 0) return;  // group was all malformed: no shard written
 

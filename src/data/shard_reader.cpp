@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -477,6 +478,8 @@ void ShardBatchStream::wait_and_swap() {
     // that catches and retries next() waits on a fresh attempt instead
     // of deadlocking on a consumed back_ready_.
     request_load(inflight_shard_);
+    DLCOMP_LOG_ERROR("data", "shard prefetch failed, re-requested",
+                     {"error", error});
     throw Error("shard prefetch failed: " + error);
   }
   std::swap(front_bytes_, back_bytes_);

@@ -1,0 +1,448 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/log.hpp"
+
+namespace dlcomp {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] + 32 : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+std::string_view trim_ows(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool valid_token(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    // RFC 9110 tchar, minus the rarely used symbols nothing sends.
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.' || c == '!' || c == '#' || c == '$' ||
+                    c == '%' || c == '&' || c == '\'' || c == '*' ||
+                    c == '+' || c == '^' || c == '`' || c == '|' || c == '~';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+double monotonic_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return {};
+}
+
+std::string_view http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpRequestParser::Status HttpRequestParser::next() {
+  // The head ends at the first blank line. Accept bare-LF line endings
+  // too (curl never sends them, but hand-typed `nc` requests do).
+  std::size_t head_end = buffer_.find("\r\n\r\n");
+  std::size_t delim = 4;
+  const std::size_t lf_end = buffer_.find("\n\n");
+  if (lf_end != std::string::npos &&
+      (head_end == std::string::npos || lf_end < head_end)) {
+    head_end = lf_end;
+    delim = 2;
+  }
+  if (head_end == std::string::npos) {
+    return buffer_.size() > max_head_bytes_ ? Status::kTooLarge
+                                            : Status::kNeedMore;
+  }
+  if (head_end + delim > max_head_bytes_) return Status::kTooLarge;
+
+  const std::string_view head(buffer_.data(), head_end);
+  HttpRequest req;
+
+  std::size_t pos = 0;
+  bool first_line = true;
+  while (pos <= head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (line.empty()) {
+      if (first_line) return Status::kBadRequest;  // leading blank line
+      continue;
+    }
+
+    if (first_line) {
+      first_line = false;
+      // METHOD SP target SP HTTP/1.x
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+      if (sp2 == std::string_view::npos ||
+          line.find(' ', sp2 + 1) != std::string_view::npos) {
+        return Status::kBadRequest;
+      }
+      req.method = std::string(line.substr(0, sp1));
+      std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string_view version = line.substr(sp2 + 1);
+      if (!valid_token(req.method)) return Status::kBadRequest;
+      if (target.empty() || target[0] != '/') return Status::kBadRequest;
+      if (version == "HTTP/1.1") {
+        req.version_minor = 1;
+      } else if (version == "HTTP/1.0") {
+        req.version_minor = 0;
+      } else {
+        return Status::kBadRequest;
+      }
+      const std::size_t qmark = target.find('?');
+      if (qmark != std::string_view::npos) {
+        req.query = std::string(target.substr(qmark + 1));
+        target = target.substr(0, qmark);
+      }
+      req.target = std::string(target);
+      continue;
+    }
+
+    // Header field: name ":" OWS value OWS. Obsolete line folding
+    // (leading whitespace) is rejected like any bad name.
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return Status::kBadRequest;
+    const std::string_view name = line.substr(0, colon);
+    if (!valid_token(name)) return Status::kBadRequest;
+    req.headers.emplace_back(std::string(name),
+                             std::string(trim_ows(line.substr(colon + 1))));
+  }
+  if (first_line) return Status::kBadRequest;  // empty head
+
+  buffer_.erase(0, head_end + delim);
+  request_ = std::move(req);
+  return Status::kComplete;
+}
+
+std::string http_serialize_response(const HttpResponse& response,
+                                    int version_minor, bool keep_alive,
+                                    bool head_only) {
+  std::string out;
+  out.reserve(128 + (head_only ? 0 : response.body.size()));
+  out += version_minor == 0 ? "HTTP/1.0 " : "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out.push_back(' ');
+  out += http_status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+// ---------------------------------------------------------------- server
+
+struct HttpServer::Connection {
+  int fd = -1;
+  HttpRequestParser parser;
+  std::string outbox;
+  double last_activity_s = 0.0;
+  bool close_after_flush = false;
+
+  explicit Connection(int f, std::size_t max_head)
+      : fd(f), parser(max_head), last_activity_s(monotonic_seconds()) {}
+};
+
+HttpServer::HttpServer(HttpServerConfig config) : config_(std::move(config)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::add_route(std::string path, Handler handler) {
+  DLCOMP_CHECK_MSG(!running(), "http: add_route after start");
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+void HttpServer::start() {
+  DLCOMP_CHECK_MSG(!running(), "http: already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: invalid bind address '" + config_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: bind " + config_.bind_address + ":" +
+                std::to_string(config_.port) + " failed: " +
+                std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(std::string("http: listen failed: ") + std::strerror(err));
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: pipe() failed");
+  }
+  set_nonblocking(listen_fd_);
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  thread_ = std::thread([this] { run_loop(); });
+  DLCOMP_LOG_INFO("obs", "http server listening",
+                  {"address", config_.bind_address},
+                  {"port", static_cast<int>(bound_port_)});
+}
+
+void HttpServer::stop() {
+  if (!thread_.joinable()) return;
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  thread_.join();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+std::uint64_t HttpServer::requests_served() const noexcept {
+  return requests_served_.load(std::memory_order_relaxed);
+}
+
+void HttpServer::accept_new(std::vector<Connection>& connections) {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN / transient -- poll() will retry
+    if (connections.size() >= config_.max_connections) {
+      // Shed load politely: tell the client we are full, then close.
+      HttpResponse busy = HttpResponse::text(503, "server at capacity\n");
+      const std::string wire =
+          http_serialize_response(busy, 1, /*keep_alive=*/false,
+                                  /*head_only=*/false);
+      [[maybe_unused]] const ssize_t n =
+          ::write(fd, wire.data(), wire.size());
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections.emplace_back(fd, config_.max_head_bytes);
+  }
+}
+
+bool HttpServer::service_input(Connection& conn) {
+  while (true) {
+    const HttpRequestParser::Status status = conn.parser.next();
+    if (status == HttpRequestParser::Status::kNeedMore) return true;
+    if (status == HttpRequestParser::Status::kBadRequest ||
+        status == HttpRequestParser::Status::kTooLarge) {
+      const int code =
+          status == HttpRequestParser::Status::kBadRequest ? 400 : 431;
+      conn.outbox += http_serialize_response(
+          HttpResponse::text(code, "bad request\n"), 1,
+          /*keep_alive=*/false, /*head_only=*/false);
+      conn.close_after_flush = true;
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      return true;  // keep alive long enough to flush the error
+    }
+
+    const HttpRequest& req = conn.parser.request();
+    HttpResponse response;
+    const bool head_only = req.method == "HEAD";
+    if (!req.header("Content-Length").empty() ||
+        !req.header("Transfer-Encoding").empty()) {
+      response = HttpResponse::text(411, "request bodies not supported\n");
+    } else if (req.method != "GET" && !head_only) {
+      response = HttpResponse::text(405, "method not allowed\n");
+    } else {
+      const Handler* handler = nullptr;
+      for (const auto& [path, h] : routes_) {
+        if (path == req.target) {
+          handler = &h;
+          break;
+        }
+      }
+      if (handler == nullptr) {
+        response = HttpResponse::text(404, "not found\n");
+      } else {
+        try {
+          response = (*handler)(req);
+        } catch (const std::exception& e) {
+          response = HttpResponse::text(
+              500, std::string("handler error: ") + e.what() + "\n");
+        }
+      }
+    }
+
+    // HTTP/1.1 defaults to keep-alive; either side can opt out.
+    bool keep_alive = req.version_minor >= 1;
+    if (iequals(req.header("Connection"), "close")) keep_alive = false;
+    if (req.version_minor == 0 &&
+        iequals(req.header("Connection"), "keep-alive")) {
+      keep_alive = true;
+    }
+    conn.outbox += http_serialize_response(response, req.version_minor,
+                                           keep_alive, head_only);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!keep_alive) {
+      conn.close_after_flush = true;
+      return true;  // drop pipelined leftovers after a close response
+    }
+  }
+}
+
+void HttpServer::run_loop() {
+  std::vector<Connection> connections;
+  std::vector<pollfd> fds;
+
+  while (true) {
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Connection& conn : connections) {
+      short events = POLLIN;
+      if (!conn.outbox.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/1000);
+    if (rc < 0 && errno != EINTR) break;
+
+    if ((fds[0].revents & POLLIN) != 0) break;  // stop() poked the pipe
+    if ((fds[1].revents & POLLIN) != 0) accept_new(connections);
+
+    const double now = monotonic_seconds();
+    for (std::size_t i = 0; i < connections.size();) {
+      Connection& conn = connections[i];
+      const pollfd& pfd = fds[2 + i];
+      bool alive = true;
+
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) alive = false;
+
+      if (alive && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
+        char buf[4096];
+        while (true) {
+          const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+          if (n > 0) {
+            conn.parser.feed(std::string_view(buf, static_cast<size_t>(n)));
+            conn.last_activity_s = now;
+            continue;
+          }
+          if (n == 0) {
+            // Peer finished sending. Abrupt disconnects mid-request are
+            // normal (curl --max-time, dying scrapers): flush whatever
+            // is owed, then close.
+            conn.close_after_flush = true;
+          } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            alive = false;
+          }
+          break;
+        }
+        if (alive) alive = service_input(conn);
+      }
+
+      if (alive && !conn.outbox.empty()) {
+        const ssize_t n =
+            ::write(conn.fd, conn.outbox.data(), conn.outbox.size());
+        if (n > 0) {
+          conn.outbox.erase(0, static_cast<std::size_t>(n));
+          conn.last_activity_s = now;
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          alive = false;
+        }
+      }
+
+      if (alive && conn.close_after_flush && conn.outbox.empty()) {
+        alive = false;
+      }
+      if (alive && now - conn.last_activity_s > config_.idle_timeout_s) {
+        alive = false;
+      }
+
+      if (!alive) {
+        ::close(conn.fd);
+        connections[i] = std::move(connections.back());
+        connections.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  for (Connection& conn : connections) ::close(conn.fd);
+}
+
+}  // namespace dlcomp

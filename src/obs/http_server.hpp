@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file http_server.hpp
+/// Minimal embedded HTTP/1.1 server for the observability plane -- and,
+/// deliberately, the repo's first real socket code (de-risking the
+/// ROADMAP's TCP transport backend). No dependencies: POSIX sockets and
+/// poll(2), one background thread multiplexing the listener and every
+/// client connection. It serves small, cheap, read-only endpoints
+/// (/metrics, /healthz, /status), so the design optimizes for robustness
+/// over concurrency: non-blocking sockets, per-connection input/output
+/// buffers, pipelined requests, bounded header sizes, idle timeouts.
+///
+/// Scope (enforced, not aspirational): GET/HEAD only (405 otherwise),
+/// no request bodies (411 when Content-Length/Transfer-Encoding appear),
+/// HTTP/1.1 keep-alive honored, HTTP/1.0 closes after each response.
+///
+/// The request parser is a standalone incremental class so the
+/// edge-case tests (partial reads, pipelining, oversized headers,
+/// malformed request lines) run against it directly, without sockets.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dlcomp {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< path only; the query string is split off
+  std::string query;   ///< bytes after '?' (no parsing -- endpoints are flag-free)
+  int version_minor = 1;  ///< 0 for HTTP/1.0, 1 for HTTP/1.1
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Case-insensitive header lookup; empty view when absent.
+  [[nodiscard]] std::string_view header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse text(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+  static HttpResponse json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.content_type = "application/json";
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+[[nodiscard]] std::string_view http_status_reason(int status) noexcept;
+
+/// Incremental HTTP/1.1 request-head parser. Feed bytes as they arrive;
+/// it consumes exactly one request head per next() call, leaving
+/// pipelined followers buffered.
+class HttpRequestParser {
+ public:
+  enum class Status {
+    kNeedMore,   ///< no complete request head buffered yet
+    kComplete,   ///< `request()` holds a parsed request
+    kBadRequest, ///< malformed request line or header (respond 400, close)
+    kTooLarge,   ///< request head exceeds the limit (respond 431, close)
+  };
+
+  explicit HttpRequestParser(std::size_t max_head_bytes = 8192)
+      : max_head_bytes_(max_head_bytes) {}
+
+  /// Appends raw bytes from the socket to the internal buffer.
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Tries to parse the next buffered request head. On kComplete the
+  /// consumed bytes are removed from the buffer (pipelined requests:
+  /// call next() again). kBadRequest/kTooLarge are terminal for the
+  /// connection.
+  [[nodiscard]] Status next();
+
+  [[nodiscard]] const HttpRequest& request() const noexcept {
+    return request_;
+  }
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  std::size_t max_head_bytes_;
+  std::string buffer_;
+  HttpRequest request_;
+};
+
+/// Serializes a response (HEAD suppresses the body but keeps the
+/// Content-Length the GET would have had, per RFC 9110).
+[[nodiscard]] std::string http_serialize_response(const HttpResponse& response,
+                                                  int version_minor,
+                                                  bool keep_alive,
+                                                  bool head_only);
+
+struct HttpServerConfig {
+  /// Loopback only by default: the plane is a local scrape target, not
+  /// an internet-facing service.
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+  std::size_t max_connections = 64;
+  std::size_t max_head_bytes = 8192;
+  double idle_timeout_s = 30.0;
+};
+
+/// poll(2)-driven HTTP server. Handlers run on the server thread and
+/// must therefore be fast and non-blocking -- rendering a metrics
+/// snapshot, not doing work. Handler exceptions become 500 responses.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerConfig config = {});
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Exact-path route. Register every route before start(); the route
+  /// table is read concurrently by the server thread afterwards.
+  void add_route(std::string path, Handler handler);
+
+  /// Binds, listens and spawns the server thread. Throws dlcomp::Error
+  /// when the socket cannot be bound.
+  void start();
+  /// Stops the server thread and closes every connection (idempotent).
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
+  /// Bound port (after start(); meaningful with config.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Total requests answered (including error responses) -- test hook.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+ private:
+  struct Connection;
+  void run_loop();
+  void accept_new(std::vector<Connection>& connections);
+  /// Returns false when the connection must close.
+  bool service_input(Connection& conn);
+
+  HttpServerConfig config_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t bound_port_ = 0;
+  std::thread thread_;
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace dlcomp

@@ -200,6 +200,41 @@ void snapshot_histogram(MetricsSnapshot& snap, const std::string& name,
   snap.set(name + "/p999", hist.quantile(99.9));
 }
 
+void MetricsRegistry::visit(
+    const std::function<void(const std::string&, const Counter&)>& on_counter,
+    const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+    const std::function<void(const std::string&, const HistogramMetric&)>&
+        on_histogram) const {
+  std::lock_guard lock(mutex_);
+  // Sort names per kind so the exposition (and its golden test) is
+  // deterministic despite the unordered maps.
+  const auto sorted_names = [](const auto& map) {
+    std::vector<const std::string*> names;
+    names.reserve(map.size());
+    for (const auto& [name, unused] : map) names.push_back(&name);
+    std::sort(names.begin(), names.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    return names;
+  };
+  if (on_counter) {
+    for (const std::string* name : sorted_names(counters_)) {
+      on_counter(*name, *counters_.find(*name)->second);
+    }
+  }
+  if (on_gauge) {
+    for (const std::string* name : sorted_names(gauges_)) {
+      on_gauge(*name, *gauges_.find(*name)->second);
+    }
+  }
+  if (on_histogram) {
+    for (const std::string* name : sorted_names(histograms_)) {
+      on_histogram(*name, *histograms_.find(*name)->second);
+    }
+  }
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard lock(mutex_);

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -164,6 +165,18 @@ class MetricsRegistry {
                              const HistogramBuckets& buckets);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Enumerates every instrument under the registry lock, sorted by name
+  /// within each kind. Unlike snapshot(), this hands callers the live
+  /// instruments — the Prometheus exposition needs histogram bucket
+  /// counts, which the flat snapshot discards. Callbacks must not touch
+  /// the registry (the lock is held).
+  void visit(
+      const std::function<void(const std::string&, const Counter&)>&
+          on_counter,
+      const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+      const std::function<void(const std::string&, const HistogramMetric&)>&
+          on_histogram) const;
 
  private:
   template <typename T>

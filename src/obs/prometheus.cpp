@@ -1,0 +1,115 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dlcomp {
+
+namespace {
+
+void append_value(std::string& out, double v) {
+  char buf[40];
+  if (std::isnan(v)) {
+    std::snprintf(buf, sizeof(buf), "NaN");
+  } else if (std::isinf(v)) {
+    std::snprintf(buf, sizeof(buf), v > 0 ? "+Inf" : "-Inf");
+  } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  out += buf;
+}
+
+void append_type(std::string& out, const std::string& family,
+                 std::string_view type) {
+  out += "# TYPE ";
+  out += family;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+void append_sample(std::string& out, const std::string& family,
+                   std::string_view suffix, std::string_view labels,
+                   double value) {
+  out += family;
+  out += suffix;
+  out += labels;
+  out.push_back(' ');
+  append_value(out, value);
+  out.push_back('\n');
+}
+
+/// True when `out` already holds a "# TYPE <family> " line -- the
+/// dedup check for non-injective sanitization and snapshot overlap.
+bool family_rendered(const std::string& out, const std::string& family) {
+  const std::string needle = "# TYPE " + family + " ";
+  return out.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view name) {
+  std::string out = "dlcomp_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(2048);
+  registry.visit(
+      [&out](const std::string& name, const Counter& c) {
+        const std::string family = prometheus_metric_name(name) + "_total";
+        if (family_rendered(out, family)) return;
+        append_type(out, family, "counter");
+        append_sample(out, family, "", "", static_cast<double>(c.value()));
+      },
+      [&out](const std::string& name, const Gauge& g) {
+        const std::string family = prometheus_metric_name(name);
+        if (family_rendered(out, family)) return;
+        append_type(out, family, "gauge");
+        append_sample(out, family, "", "", g.value());
+      },
+      [&out](const std::string& name, const HistogramMetric& h) {
+        const std::string family = prometheus_metric_name(name);
+        if (family_rendered(out, family)) return;
+        append_type(out, family, "histogram");
+        const std::vector<double>& bounds = h.upper_bounds();
+        const std::vector<std::uint64_t> counts = h.bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += counts[i];
+          std::string labels = "{le=\"";
+          append_value(labels, bounds[i]);
+          labels += "\"}";
+          append_sample(out, family, "_bucket", labels,
+                        static_cast<double>(cumulative));
+        }
+        cumulative += counts[bounds.size()];
+        append_sample(out, family, "_bucket", "{le=\"+Inf\"}",
+                      static_cast<double>(cumulative));
+        append_sample(out, family, "_sum", "", h.sum());
+        append_sample(out, family, "_count", "",
+                      static_cast<double>(h.count()));
+      });
+  return out;
+}
+
+void render_prometheus_snapshot(const MetricsSnapshot& snapshot,
+                                std::string& out) {
+  for (const auto& [key, value] : snapshot.values) {
+    const std::string family = prometheus_metric_name(key);
+    if (family_rendered(out, family)) continue;
+    append_type(out, family, "gauge");
+    append_sample(out, family, "", "", value);
+  }
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file prometheus.hpp
+/// Renders metrics in the Prometheus text exposition format (version
+/// 0.0.4 -- what every scraper accepts). Two sources:
+///
+/// - a live MetricsRegistry, where counters/gauges keep their kind and
+///   histograms expose full cumulative `_bucket{le="..."}` series plus
+///   `_sum`/`_count`;
+/// - a flat MetricsSnapshot (end-of-run results), whose keys become
+///   untyped gauges -- the snapshot has already collapsed histograms to
+///   percentile keys, so no bucket series can be reconstructed.
+///
+/// Internal metric names use '/' separators ("serve/latency_s"); the
+/// exposition needs [a-zA-Z0-9_:], so names are sanitized by mapping
+/// every other byte to '_' and prefixed "dlcomp_"
+/// ("dlcomp_serve_latency_s"). The mapping is not injective; the rendered
+/// families are deduplicated in order of first appearance.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dlcomp {
+
+/// "serve/latency_s" -> "dlcomp_serve_latency_s". Leading digits get an
+/// extra '_' after the prefix cannot occur (prefix starts with a letter).
+[[nodiscard]] std::string prometheus_metric_name(std::string_view name);
+
+/// Full typed exposition of a registry: `# TYPE` lines, counter/gauge
+/// samples, histogram bucket series. Families sort by internal name.
+[[nodiscard]] std::string render_prometheus(const MetricsRegistry& registry);
+
+/// Untyped gauge exposition of a flat snapshot, appended to `out`.
+/// Keys whose sanitized family name already appears in `out` are skipped,
+/// so a run can expose a live registry and a result snapshot on one
+/// /metrics page without duplicate families.
+void render_prometheus_snapshot(const MetricsSnapshot& snapshot,
+                                std::string& out);
+
+}  // namespace dlcomp

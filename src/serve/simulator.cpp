@@ -1,6 +1,7 @@
 #include "serve/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <thread>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "common/table_printer.hpp"
 #include "common/timer.hpp"
 #include "data/synthetic.hpp"
+#include "obs/obs_server.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -63,6 +65,27 @@ ServingReport ServingSimulator::run() {
   std::vector<LatencyRecorder> recorders(replicas);
   std::vector<double> service_seconds(replicas, 0.0);
 
+  // Live-scrape instruments, resolved once before the hot loop (lookup
+  // takes the registry mutex; updates are lock-free).
+  Counter* live_queries = nullptr;
+  Counter* live_batches = nullptr;
+  HistogramMetric* live_latency = nullptr;
+  if (config_.live_metrics != nullptr) {
+    live_queries = &config_.live_metrics->counter("serve/queries_done");
+    live_batches = &config_.live_metrics->counter("serve/batches_done");
+    live_latency = &config_.live_metrics->histogram(
+        "serve/latency_s", LatencyRecorder::default_buckets());
+  }
+  if (config_.status != nullptr) {
+    config_.status->set_total_iterations(batches.size());
+    config_.status->set_ready(true);  // fleet built: safe to scrape
+  }
+
+  // Per-run progress for the status board (the registry counters are
+  // monotonic across runs; /status wants this run's position).
+  std::atomic<std::uint64_t> run_batches{0};
+  std::atomic<std::uint64_t> run_queries{0};
+
   ThreadPool pool(replicas);
   WallTimer wall;
   for (unsigned r = 0; r < replicas; ++r) {
@@ -81,7 +104,27 @@ ServingReport ServingSimulator::run() {
         const double service_s = t.seconds();
         service_seconds[r] += service_s;
         for (const Query& q : batch.queries) {
-          recorder.record(batch.dispatch_s - q.arrival_s + service_s);
+          const double latency_s =
+              batch.dispatch_s - q.arrival_s + service_s;
+          recorder.record(latency_s);
+          if (live_latency != nullptr) live_latency->observe(latency_s);
+        }
+        if (live_queries != nullptr) {
+          live_queries->add(batch.queries.size());
+        }
+        if (live_batches != nullptr) live_batches->add(1);
+        if (config_.status != nullptr) {
+          const std::uint64_t done =
+              run_batches.fetch_add(1, std::memory_order_relaxed) + 1;
+          const std::uint64_t queries_done =
+              run_queries.fetch_add(batch.queries.size(),
+                                    std::memory_order_relaxed) +
+              batch.queries.size();
+          const double elapsed = wall.seconds();
+          const double qps =
+              elapsed > 0.0 ? static_cast<double>(queries_done) / elapsed
+                            : 0.0;
+          config_.status->heartbeat(done, qps);
         }
       }
     });

@@ -26,6 +26,9 @@
 
 namespace dlcomp {
 
+class MetricsRegistry;
+class StatusBoard;
+
 struct ServingConfig {
   LoadGenConfig load;
   BatchSchedulerConfig scheduler;
@@ -36,6 +39,15 @@ struct ServingConfig {
   /// Engine replicas (and pool workers); 0 = hardware concurrency.
   unsigned replicas = 0;
   std::uint64_t seed = 2024;
+
+  /// Optional live-observability wiring (both may stay null; when set
+  /// they must outlive run()). `live_metrics` receives per-query latency
+  /// observations and progress counters while the fleet is scoring --
+  /// this is what a /metrics scrape sees mid-run, as opposed to the
+  /// end-of-run ServingReport snapshot. `status` gets a ready=true flip
+  /// once the replica fleet is built, plus per-batch heartbeats.
+  MetricsRegistry* live_metrics = nullptr;
+  StatusBoard* status = nullptr;
 };
 
 struct ServingReport {

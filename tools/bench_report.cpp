@@ -6,12 +6,17 @@
 // captured before an optimization lands).
 //
 // Usage: bench_report [--out FILE] [--reps N] [--label NAME] [--smoke]
+//                     [--baseline FILE] [--history FILE]
 //   --smoke     1 rep per measurement (CI wiring check, numbers noisy)
 //   --label     free-form tag stored in the JSON ("baseline", "pr3", ...)
+//   --history   append one JSONL line per run (label + flattened numeric
+//               report); a fresh history file is seeded with a line
+//               derived from --baseline so trajectories start two-deep
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -21,6 +26,7 @@
 
 #include "common/arg_parser.hpp"
 #include "common/crc32.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "comm/communicator.hpp"
@@ -589,10 +595,50 @@ void write_json(const std::string& path, const std::string& label,
   out << "}\n";
 }
 
+/// One compact history line: label, optional UTC timestamp, and every
+/// numeric leaf of a bench report flattened to "codecs/hybrid/ratio"-style
+/// keys. The nested baseline echo and derived speedup blocks are dropped
+/// so each line describes exactly one run.
+JsonValue history_line(const std::string& report_json,
+                       const std::string& fallback_label,
+                       const std::string& recorded) {
+  const JsonValue doc = json_parse(report_json);
+  JsonValue line = JsonValue::object();
+  std::string label = fallback_label;
+  if (const JsonValue* l = doc.find("label"); l != nullptr && l->is_string()) {
+    label = l->as_string();
+  }
+  line.set("label", JsonValue(label));
+  if (!recorded.empty()) line.set("recorded", JsonValue(recorded));
+  JsonValue metrics = JsonValue::object();
+  if (doc.is_object()) {
+    for (const auto& [key, value] : doc.members()) {
+      if (key == "baseline" || key == "speedup_vs_baseline") continue;
+      std::vector<std::pair<std::string, double>> flat;
+      json_flatten_numbers(value, key, flat);
+      for (const auto& [name, number] : flat) {
+        metrics.set(name, JsonValue(number));
+      }
+    }
+  }
+  line.set("metrics", std::move(metrics));
+  return line;
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  ArgParser args(argc, argv, 1, {"--out", "--reps", "--label", "--baseline"},
+  ArgParser args(argc, argv, 1,
+                 {"--out", "--reps", "--label", "--baseline", "--history"},
                  {"--smoke"});
   const std::string out_path = args.str("--out", "BENCH_codec.json");
   const std::size_t reps = args.has("--smoke") ? 1 : args.uint("--reps", 7);
@@ -657,5 +703,29 @@ int main(int argc, char** argv) {
   write_json(out_path, label, input.size() * sizeof(float), reps, reports,
              a2a, overlap, data_pipeline, obs, baseline_json);
   std::cout << "wrote " << out_path << "\n";
+
+  const std::string history_path = args.str("--history", "");
+  if (!history_path.empty()) {
+    const bool fresh = !std::filesystem::exists(history_path);
+    std::ofstream hist(history_path, std::ios::app);
+    if (!hist) {
+      std::cerr << "cannot open history " << history_path << "\n";
+      return 2;
+    }
+    std::size_t lines = 0;
+    if (fresh && !baseline_json.empty()) {
+      // Seed the trajectory with the recorded baseline (no timestamp: we
+      // only know when it was measured, not when).
+      hist << history_line(baseline_json, "baseline", "").dump() << "\n";
+      ++lines;
+    }
+    std::ifstream report_in(out_path);
+    const std::string report{std::istreambuf_iterator<char>(report_in),
+                             std::istreambuf_iterator<char>()};
+    hist << history_line(report, label, utc_now_iso8601()).dump() << "\n";
+    ++lines;
+    std::cout << "appended " << lines << " line" << (lines == 1 ? "" : "s")
+              << " to " << history_path << "\n";
+  }
   return 0;
 }

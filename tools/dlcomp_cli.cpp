@@ -11,6 +11,7 @@
 //   dlcomp trace      [--mode train|serve] [--out PREFIX] ...
 //   dlcomp ckpt       save|inspect|verify|diff ...
 //   dlcomp data       convert|inspect|stats ...
+//   dlcomp obs        diff <reference> <candidate> ...
 //   dlcomp codecs
 //
 // <in.f32> is a raw little-endian float32 file (e.g. from numpy's
@@ -18,12 +19,17 @@
 // a checkpoint container (see DESIGN.md "Checkpoint container").
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
@@ -36,6 +42,9 @@
 #include "core/offline_analyzer.hpp"
 #include "core/report_io.hpp"
 #include "core/trainer.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs_server.hpp"
 #include "obs/trace.hpp"
 #include "data/shard_converter.hpp"
 #include "data/shard_format.hpp"
@@ -207,13 +216,20 @@ constexpr const char* kServeUsage =
     "    [--queries N] [--query-size N] [--max-batch N]\n"
     "    [--max-delay-ms X] [--codec NAME] [--eb X]\n"
     "    [--dataset kaggle|terabyte|small] [--replicas N] [--seed N]\n"
-    "    [--checkpoint model.dlck]\n";
+    "    [--checkpoint model.dlck]\n"
+    "    [--metrics-port N] [--linger-ms N]\n"
+    "--metrics-port starts the observability HTTP server on 127.0.0.1\n"
+    "(0 = ephemeral; the bound port is printed) exposing /metrics\n"
+    "(Prometheus), /healthz, /readyz and /status while the run serves;\n"
+    "--linger-ms keeps it up that long after the run so scrapers can\n"
+    "collect the final state\n";
 
 int cmd_serve(int argc, char** argv) {
   const ArgParser args(argc, argv, 2,
                        {"--pattern", "--qps", "--queries", "--query-size",
                         "--max-batch", "--max-delay-ms", "--codec", "--eb",
-                        "--dataset", "--replicas", "--seed", "--checkpoint"});
+                        "--dataset", "--replicas", "--seed", "--checkpoint",
+                        "--metrics-port", "--linger-ms"});
   if (!args.positionals().empty()) throw Error("serve takes no positionals");
 
   ServingConfig config;
@@ -238,6 +254,32 @@ int cmd_serve(int argc, char** argv) {
   (void)get_compressor(codec);  // fail on unknown codecs before serving
   config.engine.checkpoint_path = checkpoint;
 
+  // Optional live observability plane: /metrics, /healthz, /readyz,
+  // /status on loopback for the duration of the run (+ linger).
+  MetricsRegistry live_metrics;
+  StatusBoard board;
+  std::mutex report_mutex;
+  MetricsSnapshot last_report;  // latest end-of-run snapshot, for /metrics
+  std::unique_ptr<ObservabilityServer> obs;
+  if (args.has("--metrics-port")) {
+    ObservabilityConfig obs_config;
+    obs_config.http.port =
+        static_cast<std::uint16_t>(args.uint("--metrics-port", 0));
+    obs = std::make_unique<ObservabilityServer>(
+        std::move(obs_config), live_metrics, board,
+        [&report_mutex, &last_report] {
+          std::lock_guard lock(report_mutex);
+          return last_report;
+        });
+    obs->start();
+    config.live_metrics = &live_metrics;
+    config.status = &board;
+    // Parsed by the CI scrape smoke test; keep the format stable.
+    std::printf("metrics: http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(obs->port()));
+    std::fflush(stdout);
+  }
+
   std::printf(
       "serving %s: %zu queries, pattern=%s, offered %.0f qps, "
       "mean query size %zu, max batch %zu samples, max delay %.2f ms%s%s\n",
@@ -248,12 +290,23 @@ int cmd_serve(int argc, char** argv) {
       checkpoint.empty() ? "" : ", model from ",
       checkpoint.empty() ? "" : checkpoint.c_str());
 
+  board.set_state("serving exact");
   config.engine.codec.clear();
   ServingReport exact = ServingSimulator(config).run();
+  {
+    std::lock_guard lock(report_mutex);
+    last_report = exact.metrics;
+  }
 
+  board.set_state("serving compressed");
   config.engine.codec = codec;
   config.engine.error_bound = eb;
   ServingReport compressed = ServingSimulator(config).run();
+  {
+    std::lock_guard lock(report_mutex);
+    last_report = compressed.metrics;
+  }
+  board.set_state("done");
 
   std::printf("exact:      %s\n", format_latency(exact.latency).c_str());
   std::printf("compressed: %s  (%s eb=%g)\n\n",
@@ -264,6 +317,16 @@ int cmd_serve(int argc, char** argv) {
       "compressed max lookup error %.6g (bound %g)\n",
       exact.achieved_qps, compressed.achieved_qps, exact.offered_qps,
       compressed.max_lookup_error, eb);
+
+  if (obs != nullptr) {
+    const auto linger_ms = args.uint("--linger-ms", 0);
+    if (linger_ms > 0) {
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    }
+    board.set_ready(false);  // drain: /readyz flips before the port dies
+    obs->stop();
+  }
   return 0;
 }
 
@@ -273,26 +336,52 @@ constexpr const char* kTraceUsage =
     "usage: dlcomp trace [--out PREFIX] [--mode train|serve]\n"
     "    [--world N] [--iters N] [--batch N] [--stages N] [--no-overlap]\n"
     "    [--codec NAME|none] [--eb X] [--dataset kaggle|terabyte|small]\n"
-    "    [--queries N] [--qps X] [--ring N] [--seed N]\n"
+    "    [--queries N] [--qps X] [--ring N] [--seed N] [--label S]\n"
+    "    [--force]\n"
     "runs an instrumented scenario and writes PREFIX.trace.json (Chrome\n"
     "trace-event JSON; open in Perfetto or chrome://tracing -- pid 0 is\n"
     "the wall clock per thread, pid 1 the simulated clock per rank with\n"
-    "hidden communication as async slices) plus PREFIX.metrics.txt (the\n"
-    "run's flattened metrics snapshot, one `name value` line per key)\n";
+    "hidden communication as async slices), PREFIX.metrics.txt (the\n"
+    "run's flattened metrics snapshot, one `name value` line per key)\n"
+    "and PREFIX.run.json (the run manifest `dlcomp obs diff` consumes).\n"
+    "The PREFIX directory must exist, and existing outputs are not\n"
+    "overwritten without --force -- both checked before the run\n";
 
 int cmd_trace(int argc, char** argv) {
   const ArgParser args(argc, argv, 2,
                        {"--out", "--mode", "--world", "--iters", "--batch",
                         "--stages", "--codec", "--eb", "--dataset",
-                        "--queries", "--qps", "--ring", "--seed"},
-                       {"--no-overlap"});
+                        "--queries", "--qps", "--ring", "--seed", "--label"},
+                       {"--no-overlap", "--force"});
   if (!args.positionals().empty()) throw Error("trace takes no positionals");
 
   const std::string out = args.str("--out", "dlcomp");
   const std::string mode = args.str("--mode", "train");
   const std::string trace_path = out + ".trace.json";
   const std::string metrics_path = out + ".metrics.txt";
+  const std::string manifest_path = out + ".run.json";
   const std::uint64_t seed = args.u64("--seed", 42);
+
+  // Validate the output prefix before burning minutes on the workload:
+  // the directory must exist, and existing outputs are only replaced
+  // when --force says so.
+  {
+    namespace fs = std::filesystem;
+    const fs::path parent = fs::path(out).parent_path();
+    if (!parent.empty() && !fs::is_directory(parent)) {
+      throw Error("output directory does not exist: " + parent.string() +
+                  " (create it first; --out " + out + ")");
+    }
+    if (!args.has("--force")) {
+      for (const std::string& path :
+           {trace_path, metrics_path, manifest_path}) {
+        if (fs::exists(path)) {
+          throw Error("output exists: " + path +
+                      " (pass --force to overwrite)");
+        }
+      }
+    }
+  }
   const DatasetSpec spec = spec_by_name(args.str("--dataset", "small"));
   std::string codec = args.str("--codec", "hybrid");
   if (codec == "none") codec.clear();
@@ -360,13 +449,107 @@ int cmd_trace(int argc, char** argv) {
   os << metrics.to_text();
   if (!os.good()) throw Error("write failed: " + metrics_path);
 
+  // Run manifest: everything `dlcomp obs diff` needs to compare this run
+  // against another, in one self-describing file.
+  RunManifest manifest;
+  manifest.label = args.str("--label", out);
+  manifest.mode = mode;
+  manifest.codec = codec;
+  manifest.error_bound = eb;
+  manifest.seed = seed;
+  {
+    char stamp[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    manifest.created = stamp;
+  }
+  manifest.config["mode"] = mode;
+  manifest.config["dataset"] = args.str("--dataset", "small");
+  manifest.config["codec"] = codec.empty() ? "none" : codec;
+  manifest.config["eb"] = std::to_string(eb);
+  manifest.config["seed"] = std::to_string(seed);
+  if (mode == "train") {
+    manifest.config["world"] = std::to_string(args.uint("--world", 8));
+    manifest.config["iters"] = std::to_string(args.uint("--iters", 4));
+    manifest.config["batch"] = std::to_string(args.uint("--batch", 1024));
+    manifest.config["overlap"] = args.has("--no-overlap") ? "off" : "on";
+  } else {
+    manifest.config["queries"] = std::to_string(args.uint("--queries", 1000));
+    manifest.config["qps"] = std::to_string(args.num("--qps", 2000.0));
+  }
+  manifest.metrics = metrics.values;
+  manifest.save(manifest_path);
+
   std::uint64_t events = 0;
   for (const auto& thread : tracer.collect()) events += thread.events.size();
-  std::printf("wrote %s (%llu events, %llu dropped) and %s (%zu metrics)\n",
-              trace_path.c_str(), static_cast<unsigned long long>(events),
-              static_cast<unsigned long long>(tracer.dropped_events()),
-              metrics_path.c_str(), metrics.values.size());
+  std::printf(
+      "wrote %s (%llu events, %llu dropped), %s (%zu metrics) and %s\n",
+      trace_path.c_str(), static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(tracer.dropped_events()),
+      metrics_path.c_str(), metrics.values.size(), manifest_path.c_str());
   return 0;
+}
+
+// ------------------------------------------------------------------- obs
+
+constexpr const char* kObsUsage =
+    "usage: dlcomp obs diff <reference> <candidate> [--rel-tol X]\n"
+    "           [--ignore SUBSTR[,SUBSTR...]] [--json] [--strict-values]\n"
+    "           [--strict-keys]\n"
+    "compares two runs' numeric metrics and exits 0 (ok) or 1\n"
+    "(regression). Inputs may be run manifests (*.run.json), Chrome\n"
+    "trace files (per-phase spans aggregate to trace/<name>_s), or any\n"
+    "numeric JSON report (BENCH_codec.json). Keys containing 'crc' or\n"
+    "'grow' must match exactly; timing-ish keys regress when the\n"
+    "candidate is slower than reference * (1 + rel-tol) (default 0.25);\n"
+    "other keys moving beyond the band report as changes unless\n"
+    "--strict-values promotes them. --ignore drops machine-dependent\n"
+    "keys (comma-separated substrings); --json prints the machine\n"
+    "verdict\n";
+
+int cmd_obs(int argc, char** argv) {
+  const ArgParser args(argc, argv, 2, {"--rel-tol", "--ignore"},
+                       {"--json", "--strict-values", "--strict-keys"});
+  const auto& pos = args.positionals();
+  if (pos.size() != 3 || pos[0] != "diff") {
+    std::fprintf(stderr, "%s", kObsUsage);
+    return 2;
+  }
+
+  DiffOptions options;
+  options.rel_tol = args.num("--rel-tol", 0.25);
+  options.strict_values = args.has("--strict-values");
+  options.strict_keys = args.has("--strict-keys");
+  std::string ignore = args.str("--ignore");
+  while (!ignore.empty()) {
+    const std::size_t comma = ignore.find(',');
+    const std::string part = ignore.substr(0, comma);
+    if (!part.empty()) options.ignore.push_back(part);
+    if (comma == std::string::npos) break;
+    ignore.erase(0, comma + 1);
+  }
+
+  RunManifest ref_manifest;
+  RunManifest cand_manifest;
+  const auto reference = load_comparable_metrics(pos[1], &ref_manifest);
+  const auto candidate = load_comparable_metrics(pos[2], &cand_manifest);
+  const DiffReport report = diff_metrics(reference, candidate, options);
+
+  if (args.has("--json")) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    if (!ref_manifest.label.empty() || !cand_manifest.label.empty()) {
+      std::printf("reference: %s  candidate: %s\n",
+                  ref_manifest.label.empty() ? pos[1].c_str()
+                                             : ref_manifest.label.c_str(),
+                  cand_manifest.label.empty() ? pos[2].c_str()
+                                              : cand_manifest.label.c_str());
+    }
+    std::printf("%s", report.to_text().c_str());
+  }
+  return report.ok() ? 0 : 1;
 }
 
 // ------------------------------------------------------------------ ckpt
@@ -739,6 +922,9 @@ int cmd_codecs() {
 
 int main(int argc, char** argv) {
   const std::string command = argc > 1 ? argv[1] : "";
+  // Interactive tool: surface info-level structured logs on stderr (the
+  // library default stays kWarn so tests and benches run quiet).
+  Logger::global().set_min_level(LogLevel::kInfo);
   try {
     if (command == "compress") return cmd_compress(argc, argv);
     if (command == "decompress") return cmd_decompress(argc, argv);
@@ -748,11 +934,12 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(argc, argv);
     if (command == "ckpt") return cmd_ckpt(argc, argv);
     if (command == "data") return cmd_data(argc, argv);
+    if (command == "obs") return cmd_obs(argc, argv);
     if (command == "codecs") return cmd_codecs();
     std::fprintf(stderr,
                  "dlcomp -- error-bounded compression for DLRM training\n"
                  "commands: compress decompress inspect analyze serve trace "
-                 "ckpt data codecs\n");
+                 "ckpt data obs codecs\n");
     return command.empty() ? 2 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -760,6 +947,7 @@ int main(int argc, char** argv) {
     if (command == "trace") std::fprintf(stderr, "%s", kTraceUsage);
     if (command == "ckpt") std::fprintf(stderr, "%s", kCkptUsage);
     if (command == "data") std::fprintf(stderr, "%s", kDataUsage);
+    if (command == "obs") std::fprintf(stderr, "%s", kObsUsage);
     return 1;
   }
 }
