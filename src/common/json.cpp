@@ -191,8 +191,18 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{':
+      case '[': {
+        // Containers recurse one stack frame per level; cap the depth so
+        // hostile input (thousands of '[') fails cleanly instead of
+        // overflowing the stack. No parse failure unwinds depth_ -- fail()
+        // throws out of the whole parse, so the count dies with it.
+        if (depth_ >= kMaxDepth) fail("nesting deeper than 256 levels");
+        ++depth_;
+        JsonValue v = c == '{' ? parse_object() : parse_array();
+        --depth_;
+        return v;
+      }
       case '"': return JsonValue(parse_string());
       case 't':
         if (!consume_literal("true")) fail("invalid literal");
@@ -318,8 +328,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

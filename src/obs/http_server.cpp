@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -380,10 +381,16 @@ void HttpServer::run_loop() {
     if (rc < 0 && errno != EINTR) break;
 
     if ((fds[0].revents & POLLIN) != 0) break;  // stop() poked the pipe
+
+    // fds[2 + i] pairs with connections[i] only for the prefix that was
+    // present when poll() ran; accept_new appends past it, and dead
+    // connections are compacted only after the pass, so the pairing
+    // holds for the whole loop. Fresh accepts get serviced next round.
+    const std::size_t polled = connections.size();
     if ((fds[1].revents & POLLIN) != 0) accept_new(connections);
 
     const double now = monotonic_seconds();
-    for (std::size_t i = 0; i < connections.size();) {
+    for (std::size_t i = 0; i < polled; ++i) {
       Connection& conn = connections[i];
       const pollfd& pfd = fds[2 + i];
       bool alive = true;
@@ -434,12 +441,14 @@ void HttpServer::run_loop() {
 
       if (!alive) {
         ::close(conn.fd);
-        connections[i] = std::move(connections.back());
-        connections.pop_back();
-      } else {
-        ++i;
+        conn.fd = -1;  // mark dead; compacted below
       }
     }
+
+    connections.erase(
+        std::remove_if(connections.begin(), connections.end(),
+                       [](const Connection& c) { return c.fd < 0; }),
+        connections.end());
   }
 
   for (Connection& conn : connections) ::close(conn.fd);

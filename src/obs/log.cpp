@@ -137,17 +137,40 @@ void Logger::log(LogLevel level, std::string_view component,
   std::uint64_t packed_words[kSlotWords];
   std::memcpy(packed_words, &packed, sizeof(packed));
 
-  const std::uint64_t slot_index =
-      ring_head_.fetch_add(1, std::memory_order_relaxed) % kRingCapacity;
-  RingSlot& slot = ring_[slot_index];
-  // Boehm's seqlock write protocol: odd marker, fence, data, publish.
-  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed) | 1ull;
-  slot.seq.store(seq, std::memory_order_relaxed);  // odd: being written
-  std::atomic_thread_fence(std::memory_order_release);
-  for (std::size_t w = 0; w < kSlotWords; ++w) {
-    slot.words[w].store(packed_words[w], std::memory_order_relaxed);
+  const std::uint64_t ticket =
+      ring_head_.fetch_add(1, std::memory_order_relaxed);
+  RingSlot& slot = ring_[ticket % kRingCapacity];
+  // Boehm's seqlock write protocol (odd marker, fence, data, publish),
+  // with the seq derived from the ring ticket (2*ticket+1 while writing,
+  // 2*ticket+2 when stable) so writers that lap each other onto the same
+  // slot produce distinct seq values a reader's before==after check can
+  // catch. The CAS claims the slot: if a newer ticket already owns or
+  // published it, our entry is the stale one and is dropped (the sink
+  // line above the ring is unaffected); if an older writer is mid-write
+  // (odd seq below ours), wait it out briefly -- it only has a few word
+  // stores left -- and give up rather than spin unboundedly.
+  const std::uint64_t writing = 2 * ticket + 1;
+  std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  bool claimed = false;
+  for (int spin = 0; spin < 4096; ++spin) {
+    if (seq >= writing) break;  // lapped by a newer writer; drop ours
+    if ((seq & 1ull) != 0) {    // older writer mid-write
+      seq = slot.seq.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (slot.seq.compare_exchange_weak(seq, writing,
+                                       std::memory_order_relaxed)) {
+      claimed = true;
+      break;
+    }
   }
-  slot.seq.store(seq + 1, std::memory_order_release);  // even: stable
+  if (claimed) {
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t w = 0; w < kSlotWords; ++w) {
+      slot.words[w].store(packed_words[w], std::memory_order_relaxed);
+    }
+    slot.seq.store(writing + 1, std::memory_order_release);  // even: stable
+  }
 
   lines_emitted_.fetch_add(1, std::memory_order_relaxed);
 

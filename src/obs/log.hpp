@@ -21,9 +21,13 @@
 ///
 /// The recent-events ring keeps the last kRingCapacity entries (whatever
 /// their level, rate-limited drops excluded) for the /status endpoint.
-/// Writers claim a slot with one fetch_add and publish it with a seqlock
-/// (odd = being written); readers retry torn slots, so no lock is ever
-/// held on the logging path. Slots are fixed-size word arrays behind
+/// Writers claim a ticket with one fetch_add and publish the slot with a
+/// seqlock whose seq derives from the ticket (2t+1 writing, 2t+2 stable),
+/// so writers lapping each other onto one slot always present distinct
+/// seq values and readers reliably detect torn entries; a lapped writer
+/// drops its ring entry (the newer one is the more recent event anyway).
+/// Readers retry torn slots, so no lock is ever held on the logging
+/// path. Slots are fixed-size word arrays behind
 /// relaxed atomics (the TSan-clean seqlock shape) -- component, message
 /// and rendered fields are truncated to the slot budget; the sink line
 /// is never truncated.

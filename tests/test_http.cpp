@@ -348,6 +348,54 @@ TEST(HttpServer, AbruptDisconnectDoesNotKillTheServer) {
   server.stop();
 }
 
+TEST(HttpServer, BurstOfConnectionsAcceptedMidPollRoundAllGetServed) {
+  // Regression test: connections accepted after pollfds were built used
+  // to be walked against revents past the end of the pollfd vector, and
+  // mid-pass swap-removal desynchronized the connection/pollfd pairing.
+  // A batch of sockets connecting before any of them sends makes the
+  // backlog drain in one accept_new sweep; every one must still be
+  // served, with some established connections alive across the sweep.
+  HttpServer server;
+  server.add_route("/ok", [](const HttpRequest&) {
+    return HttpResponse::text(200, "ok\n");
+  });
+  server.start();
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  constexpr int kClients = 12;
+  int fds[kClients];
+  for (int i = 0; i < kClients; ++i) {
+    fds[i] = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fds[i], 0);
+    ASSERT_EQ(
+        ::connect(fds[i], reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+  }
+  const std::string req = "GET /ok HTTP/1.1\r\nConnection: close\r\n\r\n";
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_EQ(::send(fds[i], req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+  }
+  for (int i = 0; i < kClients; ++i) {
+    std::string response;
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(fds[i], buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fds[i]);
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+        << "client " << i << " got: " << response;
+  }
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(kClients));
+  server.stop();
+}
+
 // --------------------------------------------------- observability plane
 
 TEST(ObservabilityServer, ReadyzTransitionsAndMetricsScrape) {

@@ -9,11 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -71,6 +73,26 @@ TEST(Json, ParseErrorsThrowWithPosition) {
   EXPECT_THROW((void)json_parse("{} trailing"), Error);
   EXPECT_THROW((void)json_parse("nope"), Error);
   EXPECT_THROW((void)json_parse(""), Error);
+}
+
+TEST(Json, DeepNestingFailsCleanlyInsteadOfOverflowingTheStack) {
+  // Well under the cap parses fine.
+  std::string ok(200, '[');
+  ok.append(200, ']');
+  EXPECT_EQ(json_parse(ok).dump(), ok);
+
+  // Thousands of levels (hostile or corrupt input handed to
+  // `dlcomp obs diff`) must be a position-carrying parse error, not a
+  // recursion-driven stack overflow. Arrays and objects both count.
+  try {
+    (void)json_parse(std::string(5000, '['));
+    FAIL() << "expected depth error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+  std::string objs;
+  for (int i = 0; i < 5000; ++i) objs += "{\"k\":";
+  EXPECT_THROW((void)json_parse(objs), Error);
 }
 
 TEST(Json, IntegralNumbersDumpWithoutFraction) {
@@ -410,6 +432,55 @@ TEST(Logger, LongStringsTruncateInRingNotOnSink) {
   std::fclose(sink);
   const JsonValue line = json_parse(buf);
   EXPECT_EQ(line.find("msg")->as_string(), longmsg);  // never truncated
+}
+
+TEST(Logger, ConcurrentWritersLappingTheRingNeverTearEntries) {
+  // Several writers hammering a 64-slot ring lap each other onto the
+  // same slots; the ticket-derived seqlock must keep every snapshot
+  // entry internally consistent (component and message from the same
+  // write), with a reader polling mid-flight.
+  Logger logger;
+  logger.set_min_level(LogLevel::kDebug);
+  logger.set_sink(nullptr);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+
+  const auto validate = [](const std::vector<LogEntry>& entries) {
+    for (const LogEntry& e : entries) {
+      // A claimed-but-not-yet-published (or lapped-and-dropped) slot
+      // reads as zeros; only published entries carry content to check.
+      if (e.component.empty() && e.message.empty()) continue;
+      ASSERT_EQ(e.component.size(), 2u);
+      ASSERT_EQ(e.component[0], 'w');
+      const char id = e.component[1];
+      ASSERT_GE(id, '0');
+      ASSERT_LT(id, static_cast<char>('0' + kWriters));
+      EXPECT_EQ(e.message, std::string("writer ") + id + " event");
+    }
+  };
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) validate(logger.recent());
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&logger, t] {
+      const std::string comp = "w" + std::to_string(t);
+      const std::string msg = "writer " + std::to_string(t) + " event";
+      for (int i = 0; i < kPerWriter; ++i) {
+        logger.log(LogLevel::kInfo, comp, msg, {});
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  validate(logger.recent());
+  EXPECT_EQ(logger.lines_emitted(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
 }
 
 }  // namespace
