@@ -17,6 +17,10 @@ namespace {
 
 constexpr std::size_t kMaxChainDepth = 1024;
 
+/// "No engine slot" marker for tables whose payload is empty (nothing to
+/// compress; stored as storage 0 with zero bytes).
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
 std::uint64_t make_checkpoint_id(std::uint64_t seed, std::uint64_t iteration,
                                  std::uint64_t save_index) {
   std::uint64_t state = seed ^ (iteration * 0x9E3779B97F4A7C15ULL);
@@ -98,7 +102,9 @@ std::vector<float> decode_values(const std::string& codec_name,
     }
     return values;
   }
-  get_compressor(codec_name).decompress(bytes, values, ws);
+  // The payload may be a blocked ("DLBK") container when the writer split
+  // a large table across its pool; blocked_decompress handles both forms.
+  blocked_decompress(get_compressor(codec_name), bytes, values, ws);
   return values;
 }
 
@@ -329,7 +335,11 @@ ModelState make_model_state(DlrmModel& model, std::uint64_t iteration,
 CheckpointWriter::CheckpointWriter(CheckpointOptions options)
     : options_(std::move(options)),
       codec_(options_.codec.empty() ? nullptr
-                                    : &get_compressor(options_.codec)) {}
+                                    : &get_compressor(options_.codec)) {
+  if (codec_ != nullptr) {
+    engine_ = std::make_unique<BlockEngine>(*codec_, options_.pool);
+  }
+}
 
 double CheckpointWriter::table_eb(std::size_t t) const noexcept {
   if (codec_ == nullptr) return 0.0;  // raw storage is exact
@@ -370,16 +380,39 @@ void CheckpointWriter::save_full(const std::string& path,
   shadow_.assign(num_tables, Matrix());
   shadow_opt_.assign(num_tables, Matrix());
 
-  // Encode every table (and its optimizer rows) in parallel. The shadow
-  // reconstruction is deferred (see pending_shadow_): only a later
-  // save_delta needs it.
+  // Encode every table in parallel. The shadow reconstruction is
+  // deferred (see pending_shadow_): only a later save_delta needs it.
   std::vector<EncodedValues> encoded(num_tables);
+  if (codec_ != nullptr) {
+    // One flat blocked batch over every table: large tables split into
+    // independent blocks (see chunked.hpp), so a snapshot dominated by a
+    // single huge table still spreads across the pool instead of
+    // serializing on that table.
+    engine_->compress_begin();
+    std::vector<std::size_t> slots(num_tables, kNoSlot);
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      const Matrix& weights = *state.tables[t];
+      if (weights.flat().empty()) continue;
+      encoded[t].storage = 1;
+      slots[t] = engine_->add_tensor(weights.flat(),
+                                     table_params(t, weights.cols()));
+    }
+    engine_->compress_run();
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      if (slots[t] == kNoSlot) continue;
+      encoded[t].bytes.reserve(engine_->stream_bytes(slots[t]));
+      engine_->append_stream(slots[t], encoded[t].bytes);
+    }
+  } else {
+    for_each_table(options_.pool, num_tables, [&](std::size_t t) {
+      WorkspacePool::Lease ws(workspaces_);
+      const Matrix& weights = *state.tables[t];
+      encoded[t] = encode_values(codec_, weights.flat(),
+                                 table_params(t, weights.cols()),
+                                 /*want_recon=*/false, *ws);
+    });
+  }
   for_each_table(options_.pool, num_tables, [&](std::size_t t) {
-    WorkspacePool::Lease ws(workspaces_);
-    const Matrix& weights = *state.tables[t];
-    encoded[t] = encode_values(codec_, weights.flat(),
-                               table_params(t, weights.cols()),
-                               /*want_recon=*/false, *ws);
     const Matrix* opt = t < state.opt_state.size() ? state.opt_state[t]
                                                    : nullptr;
     if (opt != nullptr && !opt->empty()) {
@@ -441,20 +474,36 @@ void CheckpointWriter::save_full(const std::string& path,
 
 void CheckpointWriter::materialize_shadow() {
   if (pending_shadow_.empty()) return;
-  for_each_table(options_.pool, pending_shadow_.size(), [&](std::size_t t) {
-    const PendingShadow& pending = pending_shadow_[t];
-    Matrix& shadow = shadow_[t];
-    shadow.resize(pending.rows, pending.dim);
-    if (pending.storage == 0) {
-      if (!pending.bytes.empty()) {
-        std::memcpy(shadow.data(), pending.bytes.data(),
-                    pending.bytes.size());
+  if (codec_ != nullptr) {
+    // Blocked batch: large tables decode block-parallel, so the first
+    // save_delta after a full snapshot does not serialize on one table.
+    engine_->decompress_begin();
+    bool any = false;
+    for (std::size_t t = 0; t < pending_shadow_.size(); ++t) {
+      const PendingShadow& pending = pending_shadow_[t];
+      Matrix& shadow = shadow_[t];
+      shadow.resize(pending.rows, pending.dim);
+      if (pending.storage == 0) {
+        if (!pending.bytes.empty()) {
+          std::memcpy(shadow.data(), pending.bytes.data(),
+                      pending.bytes.size());
+        }
+      } else {
+        engine_->add_stream(pending.bytes, shadow.flat());
+        any = true;
       }
-    } else {
-      WorkspacePool::Lease ws(workspaces_);
-      codec_->decompress(pending.bytes, shadow.flat(), *ws);
     }
-  });
+    if (any) engine_->decompress_run();
+  } else {
+    for_each_table(options_.pool, pending_shadow_.size(), [&](std::size_t t) {
+      const PendingShadow& pending = pending_shadow_[t];
+      Matrix& shadow = shadow_[t];
+      shadow.resize(pending.rows, pending.dim);
+      if (!pending.bytes.empty()) {
+        std::memcpy(shadow.data(), pending.bytes.data(), pending.bytes.size());
+      }
+    });
+  }
   pending_shadow_.clear();
 }
 
@@ -471,6 +520,7 @@ void CheckpointWriter::save_delta(const std::string& path,
   struct TableDelta {
     std::vector<std::byte> bitmap;
     std::uint64_t touched = 0;
+    std::vector<float> touched_values;
     EncodedValues encoded;
     std::vector<std::byte> opt_bitmap;
     std::uint64_t opt_touched = 0;
@@ -479,6 +529,8 @@ void CheckpointWriter::save_delta(const std::string& path,
   };
   std::vector<TableDelta> deltas(num_tables);
 
+  // Phase 1 (parallel per table): diff live weights against the shadow to
+  // collect touched rows, and fold optimizer rows (always exact, raw).
   for_each_table(options_.pool, num_tables, [&](std::size_t t) {
     const Matrix& weights = *state.tables[t];
     Matrix& shadow = shadow_[t];
@@ -491,7 +543,6 @@ void CheckpointWriter::save_delta(const std::string& path,
     TableDelta& delta = deltas[t];
     delta.bitmap.assign(bitmap_bytes(rows), std::byte{0});
 
-    std::vector<float> touched_values;
     for (std::size_t r = 0; r < rows; ++r) {
       const float* live = weights.data() + r * dim;
       const float* seen = shadow.data() + r * dim;
@@ -503,21 +554,9 @@ void CheckpointWriter::save_delta(const std::string& path,
       if (max_diff > bound) {
         bitmap_set(delta.bitmap, r);
         ++delta.touched;
-        touched_values.insert(touched_values.end(), live, live + dim);
+        delta.touched_values.insert(delta.touched_values.end(), live,
+                                    live + dim);
       }
-    }
-    WorkspacePool::Lease ws(workspaces_);
-    delta.encoded = encode_values(codec_, touched_values,
-                                  table_params(t, dim), /*want_recon=*/true,
-                                  *ws);
-    // Fold the reconstruction back into the shadow so the next delta
-    // diffs against exactly what a reader will have.
-    std::size_t k = 0;
-    for (std::size_t r = 0; r < rows; ++r) {
-      if (!bitmap_get(delta.bitmap, r)) continue;
-      std::copy_n(delta.encoded.recon.begin() + k * dim, dim,
-                  shadow.data() + r * dim);
-      ++k;
     }
 
     // Optimizer rows: exact diff, raw storage.
@@ -553,6 +592,53 @@ void CheckpointWriter::save_delta(const std::string& path,
                     opt_shadow.data() + r * dim);
         ++j;
       }
+    }
+  });
+
+  // Phase 2: encode every table's touched rows. With a codec this is one
+  // flat blocked batch with per-block reconstruction, so a delta
+  // dominated by a single hot table still scales with the pool.
+  if (codec_ != nullptr) {
+    engine_->compress_begin();
+    std::vector<std::size_t> slots(num_tables, kNoSlot);
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      TableDelta& delta = deltas[t];
+      if (delta.touched_values.empty()) continue;
+      delta.encoded.storage = 1;
+      delta.encoded.recon.resize(delta.touched_values.size());
+      slots[t] = engine_->add_tensor(
+          delta.touched_values, table_params(t, state.tables[t]->cols()),
+          std::span<float>(delta.encoded.recon));
+    }
+    engine_->compress_run();
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      if (slots[t] == kNoSlot) continue;
+      deltas[t].encoded.bytes.reserve(engine_->stream_bytes(slots[t]));
+      engine_->append_stream(slots[t], deltas[t].encoded.bytes);
+    }
+  } else {
+    for_each_table(options_.pool, num_tables, [&](std::size_t t) {
+      WorkspacePool::Lease ws(workspaces_);
+      TableDelta& delta = deltas[t];
+      delta.encoded = encode_values(codec_, delta.touched_values,
+                                    table_params(t, state.tables[t]->cols()),
+                                    /*want_recon=*/true, *ws);
+    });
+  }
+
+  // Phase 3 (parallel): fold the reconstruction back into the shadow so
+  // the next delta diffs against exactly what a reader will have.
+  for_each_table(options_.pool, num_tables, [&](std::size_t t) {
+    const Matrix& weights = *state.tables[t];
+    const std::size_t dim = weights.cols();
+    Matrix& shadow = shadow_[t];
+    const TableDelta& delta = deltas[t];
+    std::size_t k = 0;
+    for (std::size_t r = 0; r < weights.rows(); ++r) {
+      if (!bitmap_get(delta.bitmap, r)) continue;
+      std::copy_n(delta.encoded.recon.begin() + k * dim, dim,
+                  shadow.data() + r * dim);
+      ++k;
     }
   });
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ckpt/container.hpp"
+#include "compress/chunked.hpp"
 #include "compress/compressor.hpp"
 #include "compress/workspace.hpp"
 #include "core/report_io.hpp"
@@ -161,6 +162,13 @@ class CheckpointWriter {
   /// One codec workspace per concurrent per-table task (leased inside
   /// for_each_table bodies; capacity retained across saves).
   WorkspacePool workspaces_;
+
+  /// Blocked parallel codec batches (see chunked.hpp): every table's
+  /// encode — split into blocks when large — runs as one flat task list,
+  /// so a snapshot dominated by a single huge table still scales with
+  /// the pool instead of serializing on that table. Null for raw
+  /// (codec-less) checkpoints.
+  std::unique_ptr<BlockEngine> engine_;
 };
 
 /// Deserializes containers, verifying magic/version/CRCs.

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "compress/chunked.hpp"
 #include "compress/format.hpp"
 
 namespace dlcomp {
@@ -23,6 +24,11 @@ double Compressor::decompress(std::span<const std::byte> stream,
 }
 
 std::size_t decompressed_count(std::span<const std::byte> stream) {
+  // Blocked ("DLBK") containers carry their total element count in the
+  // container header; plain streams carry it in the codec header.
+  if (BlockEngine::is_blocked(stream)) {
+    return BlockEngine::blocked_element_count(stream);
+  }
   std::span<const std::byte> payload;
   const StreamHeader h = parse_header(stream, payload);
   return static_cast<std::size_t>(h.element_count);

@@ -35,8 +35,21 @@
 #include <span>
 
 #include "compress/histogram.hpp"
+#include "compress/simd.hpp"
 
 namespace dlcomp::kernels {
+
+/// ISA tier of the kernels actually dispatched: simd::requested()
+/// stepped down past variants missing from this binary. Resolved on
+/// first kernel call (or first query) and stable afterwards unless a
+/// test forces it.
+[[nodiscard]] simd::Isa dispatched_isa() noexcept;
+
+/// Test hook: forces dispatch to `isa` for the whole process. Returns
+/// false (and changes nothing) when `isa` has no compiled-in kernels or
+/// exceeds what the CPU supports. Not thread-safe against in-flight
+/// kernel calls; differential tests only.
+bool force_isa_for_testing(simd::Isa isa) noexcept;
 
 /// Quantizes to zigzag symbols; optionally accumulates `hist` (reset by
 /// the callee) for the entropy stage. Throws on code overflow (checked

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file kernels_dispatch.hpp
+/// Internal contract between kernels.cpp (argument validation, range
+/// checks, histogram accumulation, dispatch) and the per-ISA loop
+/// implementations (kernels.cpp scalar, kernels_avx2.cpp,
+/// kernels_avx512.cpp). Each entry is a branch-free inner loop over
+/// pre-validated data: the public wrappers have already rejected empty /
+/// mismatched spans, checked eb > 0, and (for the quantize loops) proven
+/// every scaled value fits an int32 code, so implementations may use
+/// packed truncating conversions without per-element guards.
+///
+/// Byte-identity contract: every implementation must reproduce the
+/// scalar loops' per-element arithmetic exactly — double products and
+/// divides (IEEE-correctly rounded in any width), round-half-away-from-
+/// zero via the shared helpers below, float stores as correctly-rounded
+/// double→float narrowing. The differential suite in
+/// test_codec_hotpath.cpp compares every compiled-in variant against
+/// reference_kernels.hpp on edge shapes and random sweeps.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "compress/simd.hpp"
+
+namespace dlcomp::kernels::detail {
+
+/// Round-half-away-from-zero, clamped into int64 so the cast stays
+/// defined on garbage residuals (inf/NaN → deterministic values). Used
+/// by the Lorenzo loops, whose residuals carry no up-front range check.
+inline std::int32_t round_code(double t) noexcept {
+  double biased = t + (t >= 0.0 ? 0.5 : -0.5);
+  if (!(biased > -9.2e18 && biased < 9.2e18)) [[unlikely]] {
+    biased = biased != biased  // NaN has no ordering with itself
+                 ? 0.0
+                 : (biased < 0.0 ? -9.2e18 : 9.2e18);
+  }
+  return static_cast<std::int32_t>(static_cast<std::int64_t>(biased));
+}
+
+/// Same rounding for values already proven inside the int32 code range:
+/// the narrow cast maps to a packed double→int32 conversion.
+inline std::int32_t round_code_checked(double t) noexcept {
+  return static_cast<std::int32_t>(t + (t >= 0.0 ? 0.5 : -0.5));
+}
+
+/// One ISA tier's inner loops. All pointers are non-null and n > 0
+/// unless stated; `inv` is 1/(2*eb), `step` is 2*eb.
+struct KernelOps {
+  /// sym[i] = zigzag(round(in[i] * inv)); range pre-checked.
+  void (*quantize_symbols)(const float* in, std::size_t n, double inv,
+                           std::uint32_t* sym);
+  /// codes[i] = round(in[i] * inv); range pre-checked.
+  void (*quantize_codes)(const float* in, std::size_t n, double inv,
+                         std::int32_t* codes);
+  /// max over zigzag(codes[i]).
+  std::uint32_t (*max_zigzag)(const std::int32_t* codes, std::size_t n);
+  /// sym[i] = zigzag(codes[i]).
+  void (*zigzag)(const std::int32_t* codes, std::size_t n,
+                 std::uint32_t* sym);
+  /// out[i] = float(codes[i] * step).
+  void (*dequantize_codes)(const std::int32_t* codes, std::size_t n,
+                           double step, float* out);
+  /// out[i] = float(unzigzag(sym[i]) * step).
+  void (*dequantize_symbols)(const std::uint32_t* sym, std::size_t n,
+                             double step, float* out);
+  /// Full fused Lorenzo passes, boundary handling included (n > 0,
+  /// dim > 0; the tail row may be short).
+  void (*lorenzo_encode)(const float* in, std::size_t n, std::size_t dim,
+                         double step, float* rc, std::uint32_t* sym);
+  void (*lorenzo_decode)(const std::uint32_t* sym, std::size_t n,
+                         std::size_t dim, double step, float* out);
+};
+
+/// Always available; lives in kernels.cpp (the auto-vectorized loops CI's
+/// gcc report check pins).
+[[nodiscard]] const KernelOps& scalar_ops() noexcept;
+
+/// Per-ISA tables; nullptr when the variant was not compiled in (non-x86
+/// targets, or a toolchain without the -m flags).
+[[nodiscard]] const KernelOps* avx2_ops() noexcept;
+[[nodiscard]] const KernelOps* avx512_ops() noexcept;
+
+/// Table for `isa`, or nullptr when unavailable in this binary.
+[[nodiscard]] const KernelOps* ops_for(simd::Isa isa) noexcept;
+
+}  // namespace dlcomp::kernels::detail

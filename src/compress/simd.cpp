@@ -1,0 +1,59 @@
+#include "compress/simd.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace dlcomp::simd {
+
+Isa cpu_best() noexcept {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const Isa best = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return Isa::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+    return Isa::kScalar;
+  }();
+  return best;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+Isa requested() noexcept {
+  static const Isa resolved = [] {
+    const Isa best = cpu_best();
+    const char* env = std::getenv("DLCOMP_SIMD");
+    if (env == nullptr || *env == '\0') return best;
+    std::string v(env);
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    Isa want = best;  // unknown values keep the detected tier
+    if (v == "scalar") want = Isa::kScalar;
+    if (v == "avx2") want = Isa::kAvx2;
+    if (v == "avx512") want = Isa::kAvx512;
+    return std::min(want, best);
+  }();
+  return resolved;
+}
+
+std::string_view isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace dlcomp::simd

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file simd.hpp
+/// Runtime ISA selection for the codec hot-path kernels. The library
+/// ships scalar, AVX2 and AVX-512 builds of the fused quantize / Lorenzo
+/// loops in separate translation units (each compiled with exactly the
+/// target flags it needs); one cpuid probe at first use picks the widest
+/// variant the host supports, and the `DLCOMP_SIMD` environment variable
+/// (`scalar` | `avx2` | `avx512`) clamps the choice downward for A/B
+/// testing and the CI byte-identity matrix. Requests above what the CPU
+/// supports are clamped to the best available level, never trusted.
+///
+/// Every variant produces byte-identical streams (see kernels.hpp and
+/// DESIGN.md "Parallel framing and SIMD dispatch"); selection is a pure
+/// performance decision, which is why clamping silently is safe.
+
+#include <string_view>
+
+namespace dlcomp::simd {
+
+/// Kernel instruction-set tiers, ordered: higher value = wider vectors.
+enum class Isa : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,  ///< requires F+BW+DQ+VL (the skylake-server baseline)
+};
+
+/// Widest tier the running CPU supports (cpuid; cached after first call).
+[[nodiscard]] Isa cpu_best() noexcept;
+
+/// cpu_best() clamped by the `DLCOMP_SIMD` override, resolved once per
+/// process. This is the *request*; the kernels may still step down a tier
+/// when a variant was not compiled in (kernels::dispatched_isa() reports
+/// the tier actually running).
+[[nodiscard]] Isa requested() noexcept;
+
+/// "scalar" | "avx2" | "avx512".
+[[nodiscard]] std::string_view isa_name(Isa isa) noexcept;
+
+}  // namespace dlcomp::simd

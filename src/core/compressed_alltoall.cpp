@@ -18,6 +18,10 @@ CompressedAllToAll::CompressedAllToAll(CompressedAllToAllConfig config)
   }
   DLCOMP_CHECK_MSG(config_.pipeline_stages >= 1,
                    "pipeline_stages must be at least 1");
+  if (config_.codec != nullptr) {
+    scratch_.engine =
+        std::make_unique<BlockEngine>(*config_.codec, config_.pool);
+  }
 }
 
 CompressedAllToAll::PendingExchange&
@@ -82,53 +86,102 @@ std::size_t CompressedAllToAll::pack_group(
 
   DLCOMP_TRACE_SPAN("a2a/pack_group");
   WallTimer compress_timer;
-  auto pack_destination = [&](std::size_t d) {
-    DLCOMP_TRACE_SPAN("a2a/compress");
-    std::vector<std::byte>& buf = scratch_.packed[d];
-    const std::size_t cap_before = buf.capacity();
-    buf.clear();
-    const auto& chunks = send[d];
-    const std::size_t lo = group_begin(chunks.size(), groups, g);
-    const std::size_t hi = group_begin(chunks.size(), groups, g + 1);
-    if (g == 0) {
-      append_pod(buf, static_cast<std::uint32_t>(chunks.size()));
+  if (config_.codec != nullptr) {
+    // Codec path: three phases. (a) Serial framing — directories written,
+    // every chunk registered with the engine (large chunks split into
+    // blocks). (b) One flat parallel run over all blocks of all
+    // destinations — parallelism scales with total block count, so a
+    // group dominated by one huge chunk still uses the whole pool.
+    // (c) Serial assembly — deterministic wire bytes, sizes patched.
+    BlockEngine& engine = *scratch_.engine;
+    engine.compress_begin();
+    scratch_.packed_caps.resize(world);
+    for (std::size_t d = 0; d < world; ++d) {
+      std::vector<std::byte>& buf = scratch_.packed[d];
+      scratch_.packed_caps[d] = buf.capacity();
+      buf.clear();
+      const auto& chunks = send[d];
+      const std::size_t lo = group_begin(chunks.size(), groups, g);
+      const std::size_t hi = group_begin(chunks.size(), groups, g + 1);
+      if (g == 0) {
+        append_pod(buf, static_cast<std::uint32_t>(chunks.size()));
+      }
+      buf.resize(buf.size() + (hi - lo) * sizeof(std::uint64_t));
+      for (std::size_t i = lo; i < hi; ++i) {
+        (void)engine.add_tensor(chunks[i].data, chunks[i].params);
+      }
     }
-    const std::size_t sizes_at = buf.size();
-    buf.resize(sizes_at + (hi - lo) * sizeof(std::uint64_t));
-
-    CompressionWorkspace& ws = *scratch_.per_peer[d];
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::size_t before = buf.size();
-      if (config_.codec != nullptr) {
-        config_.codec->compress(chunks[i].data, chunks[i].params, buf, ws);
-      } else {
-        // Raw exchange: payload is the float bytes themselves.
+    {
+      DLCOMP_TRACE_SPAN("a2a/compress");
+      engine.compress_run();
+    }
+    std::size_t slot = 0;
+    for (std::size_t d = 0; d < world; ++d) {
+      std::vector<std::byte>& buf = scratch_.packed[d];
+      const auto& chunks = send[d];
+      const std::size_t lo = group_begin(chunks.size(), groups, g);
+      const std::size_t hi = group_begin(chunks.size(), groups, g + 1);
+      const std::size_t sizes_at = g == 0 ? sizeof(std::uint32_t) : 0;
+      for (std::size_t i = lo; i < hi; ++i, ++slot) {
+        const std::size_t before = buf.size();
+        engine.append_stream(slot, buf);
+        const auto stream_bytes =
+            static_cast<std::uint64_t>(buf.size() - before);
+        std::memcpy(buf.data() + sizes_at + (i - lo) * sizeof(std::uint64_t),
+                    &stream_bytes, sizeof(stream_bytes));
+        if (chunks[i].tag != A2AChunkSpec::kNoTag) {
+          scratch_.tag_wire[chunks[i].tag].fetch_add(
+              stream_bytes, std::memory_order_relaxed);
+        }
+      }
+      if (buf.capacity() != scratch_.packed_caps[d]) {
+        scratch_.grow_events.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } else {
+    // Raw exchange: payload is the float bytes themselves; parallel per
+    // destination (pure memcpy, no codec scratch involved).
+    auto pack_destination = [&](std::size_t d) {
+      DLCOMP_TRACE_SPAN("a2a/compress");
+      std::vector<std::byte>& buf = scratch_.packed[d];
+      const std::size_t cap_before = buf.capacity();
+      buf.clear();
+      const auto& chunks = send[d];
+      const std::size_t lo = group_begin(chunks.size(), groups, g);
+      const std::size_t hi = group_begin(chunks.size(), groups, g + 1);
+      if (g == 0) {
+        append_pod(buf, static_cast<std::uint32_t>(chunks.size()));
+      }
+      const std::size_t sizes_at = buf.size();
+      buf.resize(sizes_at + (hi - lo) * sizeof(std::uint64_t));
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t before = buf.size();
         const auto* p =
             reinterpret_cast<const std::byte*>(chunks[i].data.data());
         buf.insert(buf.end(), p, p + chunks[i].data.size_bytes());
+        const auto stream_bytes =
+            static_cast<std::uint64_t>(buf.size() - before);
+        std::memcpy(buf.data() + sizes_at + (i - lo) * sizeof(std::uint64_t),
+                    &stream_bytes, sizeof(stream_bytes));
+        if (chunks[i].tag != A2AChunkSpec::kNoTag) {
+          scratch_.tag_wire[chunks[i].tag].fetch_add(
+              stream_bytes, std::memory_order_relaxed);
+        }
       }
-      const auto stream_bytes =
-          static_cast<std::uint64_t>(buf.size() - before);
-      std::memcpy(buf.data() + sizes_at + (i - lo) * sizeof(std::uint64_t),
-                  &stream_bytes, sizeof(stream_bytes));
-      if (chunks[i].tag != A2AChunkSpec::kNoTag) {
-        scratch_.tag_wire[chunks[i].tag].fetch_add(
-            stream_bytes, std::memory_order_relaxed);
+      if (buf.capacity() != cap_before) {
+        scratch_.grow_events.fetch_add(1, std::memory_order_relaxed);
       }
+    };
+    if (config_.pool != nullptr && world > 1) {
+      config_.pool->parallel_for(0, world, 1,
+                                 [&](std::size_t lo, std::size_t hi) {
+                                   for (std::size_t d = lo; d < hi; ++d) {
+                                     pack_destination(d);
+                                   }
+                                 });
+    } else {
+      for (std::size_t d = 0; d < world; ++d) pack_destination(d);
     }
-    if (buf.capacity() != cap_before) {
-      scratch_.grow_events.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-  if (config_.pool != nullptr && world > 1) {
-    config_.pool->parallel_for(0, world, 1,
-                               [&](std::size_t lo, std::size_t hi) {
-                                 for (std::size_t d = lo; d < hi; ++d) {
-                                   pack_destination(d);
-                                 }
-                               });
-  } else {
-    for (std::size_t d = 0; d < world; ++d) pack_destination(d);
   }
   stats.compress_wall_seconds += compress_timer.seconds();
 
@@ -173,34 +226,50 @@ void CompressedAllToAll::land_group(
     }
   }
 
-  auto unpack_source = [&](std::size_t s) {
+  if (config_.codec != nullptr) {
+    // Codec path: register every chunk stream of every source with the
+    // engine (blocked streams expand into per-block tasks) and run one
+    // flat parallel pass — the multi-stream decompression of the paper,
+    // extended below message granularity.
     DLCOMP_TRACE_SPAN("a2a/decompress");
-    const RecvDirectory& dir = scratch_.dirs[s];
-    CompressionWorkspace& ws = *scratch_.per_peer[s];
-    const std::size_t lo = group_begin(recv[s].size(), groups, g);
-    const std::size_t hi = group_begin(recv[s].size(), groups, g + 1);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto stream =
-          dir.payload.subspan(dir.offsets[i - lo], dir.sizes[i - lo]);
-      auto out = recv[s][i];
-      if (config_.codec != nullptr) {
-        config_.codec->decompress(stream, out, ws);
-      } else {
+    BlockEngine& engine = *scratch_.engine;
+    engine.decompress_begin();
+    for (std::size_t s = 0; s < world; ++s) {
+      const RecvDirectory& dir = scratch_.dirs[s];
+      const std::size_t lo = group_begin(recv[s].size(), groups, g);
+      const std::size_t hi = group_begin(recv[s].size(), groups, g + 1);
+      for (std::size_t i = lo; i < hi; ++i) {
+        engine.add_stream(
+            dir.payload.subspan(dir.offsets[i - lo], dir.sizes[i - lo]),
+            recv[s][i]);
+      }
+    }
+    engine.decompress_run();
+  } else {
+    auto unpack_source = [&](std::size_t s) {
+      DLCOMP_TRACE_SPAN("a2a/decompress");
+      const RecvDirectory& dir = scratch_.dirs[s];
+      const std::size_t lo = group_begin(recv[s].size(), groups, g);
+      const std::size_t hi = group_begin(recv[s].size(), groups, g + 1);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto stream =
+            dir.payload.subspan(dir.offsets[i - lo], dir.sizes[i - lo]);
+        auto out = recv[s][i];
         DLCOMP_CHECK_MSG(stream.size() == out.size() * sizeof(float),
                          "raw chunk size mismatch");
         std::memcpy(out.data(), stream.data(), stream.size());
       }
+    };
+    if (config_.pool != nullptr && world > 1) {
+      config_.pool->parallel_for(0, world, 1,
+                                 [&](std::size_t lo, std::size_t hi) {
+                                   for (std::size_t s = lo; s < hi; ++s) {
+                                     unpack_source(s);
+                                   }
+                                 });
+    } else {
+      for (std::size_t s = 0; s < world; ++s) unpack_source(s);
     }
-  };
-  if (config_.pool != nullptr && world > 1) {
-    config_.pool->parallel_for(0, world, 1,
-                               [&](std::size_t lo, std::size_t hi) {
-                                 for (std::size_t s = lo; s < hi; ++s) {
-                                   unpack_source(s);
-                                 }
-                               });
-  } else {
-    for (std::size_t s = 0; s < world; ++s) unpack_source(s);
   }
   stats.decompress_wall_seconds += decompress_timer.seconds();
 
@@ -232,13 +301,6 @@ CompressedAllToAll::PendingExchange CompressedAllToAll::exchange_begin(
   ex.finished_ = false;
 
   scratch_.packed.resize(world);
-  if (scratch_.per_peer.size() < world) {
-    scratch_.per_peer.reserve(world);
-    while (scratch_.per_peer.size() < world) {
-      scratch_.per_peer.push_back(std::make_unique<CompressionWorkspace>());
-      scratch_.grow_events.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
 
   // Size the per-tag accumulators to the high-water tag id before the
   // packing tasks fan out (they only fetch_add into existing slots).
@@ -323,7 +385,7 @@ A2AStats CompressedAllToAll::exchange(
 
 std::uint64_t CompressedAllToAll::workspace_grow_events() const {
   std::uint64_t total = scratch_.grow_events.load(std::memory_order_relaxed);
-  for (const auto& ws : scratch_.per_peer) total += ws->grow_events();
+  if (scratch_.engine != nullptr) total += scratch_.engine->grow_events();
   return total;
 }
 
@@ -339,7 +401,7 @@ std::vector<CompressedAllToAll::TagBytes> CompressedAllToAll::per_tag_bytes()
 
 std::size_t CompressedAllToAll::scratch_capacity_bytes() const {
   std::size_t total = 0;
-  for (const auto& ws : scratch_.per_peer) total += ws->capacity_bytes();
+  if (scratch_.engine != nullptr) total += scratch_.engine->capacity_bytes();
   for (const auto& buf : scratch_.packed) total += buf.capacity();
   for (const auto& dir : scratch_.dirs) {
     total += dir.offsets.capacity() * sizeof(std::size_t) +

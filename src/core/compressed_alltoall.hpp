@@ -15,13 +15,16 @@
 /// separately.
 ///
 /// Buffer optimization, CPU edition: stage (1) sizes each destination's
-/// directory up front and compresses every chunk *directly into* that
-/// destination's send buffer (directory sizes patched in place), instead
-/// of compressing into per-chunk vectors and gathering them afterwards.
-/// Together with per-task CompressionWorkspace leases this makes the
-/// steady-state codec path allocation-free: all scratch and all send
-/// buffers retain their high-water capacity across iterations
-/// (workspace_grow_events() exposes the counter tests assert on).
+/// directory up front, registers every chunk with a BlockEngine (large
+/// chunks split into fixed blocks that compress independently — see
+/// chunked.hpp), runs all blocks of all destinations as one flat
+/// parallel task list, and assembles the streams into the send buffers
+/// with the directory sizes patched in place. Stage (4) decompresses
+/// through the same engine, so a group with one dominant chunk still
+/// fans out across the pool. All scratch and all send buffers retain
+/// their high-water capacity across iterations
+/// (workspace_grow_events() exposes the counter tests assert on), and
+/// the wire bytes are independent of pool width.
 ///
 /// Stage pipelining (`pipeline_stages > 1`): each destination's chunk
 /// list is split into contiguous groups; group k+1 compresses while group
@@ -47,6 +50,7 @@
 
 #include "comm/communicator.hpp"
 #include "comm/phase_names.hpp"
+#include "compress/chunked.hpp"
 #include "compress/compressor.hpp"
 #include "compress/workspace.hpp"
 #include "parallel/device_model.hpp"
@@ -201,27 +205,31 @@ class CompressedAllToAll {
   /// Per-instance reusable state. Mutable because exchange() is logically
   /// const (scratch contents are never observable between calls).
   ///
-  /// Workspaces are indexed by peer rank, not pooled: within one exchange
-  /// the compress and decompress stages of any chunk group never run
-  /// concurrently, so workspace d always sees destination d's chunks then
-  /// source d's streams — sizes are stable across iterations, which is
-  /// what makes the zero-growth guarantee deterministic rather than
-  /// dependent on lease scheduling.
+  /// Codec work (both directions) runs through one BlockEngine: every
+  /// chunk of every destination — split into blocks when large — forms a
+  /// single flat task list per group, partitioned across fixed
+  /// lane-indexed workspaces. Within one exchange the compress and
+  /// decompress stages of a group never run concurrently, and lane l
+  /// always sees the same tasks regardless of scheduling, so scratch
+  /// sizes are stable across iterations — the zero-growth guarantee is
+  /// deterministic rather than dependent on lease scheduling.
   struct Scratch {
     Scratch() = default;
     // The atomic member deletes the implicit moves vectors need; moving
     // an instance is only ever done while no exchange is running.
     Scratch(Scratch&& other) noexcept
-        : per_peer(std::move(other.per_peer)),
+        : engine(std::move(other.engine)),
           packed(std::move(other.packed)),
+          packed_caps(std::move(other.packed_caps)),
           dirs(std::move(other.dirs)),
           tag_raw(std::move(other.tag_raw)),
           tag_wire(std::move(other.tag_wire)),
           tag_count(other.tag_count),
           grow_events(other.grow_events.load(std::memory_order_relaxed)) {}
     Scratch& operator=(Scratch&& other) noexcept {
-      per_peer = std::move(other.per_peer);
+      engine = std::move(other.engine);
       packed = std::move(other.packed);
+      packed_caps = std::move(other.packed_caps);
       dirs = std::move(other.dirs);
       tag_raw = std::move(other.tag_raw);
       tag_wire = std::move(other.tag_wire);
@@ -231,8 +239,9 @@ class CompressedAllToAll {
       return *this;
     }
 
-    std::vector<std::unique_ptr<CompressionWorkspace>> per_peer;
+    std::unique_ptr<BlockEngine> engine;         // null for raw exchanges
     std::vector<std::vector<std::byte>> packed;  // per destination
+    std::vector<std::size_t> packed_caps;        // pre-group capacities
     std::vector<RecvDirectory> dirs;             // per source
     /// Per-tag cumulative totals. Raw bytes accumulate serially in
     /// exchange_begin; wire bytes accumulate from the packing tasks, so

@@ -17,6 +17,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "common/error.hpp"
 #include "core/trainer.hpp"
+#include "obs/metrics.hpp"
 #include "serve/inference_engine.hpp"
 #include "data/synthetic.hpp"
 
@@ -596,6 +597,85 @@ TEST(Checkpoint, WriterSavePolicyAlternatesKinds) {
   EXPECT_EQ(kinds[2], CkptKind::kFull);
   EXPECT_EQ(kinds[3], CkptKind::kDelta);
   EXPECT_EQ(kinds[4], CkptKind::kFull);
+}
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(Checkpoint, DominantTableBlockedSavesMatchSerialByteForByte) {
+  // One table holds nearly all the state (40000 x 16 = 640k elements,
+  // several compression blocks): the writer must split it across the
+  // pool rather than serializing the snapshot on a single per-table
+  // task, and the pooled container must still be byte-identical to the
+  // serial one — full, delta, and chain replay alike.
+  DatasetSpec spec;
+  spec.name = "dominant";
+  spec.embedding_dim = 16;
+  TableSpec huge;
+  huge.cardinality = 40000;
+  TableSpec tiny;
+  tiny.cardinality = 64;
+  spec.tables = {huge, tiny, tiny};
+  DlrmModel model(spec, {}, 31);
+  // Same basenames in separate directories: deltas embed the parent's
+  // filename, which must not differ between the two writers.
+  const std::string pooled_dir = test_dir("dominant_pooled");
+  const std::string serial_dir = test_dir("dominant_serial");
+
+  auto make_writer = [&](ThreadPool* pool) {
+    CheckpointOptions options;
+    options.codec = "hybrid";
+    options.global_eb = 0.01;
+    options.pool = pool;
+    return CheckpointWriter(options);
+  };
+  ThreadPool pool(4);
+  CheckpointWriter pooled = make_writer(&pool);
+  CheckpointWriter serial = make_writer(nullptr);
+
+  const auto blocks_before = MetricsRegistry::global()
+                                 .snapshot()
+                                 .values["dlcomp_codec_blocks_compressed_total"];
+  pooled.save_full(pooled_dir + "/full.dlck", make_model_state(model, 1, 31));
+  const auto blocks_after = MetricsRegistry::global()
+                                .snapshot()
+                                .values["dlcomp_codec_blocks_compressed_total"];
+  // 640k elements / 256Ki block elements -> the dominant table alone
+  // contributes at least 3 block tasks.
+  EXPECT_GE(blocks_after - blocks_before, 3.0)
+      << "dominant table did not split into parallel blocks";
+
+  serial.save_full(serial_dir + "/full.dlck", make_model_state(model, 1, 31));
+  EXPECT_EQ(read_file_bytes(pooled_dir + "/full.dlck"),
+            read_file_bytes(serial_dir + "/full.dlck"));
+
+  // Touch a spread of dominant-table rows well past the bound, then
+  // delta: both writers must produce identical containers and a replay
+  // within the bound.
+  Matrix& weights = model.table(0).weights();
+  for (std::size_t r = 0; r < weights.rows(); r += 3) {
+    weights.flat()[r * weights.cols()] += 1.0f;
+  }
+  pooled.save_delta(pooled_dir + "/delta.dlck",
+                    make_model_state(model, 2, 31));
+  serial.save_delta(serial_dir + "/delta.dlck",
+                    make_model_state(model, 2, 31));
+  EXPECT_EQ(read_file_bytes(pooled_dir + "/delta.dlck"),
+            read_file_bytes(serial_dir + "/delta.dlck"));
+
+  const LoadedCheckpoint loaded =
+      CheckpointReader(&pool).load(pooled_dir + "/delta.dlck");
+  ASSERT_EQ(loaded.chain_length, 2u);
+  ASSERT_EQ(loaded.tables.size(), 3u);
+  for (std::size_t t = 0; t < loaded.tables.size(); ++t) {
+    EXPECT_LE(max_abs_diff(model.table(t).weights().flat(),
+                           loaded.tables[t].values),
+              0.01 + 1e-12)
+        << "table " << t;
+  }
 }
 
 }  // namespace

@@ -313,6 +313,220 @@ TEST(LorenzoDifferential, FusedMatchesReferenceBitExactly) {
   }
 }
 
+// ----------------------------------------------------------- SIMD dispatch
+
+/// Runs `body` once per SIMD tier this host can actually execute,
+/// restoring the environment-resolved dispatch afterwards. Tiers the
+/// host or build lacks are skipped, not failed: the scalar tier always
+/// runs, so the differential coverage never silently vanishes.
+template <typename Body>
+void for_each_available_isa(const Body& body) {
+  const simd::Isa original = kernels::dispatched_isa();
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (!kernels::force_isa_for_testing(isa)) continue;
+    body(isa);
+  }
+  ASSERT_TRUE(kernels::force_isa_for_testing(original));
+}
+
+TEST(SimdDifferential, QuantizeEdgeShapesMatchReference) {
+  // Sizes straddle the 8- and 16-lane boundaries so every vector tail
+  // path runs at least once under each tier.
+  const std::size_t sizes[] = {1, 7, 8, 9, 15, 16, 17, 31, 33, 1000, 4097};
+  for_each_available_isa([&](simd::Isa isa) {
+    for (const std::size_t n : sizes) {
+      const auto input = random_input(n, 7000 + n, 0.3f);
+      const double eb = 0.01;
+      std::vector<std::int32_t> ref_codes(n);
+      reference::quantize(input, eb, ref_codes);
+
+      std::vector<std::int32_t> codes(n);
+      const std::uint64_t max_symbol =
+          kernels::quantize_to_codes(input, eb, codes);
+      ASSERT_EQ(codes, ref_codes) << simd::isa_name(isa) << " n=" << n;
+      std::uint64_t want_max = 0;
+      for (const auto c : ref_codes) {
+        want_max = std::max(want_max, zigzag_encode(c));
+      }
+      ASSERT_EQ(max_symbol, want_max) << simd::isa_name(isa) << " n=" << n;
+
+      SymbolHistogram hist;
+      std::vector<std::uint32_t> symbols(n);
+      kernels::quantize_to_symbols(input, eb, symbols, &hist);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(symbols[i],
+                  static_cast<std::uint32_t>(zigzag_encode(ref_codes[i])))
+            << simd::isa_name(isa) << " n=" << n << " i=" << i;
+      }
+
+      std::vector<float> ref_out(n);
+      reference::dequantize(ref_codes, eb, ref_out);
+      std::vector<float> out(n);
+      kernels::dequantize_codes(codes, eb, out);
+      ASSERT_EQ(std::memcmp(out.data(), ref_out.data(), n * sizeof(float)),
+                0)
+          << simd::isa_name(isa) << " n=" << n;
+      kernels::dequantize_symbols(symbols, eb, out);
+      ASSERT_EQ(std::memcmp(out.data(), ref_out.data(), n * sizeof(float)),
+                0)
+          << simd::isa_name(isa) << " n=" << n;
+    }
+  });
+}
+
+TEST(SimdDifferential, LorenzoEdgeShapesMatchReference) {
+  // dim >= 8 with n > 4*dim engages the staggered vector path; dim 1,
+  // dims below the lane width, and tail rows (n % dim != 0) must take
+  // the scalar ramps and fallbacks and still match the reference.
+  const std::size_t sizes[] = {1, 31, 257, 4097, 9999};
+  const std::size_t dims[] = {1, 7, 8, 16, 33, 64};
+  for_each_available_isa([&](simd::Isa isa) {
+    for (const std::size_t n : sizes) {
+      for (const std::size_t dim : dims) {
+        const auto input = random_input(n, 8000 + n + dim, 0.25f);
+        const double eb = 0.01;
+
+        std::vector<std::int32_t> ref_codes(n);
+        std::vector<float> ref_recon(n);
+        reference::lorenzo_encode(input, dim, eb, ref_codes, ref_recon);
+
+        SymbolHistogram hist;
+        std::vector<std::uint32_t> symbols(n);
+        std::vector<float> recon(n);
+        kernels::lorenzo_encode_fused(input, dim, eb, recon, symbols, &hist);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(symbols[i],
+                    static_cast<std::uint32_t>(zigzag_encode(ref_codes[i])))
+              << simd::isa_name(isa) << " n=" << n << " dim=" << dim
+              << " i=" << i;
+        }
+        ASSERT_EQ(
+            std::memcmp(recon.data(), ref_recon.data(), n * sizeof(float)),
+            0)
+            << simd::isa_name(isa) << " n=" << n << " dim=" << dim;
+
+        std::vector<float> ref_out(n);
+        reference::lorenzo_decode(ref_codes, dim, eb, ref_out);
+        std::vector<float> out(n);
+        kernels::lorenzo_decode_fused(symbols, dim, eb, out);
+        ASSERT_EQ(std::memcmp(out.data(), ref_out.data(), n * sizeof(float)),
+                  0)
+            << simd::isa_name(isa) << " n=" << n << " dim=" << dim;
+      }
+    }
+  });
+}
+
+TEST(SimdDifferential, NearLimitCodesMatchReference) {
+  // Codes within a hair of INT32_MAX: the widest quantize products and
+  // (after zigzag) maximum-length symbols, still inside the reference's
+  // defined domain so it stays the oracle.
+  const double eb = 0.5;  // step 1.0: codes == half-away-rounded values
+  std::vector<float> input(4099);
+  Rng rng(771);
+  for (auto& v : input) {
+    const double mag = 2.0e9 * rng.next_double();
+    v = static_cast<float>(rng.next_below(2) != 0 ? mag : -mag);
+  }
+  std::vector<std::int32_t> ref_codes(input.size());
+  reference::quantize(input, eb, ref_codes);
+  std::vector<float> ref_out(input.size());
+  reference::dequantize(ref_codes, eb, ref_out);
+  for_each_available_isa([&](simd::Isa isa) {
+    std::vector<std::int32_t> codes(input.size());
+    kernels::quantize_to_codes(input, eb, codes);
+    ASSERT_EQ(codes, ref_codes) << simd::isa_name(isa);
+    std::vector<float> out(input.size());
+    kernels::dequantize_codes(codes, eb, out);
+    ASSERT_EQ(std::memcmp(out.data(), ref_out.data(),
+                          out.size() * sizeof(float)),
+              0)
+        << simd::isa_name(isa);
+  });
+}
+
+TEST(SimdDifferential, OverflowResidualLorenzoMatchesScalarDispatch) {
+  // Sign-alternating magnitudes make Lorenzo residuals exceed int32,
+  // tripping the vector safety mask whose per-lane fallback must agree
+  // bit-for-bit with the scalar dispatch kernel. (The reference's
+  // unclamped cast is not defined there, so the scalar dispatch path is
+  // the oracle instead.)
+  const double eb = 0.5;
+  const std::size_t n = 4096;
+  const std::size_t dim = 32;
+  std::vector<float> input(n);
+  Rng rng(772);
+  for (auto& v : input) {
+    const double mag = 1.8e9 * rng.next_double();
+    v = static_cast<float>(rng.next_below(2) != 0 ? mag : -mag);
+  }
+  ASSERT_TRUE(kernels::force_isa_for_testing(simd::Isa::kScalar));
+  SymbolHistogram hist;
+  std::vector<std::uint32_t> want_symbols(n);
+  std::vector<float> want_recon(n);
+  kernels::lorenzo_encode_fused(input, dim, eb, want_recon, want_symbols,
+                                &hist);
+  std::vector<float> want_out(n);
+  kernels::lorenzo_decode_fused(want_symbols, dim, eb, want_out);
+  for_each_available_isa([&](simd::Isa isa) {
+    SymbolHistogram h;
+    std::vector<std::uint32_t> symbols(n);
+    std::vector<float> recon(n);
+    kernels::lorenzo_encode_fused(input, dim, eb, recon, symbols, &h);
+    ASSERT_EQ(symbols, want_symbols) << simd::isa_name(isa);
+    ASSERT_EQ(
+        std::memcmp(recon.data(), want_recon.data(), n * sizeof(float)), 0)
+        << simd::isa_name(isa);
+    std::vector<float> out(n);
+    kernels::lorenzo_decode_fused(symbols, dim, eb, out);
+    ASSERT_EQ(std::memcmp(out.data(), want_out.data(), n * sizeof(float)),
+              0)
+        << simd::isa_name(isa);
+  });
+}
+
+TEST(SimdDifferential, NaNStillThrowsUnderEveryIsa) {
+  for_each_available_isa([&](simd::Isa isa) {
+    std::vector<float> input(100, 0.25f);
+    input[37] = std::nanf("");
+    std::vector<std::int32_t> codes(input.size());
+    EXPECT_THROW(kernels::quantize_to_codes(input, 0.01, codes), Error)
+        << simd::isa_name(isa);
+    std::vector<std::uint32_t> symbols(input.size());
+    EXPECT_THROW(kernels::quantize_to_symbols(input, 0.01, symbols, nullptr),
+                 Error)
+        << simd::isa_name(isa);
+  });
+}
+
+TEST(SimdDifferential, FullCodecStreamsBytesIdenticalAcrossIsas) {
+  // The end-to-end acceptance criterion: every registered codec's wire
+  // bytes must not depend on which SIMD tier ran.
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+  const auto input = random_input(40000, 91, 0.2f);
+  for (const char* name : {"huffman", "cusz-like", "vector-lz", "hybrid",
+                           "fz-gpu-like"}) {
+    const Compressor& codec = get_compressor(name);
+    ASSERT_TRUE(kernels::force_isa_for_testing(simd::Isa::kScalar));
+    std::vector<std::byte> want;
+    codec.compress(input, params, want);
+    for_each_available_isa([&](simd::Isa isa) {
+      std::vector<std::byte> stream;
+      codec.compress(input, params, stream);
+      ASSERT_EQ(stream, want) << name << " under " << simd::isa_name(isa);
+      std::vector<float> out(input.size());
+      codec.decompress(stream, out);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_LE(std::fabs(out[i] - input[i]), 0.01 * (1 + 1e-9))
+            << name << " under " << simd::isa_name(isa);
+      }
+    });
+  }
+}
+
 // ------------------------------------------------------------- workspaces
 
 TEST(WorkspaceReuse, RepeatedCompressionsProduceIdenticalStreams) {

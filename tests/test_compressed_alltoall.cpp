@@ -224,5 +224,148 @@ TEST(CompressedA2A, EmptyChunkListsSupported) {
   });
 }
 
+TEST(CompressedA2A, WireDeterministicAcrossPoolWidthAndStages) {
+  // Chunks larger than one compression block (256 Ki elements) split
+  // across the pool; the assembled wire bytes — and therefore every
+  // received value — must not depend on pool width or on how the
+  // exchange is stage-pipelined.
+  const int world = 2;
+  const std::size_t chunks = 2;
+  const std::size_t elems = 300 * 1024;  // 2 blocks per chunk
+  const double eb = 0.01;
+
+  struct RunResult {
+    std::vector<float> received;
+    std::uint64_t wire_bytes = 0;
+  };
+
+  auto run_once = [&](std::size_t threads, std::size_t stages) {
+    std::vector<RunResult> results(world);
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    Cluster cluster(world);
+    std::vector<CompressedAllToAll> a2a;
+    for (int r = 0; r < world; ++r) {
+      CompressedAllToAllConfig config;
+      config.codec = &get_compressor("huffman");
+      config.pool = pool.get();
+      config.charge_modeled_time = false;
+      config.pipeline_stages = stages;
+      a2a.emplace_back(config);
+    }
+    cluster.run([&](Communicator& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      Rng rng(500 + rank);
+      std::vector<float> payload(world * chunks * elems);
+      for (auto& v : payload) v = static_cast<float>(rng.normal(0.0, 0.2));
+      CompressParams params;
+      params.error_bound = eb;
+      params.vector_dim = 16;
+      std::vector<std::vector<A2AChunkSpec>> send(world);
+      for (int d = 0; d < world; ++d) {
+        for (std::size_t c = 0; c < chunks; ++c) {
+          const std::size_t at =
+              (static_cast<std::size_t>(d) * chunks + c) * elems;
+          send[static_cast<std::size_t>(d)].push_back(
+              {std::span<const float>(payload).subspan(at, elems), params});
+        }
+      }
+      RunResult& result = results[rank];
+      result.received.assign(world * chunks * elems, 0.0f);
+      std::vector<std::vector<std::span<float>>> recv(world);
+      for (int s = 0; s < world; ++s) {
+        for (std::size_t c = 0; c < chunks; ++c) {
+          recv[static_cast<std::size_t>(s)].push_back(
+              std::span<float>(result.received)
+                  .subspan((static_cast<std::size_t>(s) * chunks + c) * elems,
+                           elems));
+        }
+      }
+      const A2AStats stats = a2a[rank].exchange(comm, send, recv, "det");
+      result.wire_bytes = stats.send_wire_bytes;
+    });
+    return results;
+  };
+
+  const auto baseline = run_once(0, 1);  // serial pack, monolithic
+  ASSERT_GT(baseline[0].wire_bytes, 0u);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    for (const std::size_t stages : {1u, 3u}) {
+      const auto got = run_once(threads, stages);
+      for (int r = 0; r < world; ++r) {
+        EXPECT_EQ(got[r].wire_bytes, baseline[r].wire_bytes)
+            << "rank " << r << " threads " << threads << " stages " << stages;
+        ASSERT_EQ(std::memcmp(got[r].received.data(),
+                              baseline[r].received.data(),
+                              baseline[r].received.size() * sizeof(float)),
+                  0)
+            << "rank " << r << " threads " << threads << " stages " << stages;
+      }
+    }
+  }
+}
+
+TEST(CompressedA2A, MultiBlockSteadyStateDoesNotAllocate) {
+  // The zero-growth guarantee must hold when chunks split into blocks:
+  // lane-indexed workspaces and worst-case staging reach their high-water
+  // mark during warm-up and stay there.
+  const int world = 2;
+  const std::size_t elems = 300 * 1024;
+  ThreadPool pool(2);
+  Cluster cluster(world);
+  std::vector<CompressedAllToAll> a2a;
+  for (int r = 0; r < world; ++r) {
+    CompressedAllToAllConfig config;
+    config.codec = &get_compressor("huffman");
+    config.pool = &pool;
+    config.charge_modeled_time = false;
+    config.pipeline_stages = 2;
+    a2a.emplace_back(config);
+  }
+  auto run_rounds = [&](int rounds) {
+    cluster.run([&](Communicator& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      Rng rng(900 + rank);
+      std::vector<float> payload(world * elems);
+      for (auto& v : payload) v = static_cast<float>(rng.normal(0.0, 0.2));
+      CompressParams params;
+      params.error_bound = 0.01;
+      params.vector_dim = 16;
+      std::vector<std::vector<A2AChunkSpec>> send(world);
+      for (int d = 0; d < world; ++d) {
+        send[static_cast<std::size_t>(d)].push_back(
+            {std::span<const float>(payload).subspan(
+                 static_cast<std::size_t>(d) * elems, elems),
+             params});
+      }
+      std::vector<std::vector<float>> storage(world,
+                                              std::vector<float>(elems));
+      std::vector<std::vector<std::span<float>>> recv(world);
+      for (int s = 0; s < world; ++s) {
+        recv[static_cast<std::size_t>(s)].emplace_back(
+            storage[static_cast<std::size_t>(s)]);
+      }
+      for (int round = 0; round < rounds; ++round) {
+        a2a[rank].exchange(comm, send, recv, "steady");
+      }
+    });
+  };
+  run_rounds(2);  // warm-up
+  std::uint64_t grow = 0;
+  std::size_t capacity = 0;
+  for (const auto& instance : a2a) {
+    grow += instance.workspace_grow_events();
+    capacity += instance.scratch_capacity_bytes();
+  }
+  EXPECT_GT(capacity, 0u);
+  run_rounds(3);  // steady state
+  std::uint64_t grow_after = 0;
+  for (const auto& instance : a2a) {
+    grow_after += instance.workspace_grow_events();
+  }
+  EXPECT_EQ(grow_after, grow)
+      << "steady-state multi-block exchange allocated in the codec path";
+}
+
 }  // namespace
 }  // namespace dlcomp

@@ -45,6 +45,18 @@
 #include "compress/workspace.hpp"
 #endif
 
+// The blocked parallel engine and SIMD dispatch land together; same
+// guard so a pre-parallel revision still builds this tool (the
+// parallel_codec block is simply omitted from its report).
+#if __has_include("compress/chunked.hpp") && __has_include("compress/kernels.hpp")
+#define DLCOMP_HAS_PARALLEL_CODEC 1
+#include <thread>
+
+#include "compress/chunked.hpp"
+#include "compress/kernels.hpp"
+#include "compress/simd.hpp"
+#endif
+
 namespace {
 
 using namespace dlcomp;
@@ -473,6 +485,121 @@ ObservabilityReport measure_observability(std::size_t reps) {
   return report;
 }
 
+struct ParallelCodecThreadRow {
+  int threads = 0;
+  double compress_mbps = 0.0;
+  double decompress_mbps = 0.0;
+  long long steady_grow_events = -1;
+};
+
+struct ParallelCodecReport {
+  std::string codec = "hybrid";
+  std::size_t payload_bytes = 0;
+  std::size_t block_elems = 0;
+  std::size_t blocks = 0;
+  unsigned host_threads = 0;       ///< hardware_concurrency of this machine
+  std::string simd_isa;            ///< dispatched tier ("scalar"/"avx2"/...)
+  int simd_isa_level = 0;
+  std::uint32_t stream_crc32 = 0;  ///< assembled DLBK container CRC
+  bool crc_identical = true;       ///< ... across every thread count
+  std::vector<ParallelCodecThreadRow> rows;
+};
+
+#if defined(DLCOMP_HAS_PARALLEL_CODEC)
+
+/// Intra-message parallel throughput: one 8 MiB embedding-shaped tensor
+/// through the BlockEngine at 1/2/4/8 pool threads. The assembled DLBK
+/// container must hash identically at every width (framing is
+/// deterministic by construction; this records the proof alongside the
+/// numbers). Scaling beyond host_threads is an honest no-op — the rows
+/// still show where the pool saturates the machine.
+ParallelCodecReport measure_parallel_codec(std::size_t reps) {
+  ParallelCodecReport report;
+  const Compressor& codec = get_compressor(report.codec);
+  CompressParams params;
+  params.error_bound = 0.01;
+  params.vector_dim = 32;
+
+  // 2M floats = 8 blocks at the default 256 Ki block size: enough fan-out
+  // for an 8-wide pool, same value distribution as the 1 MiB payload.
+  Rng rng(17);
+  std::vector<float> input;
+  input.reserve(1u << 21);
+  std::vector<float> pool_vec(32);
+  for (std::size_t i = 0; i < (1u << 21); ++i) {
+    if (i % 32 == 0 && rng.bernoulli(0.4)) {
+      for (auto& v : pool_vec) v = static_cast<float>(rng.normal(0.0, 0.2));
+    }
+    input.push_back(pool_vec[i % 32]);
+  }
+
+  report.payload_bytes = input.size() * sizeof(float);
+  report.block_elems = BlockEngine::kDefaultBlockElems;
+  report.blocks =
+      (input.size() + report.block_elems - 1) / report.block_elems;
+  report.host_threads = std::thread::hardware_concurrency();
+  report.simd_isa = std::string(simd::isa_name(kernels::dispatched_isa()));
+  report.simd_isa_level = static_cast<int>(kernels::dispatched_isa());
+
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(static_cast<std::size_t>(threads));
+    BlockEngine engine(codec, &pool);
+    std::vector<std::byte> stream;
+    std::size_t slot = 0;
+    const auto compress_once = [&] {
+      engine.compress_begin();
+      slot = engine.add_tensor(input, params);
+      engine.compress_run();
+      stream.clear();
+      engine.append_stream(slot, stream);
+    };
+    std::vector<float> out(input.size());
+    const auto decompress_once = [&] {
+      engine.decompress_begin();
+      engine.add_stream(stream, out);
+      engine.decompress_run();
+    };
+
+    compress_once();  // warm-up: lane workspaces + staging hit high water
+    const std::uint32_t crc = crc32(stream);
+    if (report.rows.empty()) {
+      report.stream_crc32 = crc;
+    } else if (crc != report.stream_crc32) {
+      report.crc_identical = false;
+    }
+
+    double best_compress = 1e300;
+    for (std::size_t r = 0; r < reps; ++r) {
+      WallTimer timer;
+      compress_once();
+      best_compress = std::min(best_compress, timer.seconds());
+    }
+    decompress_once();  // warm-up
+    double best_decompress = 1e300;
+    for (std::size_t r = 0; r < reps; ++r) {
+      WallTimer timer;
+      decompress_once();
+      best_decompress = std::min(best_decompress, timer.seconds());
+    }
+
+    const std::uint64_t grow_before = engine.grow_events();
+    compress_once();
+    decompress_once();
+
+    ParallelCodecThreadRow row;
+    row.threads = threads;
+    row.compress_mbps = mbps(input.size() * sizeof(float), best_compress);
+    row.decompress_mbps =
+        mbps(input.size() * sizeof(float), best_decompress);
+    row.steady_grow_events =
+        static_cast<long long>(engine.grow_events() - grow_before);
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+#endif  // DLCOMP_HAS_PARALLEL_CODEC
+
 /// Pulls one numeric field for one codec back out of a previously
 /// emitted report (our own stable format — no JSON library needed).
 double baseline_field(const std::string& json, const std::string& codec,
@@ -487,7 +614,9 @@ double baseline_field(const std::string& json, const std::string& codec,
 void write_json(const std::string& path, const std::string& label,
                 std::size_t payload_bytes, std::size_t reps,
                 const std::vector<CodecReport>& codecs, const A2AReport& a2a,
-                const OverlapReport& overlap, const DataPipelineReport& data,
+                const OverlapReport& overlap,
+                const ParallelCodecReport* parallel,
+                const DataPipelineReport& data,
                 const ObservabilityReport& obs,
                 const std::string& baseline_json) {
   std::ofstream out(path);
@@ -527,6 +656,46 @@ void write_json(const std::string& path, const std::string& label,
                 overlap.pipelined_hidden_us, overlap.exposed_reduction_pct,
                 overlap.sim_exchange_speedup, ",");
   out << buf;
+  if (parallel != nullptr) {
+    const auto& p = *parallel;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"parallel_codec\": {\"codec\": \"%s\", "
+                  "\"payload_bytes\": %zu, \"block_elems\": %zu, "
+                  "\"blocks\": %zu, \"host_threads\": %u,\n",
+                  p.codec.c_str(), p.payload_bytes, p.block_elems, p.blocks,
+                  p.host_threads);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    \"simd_isa\": \"%s\", \"simd_isa_level\": %d, "
+                  "\"stream_crc32\": %u, "
+                  "\"crc_identical_across_threads\": %s,\n",
+                  p.simd_isa.c_str(), p.simd_isa_level, p.stream_crc32,
+                  p.crc_identical ? "true" : "false");
+    out << buf;
+    for (const auto& row : p.rows) {
+      std::snprintf(buf, sizeof(buf),
+                    "    \"t%d_compress_MBps\": %.1f, "
+                    "\"t%d_decompress_MBps\": %.1f, "
+                    "\"t%d_steady_grow_events\": %lld,\n",
+                    row.threads, row.compress_mbps, row.threads,
+                    row.decompress_mbps, row.threads,
+                    row.steady_grow_events);
+      out << buf;
+    }
+    // Self-scaling (8 threads vs 1) so the speedup claim is explicit in
+    // the report, not just derivable from the rows.
+    const auto& t1 = p.rows.front();
+    const auto& t8 = p.rows.back();
+    std::snprintf(buf, sizeof(buf),
+                  "    \"compress_scaling_8v1\": %.2f, "
+                  "\"decompress_scaling_8v1\": %.2f},\n",
+                  t1.compress_mbps > 0 ? t8.compress_mbps / t1.compress_mbps
+                                       : 0.0,
+                  t1.decompress_mbps > 0
+                      ? t8.decompress_mbps / t1.decompress_mbps
+                      : 0.0);
+    out << buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "  \"observability\": {\"span_ns\": %.1f, "
                 "\"disabled_span_ns\": %.2f, \"events_per_s\": %.0f, "
@@ -569,6 +738,32 @@ void write_json(const std::string& path, const std::string& label,
           base_rt > 0 ? c.roundtrip_mbps / base_rt : 0.0,
           base_crc == c.stream_crc32 ? "true" : "false");
       out << buf;
+    }
+    // Parallel-codec deltas when the baseline recorded them (a pre-
+    // parallel baseline simply has no parallel_codec block -- omit).
+    if (parallel != nullptr) {
+      const double base_c1 =
+          baseline_field(baseline_json, "parallel_codec", "t1_compress_MBps");
+      const double base_c8 =
+          baseline_field(baseline_json, "parallel_codec", "t8_compress_MBps");
+      const double base_d8 = baseline_field(baseline_json, "parallel_codec",
+                                            "t8_decompress_MBps");
+      const auto base_pc_crc = static_cast<std::uint32_t>(
+          baseline_field(baseline_json, "parallel_codec", "stream_crc32"));
+      if (base_c8 > 0) {
+        const auto& t1 = parallel->rows.front();
+        const auto& t8 = parallel->rows.back();
+        std::snprintf(buf, sizeof(buf),
+                      "    \"parallel_codec\": {\"compress_t1\": %.2f, "
+                      "\"compress_t8\": %.2f, \"decompress_t8\": %.2f, "
+                      "\"stream_identical\": %s},\n",
+                      base_c1 > 0 ? t1.compress_mbps / base_c1 : 0.0,
+                      t8.compress_mbps / base_c8,
+                      base_d8 > 0 ? t8.decompress_mbps / base_d8 : 0.0,
+                      base_pc_crc == parallel->stream_crc32 ? "true"
+                                                            : "false");
+        out << buf;
+      }
     }
     // Exposed-time speedup vs the recorded baseline's pipelined exchange.
     // A pre-overlap baseline has no overlap_alltoall block at all — omit
@@ -687,6 +882,28 @@ int main(int argc, char** argv) {
               overlap.serial_exposed_us, overlap.pipelined_exposed_us,
               overlap.exposed_reduction_pct, overlap.sim_exchange_speedup);
 
+  const ParallelCodecReport* parallel = nullptr;
+#if defined(DLCOMP_HAS_PARALLEL_CODEC)
+  const ParallelCodecReport parallel_report = measure_parallel_codec(reps);
+  parallel = &parallel_report;
+  for (const auto& row : parallel_report.rows) {
+    std::printf("parallel@%d   compress %8.1f MB/s  decompress %8.1f MB/s  "
+                "grow %lld%s\n",
+                row.threads, row.compress_mbps, row.decompress_mbps,
+                row.steady_grow_events,
+                row.threads == parallel_report.rows.front().threads
+                    ? (std::string("  (") + parallel_report.simd_isa + ", " +
+                       std::to_string(parallel_report.blocks) + " blocks, " +
+                       std::to_string(parallel_report.host_threads) +
+                       " host threads)")
+                          .c_str()
+                    : "");
+  }
+  std::printf("parallel     crc %10u  identical across widths: %s\n",
+              parallel_report.stream_crc32,
+              parallel_report.crc_identical ? "yes" : "NO");
+#endif
+
   const DataPipelineReport data_pipeline = measure_dataset_pipeline(reps);
   std::printf("dataset      convert %8.1f MB/s  read %10.1f MB/s  "
               "(%zu samples, %zu shards, grow %lld)\n",
@@ -701,7 +918,7 @@ int main(int argc, char** argv) {
               obs.steady_grow_events);
 
   write_json(out_path, label, input.size() * sizeof(float), reps, reports,
-             a2a, overlap, data_pipeline, obs, baseline_json);
+             a2a, overlap, parallel, data_pipeline, obs, baseline_json);
   std::cout << "wrote " << out_path << "\n";
 
   const std::string history_path = args.str("--history", "");

@@ -38,12 +38,14 @@
 #include "common/table_printer.hpp"
 #include "common/timer.hpp"
 #include "compress/format.hpp"
+#include "compress/kernels.hpp"
 #include "compress/registry.hpp"
 #include "core/offline_analyzer.hpp"
 #include "core/report_io.hpp"
 #include "core/trainer.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs_server.hpp"
 #include "obs/trace.hpp"
 #include "data/shard_converter.hpp"
@@ -443,6 +445,14 @@ int cmd_trace(int argc, char** argv) {
     throw Error("unknown --mode: " + mode + " (expected train|serve)");
   }
 
+  // Fold in process-global codec metrics -- the dispatched SIMD tier and
+  // blocked-codec block counters live in MetricsRegistry::global(), not
+  // in the scenario's own registry.
+  for (const auto& [name, value] :
+       MetricsRegistry::global().snapshot().values) {
+    metrics.set(name, value);
+  }
+
   tracer.export_chrome_trace(trace_path);
   std::ofstream os(metrics_path);
   if (!os.good()) throw Error("cannot open for writing: " + metrics_path);
@@ -470,6 +480,12 @@ int cmd_trace(int argc, char** argv) {
   manifest.config["codec"] = codec.empty() ? "none" : codec;
   manifest.config["eb"] = std::to_string(eb);
   manifest.config["seed"] = std::to_string(seed);
+  // Which SIMD tier the codec hot path dispatched to (DLCOMP_SIMD env
+  // override included), so `dlcomp obs diff` surfaces ISA changes between
+  // runs. Kept a value-class metric: cross-machine diffs report it as a
+  // change, not a regression.
+  manifest.config["simd_isa"] =
+      std::string(simd::isa_name(kernels::dispatched_isa()));
   if (mode == "train") {
     manifest.config["world"] = std::to_string(args.uint("--world", 8));
     manifest.config["iters"] = std::to_string(args.uint("--iters", 4));
