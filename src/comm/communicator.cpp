@@ -7,20 +7,51 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dlcomp {
+
+CommStats& CommStats::operator+=(const CommStats& other) noexcept {
+  alltoall_count += other.alltoall_count;
+  alltoall_wire_bytes += other.alltoall_wire_bytes;
+  allreduce_count += other.allreduce_count;
+  allreduce_wire_bytes += other.allreduce_wire_bytes;
+  allgather_count += other.allgather_count;
+  allgather_wire_bytes += other.allgather_wire_bytes;
+  broadcast_count += other.broadcast_count;
+  broadcast_wire_bytes += other.broadcast_wire_bytes;
+  barrier_count += other.barrier_count;
+  return *this;
+}
+
+void publish_comm_metrics(MetricsRegistry& registry, const CommStats& stats,
+                          std::uint64_t wire_bytes_sent) {
+  registry.counter("dlcomp_comm_alltoall_total").add(stats.alltoall_count);
+  registry.counter("dlcomp_comm_alltoall_wire_bytes_total")
+      .add(stats.alltoall_wire_bytes);
+  registry.counter("dlcomp_comm_allreduce_total").add(stats.allreduce_count);
+  registry.counter("dlcomp_comm_allreduce_wire_bytes_total")
+      .add(stats.allreduce_wire_bytes);
+  registry.counter("dlcomp_comm_allgather_total").add(stats.allgather_count);
+  registry.counter("dlcomp_comm_allgather_wire_bytes_total")
+      .add(stats.allgather_wire_bytes);
+  registry.counter("dlcomp_comm_broadcast_total").add(stats.broadcast_count);
+  registry.counter("dlcomp_comm_broadcast_wire_bytes_total")
+      .add(stats.broadcast_wire_bytes);
+  registry.counter("dlcomp_comm_barrier_total").add(stats.barrier_count);
+  registry.counter("dlcomp_comm_wire_bytes_sent_total").add(wire_bytes_sent);
+}
 
 namespace detail {
 
 CommContext::CommContext(int world_size, NetworkModel model)
     : world(world_size),
       net(model),
-      barrier(static_cast<std::size_t>(world_size)),
-      slots(static_cast<std::size_t>(world_size), nullptr),
-      size_slots(static_cast<std::size_t>(world_size), 0),
+      transport(world_size),
       clocks(static_cast<std::size_t>(world_size)),
-      wire_bytes_sent(static_cast<std::size_t>(world_size), 0) {
+      wire_bytes_sent(static_cast<std::size_t>(world_size), 0),
+      comm_stats(static_cast<std::size_t>(world_size)) {
   DLCOMP_CHECK(world_size >= 1);
   // Bind each per-rank clock to its sim-timeline trace track once; the
   // binding survives reset() across Cluster::run calls.
@@ -97,44 +128,87 @@ PendingCollective::Charge PendingCollective::wait() {
   return charge;
 }
 
-void Communicator::barrier() { ctx_.barrier.arrive_and_wait(); }
+void Communicator::barrier() {
+  transport_.barrier();
+  ++stats_.barrier_count;
+}
 
-void Communicator::charge_collective(const PhaseNames& names, double seconds) {
-  // Between the two barriers every rank's clock is quiescent (owners only
-  // mutate their clock after the second barrier), so scanning all clocks
-  // to find the slowest arrival is race-free.
-  ctx_.barrier.arrive_and_wait();
-  double latest = 0.0;
-  for (const auto& c : ctx_.clocks) latest = std::max(latest, c.now());
-  ctx_.barrier.arrive_and_wait();
+double Communicator::exchange_with_clock(
+    std::span<const std::uint64_t> meta,
+    std::span<const std::span<const std::byte>> send,
+    std::vector<std::uint64_t>& meta_out,
+    std::vector<std::vector<std::byte>>& recv_out, double not_before) {
+  const auto world = static_cast<std::size_t>(transport_.world());
 
-  clock().sync_to(names.wait, latest);
-  clock().advance(names.base, seconds);
+  std::vector<std::byte> control(sizeof(double) +
+                                 meta.size() * sizeof(std::uint64_t));
+  const double now = clock_.now();
+  std::memcpy(control.data(), &now, sizeof(now));
+  if (!meta.empty()) {
+    std::memcpy(control.data() + sizeof(double), meta.data(),
+                meta.size() * sizeof(std::uint64_t));
+  }
+
+  std::vector<std::vector<std::byte>> controls;
+  transport_.exchange(control, send, controls, recv_out);
+
+  // Every rank was quiescent between posting its control block and the
+  // exchange completing, so the snapshots are exactly the values the
+  // former shared-memory scan read; max() over them in rank order is the
+  // same double, bit for bit.
+  meta_out.resize(world * meta.size());
+  double latest = not_before;
+  for (std::size_t r = 0; r < world; ++r) {
+    DLCOMP_CHECK_MSG(controls[r].size() == control.size(),
+                     "collective control-block size mismatch across ranks"
+                     " -- SPMD call sites diverged");
+    double peer_now = 0.0;
+    std::memcpy(&peer_now, controls[r].data(), sizeof(peer_now));
+    latest = std::max(latest, peer_now);
+    if (!meta.empty()) {
+      std::memcpy(meta_out.data() + r * meta.size(),
+                  controls[r].data() + sizeof(double),
+                  meta.size() * sizeof(std::uint64_t));
+    }
+  }
+  return latest;
 }
 
 void Communicator::all_to_all(std::span<const float> send, std::span<float> recv,
                               std::size_t count_per_rank, std::string_view phase) {
-  const auto world = static_cast<std::size_t>(ctx_.world);
+  const auto world = static_cast<std::size_t>(transport_.world());
   DLCOMP_CHECK_MSG(send.size() == world * count_per_rank,
                    "all_to_all send size " << send.size() << " != world*count "
                                            << world * count_per_rank);
   DLCOMP_CHECK(recv.size() == send.size());
 
-  const auto me = static_cast<std::size_t>(rank_);
-  ctx_.slots[me] = send.data();
-  ctx_.barrier.arrive_and_wait();
+  const PhaseNames& names = interned_phase(phase);
+  const std::size_t block_bytes = count_per_rank * sizeof(float);
 
-  for (std::size_t src = 0; src < world; ++src) {
-    const auto* base = static_cast<const float*>(ctx_.slots[src]);
-    std::memcpy(recv.data() + src * count_per_rank,
-                base + me * count_per_rank, count_per_rank * sizeof(float));
+  const auto send_bytes = std::as_bytes(send);
+  std::vector<std::span<const std::byte>> spans(world);
+  for (std::size_t d = 0; d < world; ++d) {
+    spans[d] = send_bytes.subspan(d * block_bytes, block_bytes);
   }
-  ctx_.barrier.arrive_and_wait();
 
-  const std::size_t wire_bytes = (world - 1) * count_per_rank * sizeof(float);
-  ctx_.wire_bytes_sent[me] += wire_bytes;
-  charge_collective(interned_phase(phase),
-                    ctx_.net.alltoall_seconds(wire_bytes, ctx_.world));
+  std::vector<std::uint64_t> meta_out;
+  std::vector<std::vector<std::byte>> recv_out;
+  const double latest = exchange_with_clock({}, spans, meta_out, recv_out);
+  for (std::size_t src = 0; src < world; ++src) {
+    DLCOMP_CHECK_MSG(recv_out[src].size() == block_bytes,
+                     "all_to_all block size mismatch across ranks");
+    std::memcpy(recv.data() + src * count_per_rank, recv_out[src].data(),
+                block_bytes);
+  }
+
+  const std::size_t wire_bytes = (world - 1) * block_bytes;
+  wire_bytes_ += wire_bytes;
+  ++stats_.alltoall_count;
+  stats_.alltoall_wire_bytes += wire_bytes;
+
+  clock_.sync_to(names.wait, latest);
+  clock_.advance(names.base,
+                 net_.alltoall_seconds(wire_bytes, transport_.world()));
 }
 
 std::vector<std::vector<std::byte>> Communicator::all_to_all_v(
@@ -147,65 +221,68 @@ std::vector<std::vector<std::byte>> Communicator::all_to_all_v(
 PendingCollective Communicator::all_to_all_v_async(
     const std::vector<std::vector<std::byte>>& send, std::string_view phase,
     double not_before) {
-  const auto world = static_cast<std::size_t>(ctx_.world);
+  const auto world = static_cast<std::size_t>(transport_.world());
   DLCOMP_CHECK_MSG(send.size() == world,
                    "all_to_all_v needs one chunk per destination");
 
-  const auto me = static_cast<std::size_t>(rank_);
+  const auto me = static_cast<std::size_t>(rank());
   const PhaseNames& names = interned_phase(phase);
 
-  // Stage (2) of the paper's pipeline: exchange compressed sizes so peers
-  // can size their receive buffers. world*8 bytes per rank over the wire.
-  ctx_.slots[me] = send.data();
+  // Stage (2) of the paper's pipeline: the control block carries the
+  // compressed per-destination sizes, so peers can size receive buffers
+  // and every rank can reconstruct the full size matrix. world*8 bytes
+  // per rank over the wire.
+  std::vector<std::uint64_t> sizes(world);
+  std::vector<std::span<const std::byte>> spans(world);
   std::size_t send_wire = 0;
   for (std::size_t d = 0; d < world; ++d) {
+    sizes[d] = send[d].size();
+    spans[d] = std::span<const std::byte>(send[d]);
     if (d != me) send_wire += send[d].size();
   }
-  ctx_.size_slots[me] = send_wire;
-  ctx_.barrier.arrive_and_wait();
 
-  // Stage (3): move payloads. Every rank also computes the *global*
-  // bottleneck wire volume -- max over ranks of max(sent, received) -- so
-  // all ranks charge identical collective time. This is exact because the
-  // shared slots expose every rank's send vector. Clocks are quiescent in
-  // this window too (owners only mutate their own clock outside
-  // collectives), so the slowest-arrival scan shares the copy window's
-  // barrier pair: one pair per exchange instead of the former three.
-  std::vector<std::vector<std::byte>> recv(world);
+  // Stage (3): move payloads. Every rank computes the *global* bottleneck
+  // wire volume -- max over ranks of max(bytes sent, bytes received) --
+  // from the size matrix, so all ranks charge identical collective time.
+  std::vector<std::uint64_t> meta_out;
+  std::vector<std::vector<std::byte>> recv;
+  const double latest =
+      exchange_with_clock(sizes, spans, meta_out, recv, not_before);
+
   std::size_t bottleneck = 0;
   for (std::size_t src = 0; src < world; ++src) {
-    const auto* peer_send =
-        static_cast<const std::vector<std::byte>*>(ctx_.slots[src]);
-    recv[src] = peer_send[me];  // deep copy through shared memory
-    bottleneck = std::max(bottleneck, ctx_.size_slots[src]);
+    std::size_t src_wire = 0;
+    for (std::size_t d = 0; d < world; ++d) {
+      if (d != src) src_wire += static_cast<std::size_t>(meta_out[src * world + d]);
+    }
+    bottleneck = std::max(bottleneck, src_wire);
   }
   for (std::size_t dst = 0; dst < world; ++dst) {
     std::size_t recv_wire = 0;
     for (std::size_t src = 0; src < world; ++src) {
-      if (src == dst) continue;
-      const auto* peer_send =
-          static_cast<const std::vector<std::byte>*>(ctx_.slots[src]);
-      recv_wire += peer_send[dst].size();
+      if (src != dst) {
+        recv_wire += static_cast<std::size_t>(meta_out[src * world + dst]);
+      }
     }
     bottleneck = std::max(bottleneck, recv_wire);
   }
-  double latest = not_before;
-  for (const auto& c : ctx_.clocks) latest = std::max(latest, c.now());
-  ctx_.barrier.arrive_and_wait();
 
-  ctx_.wire_bytes_sent[me] += send_wire + (world - 1) * sizeof(std::uint64_t);
+  const std::size_t wire_bytes = send_wire + (world - 1) * sizeof(std::uint64_t);
+  wire_bytes_ += wire_bytes;
+  ++stats_.alltoall_count;
+  stats_.alltoall_wire_bytes += wire_bytes;
 
   PendingCollective pending;
-  pending.clock_ = &clock();
+  pending.clock_ = &clock_;
   pending.names_ = &names;
-  pending.issue_ = clock().now();
+  pending.issue_ = clock_.now();
   pending.start_ = latest;
   pending.segments_[0] = {
       &names.metadata,
-      ctx_.net.alltoall_seconds((world - 1) * sizeof(std::uint64_t),
-                                ctx_.world)};
-  pending.segments_[1] = {&names.base,
-                          ctx_.net.alltoall_seconds(bottleneck, ctx_.world)};
+      net_.alltoall_seconds((world - 1) * sizeof(std::uint64_t),
+                            transport_.world())};
+  pending.segments_[1] = {
+      &names.base, net_.alltoall_seconds(bottleneck, transport_.world())};
   pending.segment_count_ = 2;
   pending.recv_ = std::move(recv);
   pending.waited_ = false;
@@ -219,50 +296,52 @@ void Communicator::all_reduce_sum(std::span<float> data, std::string_view phase)
 
 PendingCollective Communicator::all_reduce_sum_async(std::span<float> data,
                                                      std::string_view phase) {
-  const auto world = static_cast<std::size_t>(ctx_.world);
-  const auto me = static_cast<std::size_t>(rank_);
+  const auto world = static_cast<std::size_t>(transport_.world());
   const PhaseNames& names = interned_phase(phase);
 
-  ctx_.slots[me] = data.data();
-  ctx_.size_slots[me] = data.size();
-  ctx_.barrier.arrive_and_wait();
+  // Every rank contributes its full buffer to every peer; each rank then
+  // accumulates in rank order, so results are bitwise identical on all
+  // ranks and across backends (same addends, same order).
+  const std::uint64_t count = data.size();
+  const auto bytes_span = std::as_bytes(std::span<const float>(data));
+  std::vector<std::span<const std::byte>> spans(world, bytes_span);
+
+  std::vector<std::uint64_t> meta_out;
+  std::vector<std::vector<std::byte>> recv_out;
+  const double latest =
+      exchange_with_clock(std::span(&count, 1), spans, meta_out, recv_out);
 
   for (std::size_t r = 0; r < world; ++r) {
-    DLCOMP_CHECK_MSG(ctx_.size_slots[r] == data.size(),
+    DLCOMP_CHECK_MSG(meta_out[r] == count,
                      "all_reduce_sum size mismatch across ranks");
   }
 
-  // Deterministic accumulation in rank order into a private buffer; the
-  // in-place write happens only after the second barrier so peers never
-  // read half-updated data. The slowest-arrival scan shares this barrier
-  // pair (clocks are quiescent here, see all_to_all_v_async).
   std::vector<float> acc(data.size(), 0.0f);
   for (std::size_t src = 0; src < world; ++src) {
-    const auto* peer = static_cast<const float*>(ctx_.slots[src]);
+    const auto* peer = reinterpret_cast<const float*>(recv_out[src].data());
     for (std::size_t i = 0; i < data.size(); ++i) acc[i] += peer[i];
   }
-  double latest = 0.0;
-  for (const auto& c : ctx_.clocks) latest = std::max(latest, c.now());
-  ctx_.barrier.arrive_and_wait();
-
   std::copy(acc.begin(), acc.end(), data.begin());
 
   // Ring all-reduce moves ~2*(P-1)/P of the buffer over each rank's link.
   const std::size_t bytes = data.size() * sizeof(float);
   const double ring_factor =
-      ctx_.world <= 1 ? 0.0
-                      : 2.0 * static_cast<double>(ctx_.world - 1) /
-                            static_cast<double>(ctx_.world);
-  ctx_.wire_bytes_sent[me] +=
+      world <= 1 ? 0.0
+                 : 2.0 * static_cast<double>(world - 1) /
+                       static_cast<double>(world);
+  const auto wire_bytes =
       static_cast<std::size_t>(ring_factor * static_cast<double>(bytes));
+  wire_bytes_ += wire_bytes;
+  ++stats_.allreduce_count;
+  stats_.allreduce_wire_bytes += wire_bytes;
 
   PendingCollective pending;
-  pending.clock_ = &clock();
+  pending.clock_ = &clock_;
   pending.names_ = &names;
-  pending.issue_ = clock().now();
+  pending.issue_ = clock_.now();
   pending.start_ = latest;
-  pending.segments_[0] = {&names.base,
-                          ctx_.net.allreduce_seconds(bytes, ctx_.world)};
+  pending.segments_[0] = {
+      &names.base, net_.allreduce_seconds(bytes, transport_.world())};
   pending.segment_count_ = 1;
   pending.waited_ = false;
   return pending;
@@ -270,65 +349,88 @@ PendingCollective Communicator::all_reduce_sum_async(std::span<float> data,
 
 std::vector<std::uint64_t> Communicator::all_gather_u64(std::uint64_t value,
                                                         std::string_view phase) {
-  const auto world = static_cast<std::size_t>(ctx_.world);
-  const auto me = static_cast<std::size_t>(rank_);
+  const auto world = static_cast<std::size_t>(transport_.world());
+  const PhaseNames& names = interned_phase(phase);
 
-  ctx_.size_slots[me] = value;
-  ctx_.barrier.arrive_and_wait();
-  std::vector<std::uint64_t> out(ctx_.size_slots.begin(), ctx_.size_slots.end());
-  ctx_.barrier.arrive_and_wait();
+  std::vector<std::span<const std::byte>> spans(world);  // no payload
+  std::vector<std::uint64_t> out;
+  std::vector<std::vector<std::byte>> recv_out;
+  const double latest =
+      exchange_with_clock(std::span(&value, 1), spans, out, recv_out);
 
-  ctx_.wire_bytes_sent[me] += sizeof(std::uint64_t) * (world - 1);
-  charge_collective(interned_phase(phase),
-                    ctx_.net.allgather_seconds(sizeof(std::uint64_t), ctx_.world));
+  wire_bytes_ += sizeof(std::uint64_t) * (world - 1);
+  ++stats_.allgather_count;
+  stats_.allgather_wire_bytes += sizeof(std::uint64_t) * (world - 1);
+
+  clock_.sync_to(names.wait, latest);
+  clock_.advance(names.base, net_.allgather_seconds(sizeof(std::uint64_t),
+                                                    transport_.world()));
   return out;
 }
 
 void Communicator::all_gather(std::span<const float> send, std::span<float> recv,
                               std::string_view phase) {
-  const auto world = static_cast<std::size_t>(ctx_.world);
+  const auto world = static_cast<std::size_t>(transport_.world());
   DLCOMP_CHECK(recv.size() == send.size() * world);
-  const auto me = static_cast<std::size_t>(rank_);
+  const PhaseNames& names = interned_phase(phase);
 
-  ctx_.slots[me] = send.data();
-  ctx_.size_slots[me] = send.size();
-  ctx_.barrier.arrive_and_wait();
-  for (std::size_t src = 0; src < world; ++src) {
-    DLCOMP_CHECK(ctx_.size_slots[src] == send.size());
-    const auto* peer = static_cast<const float*>(ctx_.slots[src]);
-    std::memcpy(recv.data() + src * send.size(), peer,
-                send.size() * sizeof(float));
-  }
-  ctx_.barrier.arrive_and_wait();
+  const std::uint64_t count = send.size();
+  std::vector<std::span<const std::byte>> spans(world, std::as_bytes(send));
+
+  std::vector<std::uint64_t> meta_out;
+  std::vector<std::vector<std::byte>> recv_out;
+  const double latest =
+      exchange_with_clock(std::span(&count, 1), spans, meta_out, recv_out);
 
   const std::size_t bytes = send.size() * sizeof(float);
-  ctx_.wire_bytes_sent[me] += bytes * (world - 1);
-  charge_collective(interned_phase(phase),
-                    ctx_.net.allgather_seconds(bytes, ctx_.world));
+  for (std::size_t src = 0; src < world; ++src) {
+    DLCOMP_CHECK(meta_out[src] == count);
+    std::memcpy(recv.data() + src * send.size(), recv_out[src].data(), bytes);
+  }
+
+  wire_bytes_ += bytes * (world - 1);
+  ++stats_.allgather_count;
+  stats_.allgather_wire_bytes += bytes * (world - 1);
+
+  clock_.sync_to(names.wait, latest);
+  clock_.advance(names.base,
+                 net_.allgather_seconds(bytes, transport_.world()));
 }
 
 void Communicator::broadcast(std::span<float> data, int root, std::string_view phase) {
-  const auto world = static_cast<std::size_t>(ctx_.world);
-  DLCOMP_CHECK(root >= 0 && root < ctx_.world);
-  const auto me = static_cast<std::size_t>(rank_);
+  const auto world = static_cast<std::size_t>(transport_.world());
+  DLCOMP_CHECK(root >= 0 && root < transport_.world());
+  const PhaseNames& names = interned_phase(phase);
 
-  if (rank_ == root) ctx_.slots[static_cast<std::size_t>(root)] = data.data();
-  ctx_.size_slots[me] = data.size();
-  ctx_.barrier.arrive_and_wait();
-  for (std::size_t r = 0; r < world; ++r) {
-    DLCOMP_CHECK(ctx_.size_slots[r] == data.size());
-  }
-  if (rank_ != root) {
-    const auto* src =
-        static_cast<const float*>(ctx_.slots[static_cast<std::size_t>(root)]);
-    std::memcpy(data.data(), src, data.size() * sizeof(float));
-  }
-  ctx_.barrier.arrive_and_wait();
-
+  const std::uint64_t count = data.size();
   const std::size_t bytes = data.size() * sizeof(float);
-  if (rank_ == root) ctx_.wire_bytes_sent[me] += bytes;
-  charge_collective(interned_phase(phase),
-                    ctx_.net.broadcast_seconds(bytes, ctx_.world));
+  std::vector<std::span<const std::byte>> spans(world);
+  if (rank() == root) {
+    const auto payload = std::as_bytes(std::span<const float>(data));
+    std::fill(spans.begin(), spans.end(), payload);
+  }
+
+  std::vector<std::uint64_t> meta_out;
+  std::vector<std::vector<std::byte>> recv_out;
+  const double latest =
+      exchange_with_clock(std::span(&count, 1), spans, meta_out, recv_out);
+
+  for (std::size_t r = 0; r < world; ++r) {
+    DLCOMP_CHECK(meta_out[r] == count);
+  }
+  if (rank() != root) {
+    const auto& payload = recv_out[static_cast<std::size_t>(root)];
+    DLCOMP_CHECK(payload.size() == bytes);
+    std::memcpy(data.data(), payload.data(), bytes);
+  }
+
+  if (rank() == root) wire_bytes_ += bytes;
+  ++stats_.broadcast_count;
+  if (rank() == root) stats_.broadcast_wire_bytes += bytes;
+
+  clock_.sync_to(names.wait, latest);
+  clock_.advance(names.base,
+                 net_.broadcast_seconds(bytes, transport_.world()));
 }
 
 Cluster::Cluster(int world_size, NetworkModel model)
@@ -338,6 +440,7 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
   DLCOMP_CHECK(fn != nullptr);
   for (auto& c : ctx_.clocks) c.reset();
   std::fill(ctx_.wire_bytes_sent.begin(), ctx_.wire_bytes_sent.end(), 0);
+  std::fill(ctx_.comm_stats.begin(), ctx_.comm_stats.end(), CommStats{});
 
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -349,7 +452,10 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
       // Wall spans recorded on this thread group under "rank r" in the
       // exported trace; the binding dies with the thread.
       trace_bind_thread_rank(r);
-      Communicator comm(ctx_, r);
+      const auto idx = static_cast<std::size_t>(r);
+      SimTransport endpoint(ctx_.transport, r);
+      Communicator comm(endpoint, ctx_.net, ctx_.clocks[idx],
+                        ctx_.wire_bytes_sent[idx], ctx_.comm_stats[idx]);
       try {
         fn(comm);
       } catch (const AbortedError&) {
@@ -359,14 +465,14 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
           std::lock_guard lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
-        ctx_.barrier.abort();
+        ctx_.transport.barrier().abort();
       }
     });
   }
   for (auto& t : threads) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
-  DLCOMP_CHECK_MSG(!ctx_.barrier.aborted(),
+  DLCOMP_CHECK_MSG(!ctx_.transport.barrier().aborted(),
                    "cluster aborted without a recorded exception");
 }
 

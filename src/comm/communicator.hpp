@@ -1,23 +1,29 @@
 #pragma once
 
 /// \file communicator.hpp
-/// SPMD cluster and per-rank communicator. Ranks are threads; collectives
-/// rendezvous through shared slots guarded by an abortable barrier.
-/// Payload movement is real (memcpy through shared memory); wire time is
-/// modelled by NetworkModel and accumulated on per-rank SimClocks, with
-/// per-phase attribution so benches can reproduce the paper's time
-/// breakdowns. See DESIGN.md "Hardware / data substitutions".
+/// SPMD cluster and per-rank communicator. The Communicator owns the
+/// *semantics* of every collective — deterministic data movement, the
+/// NetworkModel charge on the rank's SimClock, per-phase attribution —
+/// while the *mechanics* of moving bytes live behind the Transport
+/// interface: SimTransport (ranks are threads, payload is a memcpy
+/// through shared slots) or TcpTransport (ranks are processes, payload
+/// is framed messages over localhost sockets). Every collective reduces
+/// to one Transport::exchange carrying a control block of
+/// {clock snapshot, payload sizes}; because ranks are quiescent between
+/// a collective's rendezvous points, reconstructing the slowest-arrival
+/// time and the bottleneck wire volume from those snapshots is bitwise
+/// identical to the former shared-memory scan — which is what keeps
+/// simulated clocks, loss trajectories and wire CRCs byte-identical
+/// across backends. See DESIGN.md "Transport backends and calibration".
 ///
 /// Collectives come in blocking and nonblocking flavors. A nonblocking
-/// call moves the payload immediately (ranks are threads, so real data
-/// motion is instantaneous relative to the simulated wire) but defers the
-/// *clock* charge to PendingCollective::wait(): compute charged between
-/// issue and wait overlaps the modelled wire time, and only the exposed
-/// remainder stalls the rank. See DESIGN.md "Overlap and the simulated
-/// clock".
+/// call moves the payload immediately (real data motion completes inside
+/// the exchange) but defers the *clock* charge to
+/// PendingCollective::wait(): compute charged between issue and wait
+/// overlaps the modelled wire time, and only the exposed remainder
+/// stalls the rank. See DESIGN.md "Overlap and the simulated clock".
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -26,30 +32,53 @@
 #include <string_view>
 #include <vector>
 
-#include "comm/barrier.hpp"
 #include "comm/network_model.hpp"
 #include "comm/phase_names.hpp"
+#include "comm/sim_transport.hpp"
+#include "comm/transport.hpp"
 #include "parallel/sim_clock.hpp"
 
 namespace dlcomp {
 
 class Communicator;
+class MetricsRegistry;
+
+/// Per-collective traffic accounting for one rank: how many of each
+/// collective ran and how many *modelled* wire bytes each family pushed
+/// (the same modelled totals wire_bytes_sent sums, so the numbers are
+/// backend-independent). Published as dlcomp_comm_* metrics.
+struct CommStats {
+  std::uint64_t alltoall_count = 0;
+  std::uint64_t alltoall_wire_bytes = 0;
+  std::uint64_t allreduce_count = 0;
+  std::uint64_t allreduce_wire_bytes = 0;
+  std::uint64_t allgather_count = 0;
+  std::uint64_t allgather_wire_bytes = 0;
+  std::uint64_t broadcast_count = 0;
+  std::uint64_t broadcast_wire_bytes = 0;
+  std::uint64_t barrier_count = 0;
+
+  CommStats& operator+=(const CommStats& other) noexcept;
+};
+
+/// Registers one rank's comm accounting as dlcomp_comm_* counters (plus
+/// the modelled wire total) in `registry`. Counters accumulate, so
+/// summing ranks is just calling this once per rank.
+void publish_comm_metrics(MetricsRegistry& registry, const CommStats& stats,
+                          std::uint64_t wire_bytes_sent);
 
 namespace detail {
 
-/// Shared state for one cluster run. Slot discipline: a collective posts
-/// into its rank's slot, barriers, reads peers' slots, barriers again
-/// before anyone may reuse the slots.
+/// Shared state for one thread-rank cluster run.
 struct CommContext {
   explicit CommContext(int world_size, NetworkModel model);
 
   const int world;
   const NetworkModel net;
-  AbortableBarrier barrier;
-  std::vector<const void*> slots;        // one generic post per rank
-  std::vector<std::size_t> size_slots;   // per-rank byte counts for timing
+  SimTransportGroup transport;
   std::vector<SimClock> clocks;
-  std::vector<std::uint64_t> wire_bytes_sent;  // per-rank traffic totals
+  std::vector<std::uint64_t> wire_bytes_sent;  // per-rank modelled traffic
+  std::vector<CommStats> comm_stats;
 };
 
 }  // namespace detail
@@ -135,31 +164,47 @@ class PendingCollective {
   bool waited_ = true;
 };
 
-/// Per-rank handle used inside Cluster::run callbacks. Not copyable; each
-/// rank owns exactly one for the duration of the SPMD region.
+/// Per-rank handle used inside SPMD rank bodies. Not copyable; each rank
+/// owns exactly one for the duration of the SPMD region. The transport
+/// endpoint decides *how* bytes move; everything simulated (clock,
+/// NetworkModel charges, wire accounting) lives here and is therefore
+/// identical across backends.
 class Communicator {
  public:
-  Communicator(detail::CommContext& ctx, int rank) : ctx_(ctx), rank_(rank) {}
+  Communicator(Transport& transport, const NetworkModel& net, SimClock& clock,
+               std::uint64_t& wire_bytes_sent, CommStats& stats)
+      : transport_(transport),
+        net_(net),
+        clock_(clock),
+        wire_bytes_(wire_bytes_sent),
+        stats_(stats) {}
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
 
-  [[nodiscard]] int rank() const noexcept { return rank_; }
-  [[nodiscard]] int world() const noexcept { return ctx_.world; }
-  [[nodiscard]] const NetworkModel& network() const noexcept { return ctx_.net; }
+  [[nodiscard]] int rank() const noexcept { return transport_.rank(); }
+  [[nodiscard]] int world() const noexcept { return transport_.world(); }
+  [[nodiscard]] const NetworkModel& network() const noexcept { return net_; }
+
+  /// The transport endpoint underneath (for backend-specific queries:
+  /// shared_memory(), real traffic stats).
+  [[nodiscard]] Transport& transport() noexcept { return transport_; }
 
   /// Per-rank simulated clock (advanced by collectives; compute phases
   /// may advance it explicitly via advance_compute).
-  [[nodiscard]] SimClock& clock() noexcept { return ctx_.clocks[static_cast<std::size_t>(rank_)]; }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
 
   /// Total bytes this rank has pushed over the simulated wire.
   [[nodiscard]] std::uint64_t wire_bytes_sent() const noexcept {
-    return ctx_.wire_bytes_sent[static_cast<std::size_t>(rank_)];
+    return wire_bytes_;
   }
+
+  /// Per-collective accounting for this rank.
+  [[nodiscard]] const CommStats& comm_stats() const noexcept { return stats_; }
 
   /// Attributes modelled (non-communication) time to this rank's clock.
   void advance_compute(std::string_view phase, double seconds) {
-    clock().advance(phase, seconds);
+    clock_.advance(phase, seconds);
   }
 
   /// Barrier across all ranks (no simulated time charged).
@@ -175,8 +220,7 @@ class Communicator {
   /// result[s] is the chunk rank s sent here. This models the paper's
   /// stage (2)+(3): chunk sizes are exchanged first (metadata all-to-all,
   /// charged separately to phase "<phase>/metadata"), then payloads move.
-  /// One barrier pair per exchange; equivalent to all_to_all_v_async
-  /// immediately waited.
+  /// Equivalent to all_to_all_v_async immediately waited.
   [[nodiscard]] std::vector<std::vector<std::byte>> all_to_all_v(
       const std::vector<std::vector<std::byte>>& send, std::string_view phase);
 
@@ -212,16 +256,28 @@ class Communicator {
   void broadcast(std::span<float> data, int root, std::string_view phase);
 
  private:
-  /// Synchronizes clocks to the slowest rank (charged to "<phase>/wait")
-  /// then advances all by `seconds` charged to `phase`. Must be called by
-  /// every rank with the same `seconds`.
-  void charge_collective(const PhaseNames& names, double seconds);
+  /// One Transport::exchange with the standard control block
+  /// {f64 clock_now, u64 meta[meta_count]}. Returns every rank's decoded
+  /// control words in `meta_out` (world rows of meta_count u64s, rank
+  /// order) and the slowest rank's clock (seeded by `not_before`) —
+  /// bitwise equal to the former shared-memory clock scan, because max()
+  /// over the same doubles in rank order is order-stable.
+  double exchange_with_clock(std::span<const std::uint64_t> meta,
+                             std::span<const std::span<const std::byte>> send,
+                             std::vector<std::uint64_t>& meta_out,
+                             std::vector<std::vector<std::byte>>& recv_out,
+                             double not_before = 0.0);
 
-  detail::CommContext& ctx_;
-  const int rank_;
+  Transport& transport_;
+  const NetworkModel net_;
+  SimClock& clock_;
+  std::uint64_t& wire_bytes_;
+  CommStats& stats_;
 };
 
-/// Owns the shared context and runs SPMD regions on one thread per rank.
+/// Owns the shared context and runs SPMD regions on one thread per rank
+/// over the SimTransport backend. (Multi-process runs build a TcpRuntime
+/// per rank instead; the rank body code is identical.)
 class Cluster {
  public:
   explicit Cluster(int world_size, NetworkModel model = {});
@@ -240,6 +296,11 @@ class Cluster {
   /// Per-rank wire traffic from the most recent run.
   [[nodiscard]] const std::vector<std::uint64_t>& wire_bytes_sent() const noexcept {
     return ctx_.wire_bytes_sent;
+  }
+
+  /// Per-rank collective accounting from the most recent run.
+  [[nodiscard]] const std::vector<CommStats>& comm_stats() const noexcept {
+    return ctx_.comm_stats;
   }
 
   /// Maximum simulated time across ranks from the most recent run.

@@ -1,0 +1,52 @@
+#include "comm/sim_transport.hpp"
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+SimTransportGroup::SimTransportGroup(int world_size)
+    : world_(world_size),
+      barrier_(static_cast<std::size_t>(world_size)),
+      slots_(static_cast<std::size_t>(world_size)) {
+  DLCOMP_CHECK(world_size >= 1);
+}
+
+void SimTransport::exchange(
+    std::span<const std::byte> control,
+    std::span<const std::span<const std::byte>> send,
+    std::vector<std::vector<std::byte>>& controls_out,
+    std::vector<std::vector<std::byte>>& recv_out) {
+  const auto world = static_cast<std::size_t>(group_.world());
+  DLCOMP_CHECK(send.size() == world);
+  const auto me = static_cast<std::size_t>(rank_);
+
+  group_.slots_[me] = {control.data(), control.size(), send.data()};
+  group_.barrier_.arrive_and_wait();
+
+  // Between the barriers every rank's post is stable, so reading peers'
+  // control blocks and the chunks addressed to this rank is race-free.
+  controls_out.resize(world);
+  recv_out.resize(world);
+  for (std::size_t src = 0; src < world; ++src) {
+    const SimTransportGroup::Post& post = group_.slots_[src];
+    controls_out[src].assign(post.control, post.control + post.control_size);
+    const std::span<const std::byte>& chunk = post.sends[me];
+    recv_out[src].assign(chunk.begin(), chunk.end());
+    if (src != me) {
+      stats_.bytes_received += post.control_size + chunk.size();
+    }
+  }
+  group_.barrier_.arrive_and_wait();
+
+  ++stats_.exchanges;
+  for (std::size_t d = 0; d < world; ++d) {
+    if (d != me) stats_.bytes_sent += control.size() + send[d].size();
+  }
+}
+
+void SimTransport::barrier() {
+  group_.barrier_.arrive_and_wait();
+  ++stats_.barriers;
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file sim_transport.hpp
+/// Thread-rank transport: the original shared-slot + abortable-barrier
+/// collective mechanics, extracted from the Communicator so they sit
+/// behind the Transport interface. Payload movement is a memcpy through
+/// shared memory; the slot discipline is unchanged -- post, barrier,
+/// read peers' posts, barrier.
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/barrier.hpp"
+#include "comm/transport.hpp"
+
+namespace dlcomp {
+
+/// Shared state for one thread-rank cluster: one post slot per rank and
+/// the barrier guarding them. Endpoints (SimTransport) are cheap views.
+class SimTransportGroup {
+ public:
+  explicit SimTransportGroup(int world_size);
+
+  [[nodiscard]] int world() const noexcept { return world_; }
+
+  /// The barrier, exposed so Cluster::run can abort it when a rank
+  /// throws (waking every blocked peer with AbortedError).
+  [[nodiscard]] AbortableBarrier& barrier() noexcept { return barrier_; }
+
+ private:
+  friend class SimTransport;
+
+  /// What one rank posts for one exchange: pointers into its stack.
+  struct Post {
+    const std::byte* control = nullptr;
+    std::size_t control_size = 0;
+    const std::span<const std::byte>* sends = nullptr;  // world() spans
+  };
+
+  const int world_;
+  AbortableBarrier barrier_;
+  std::vector<Post> slots_;
+};
+
+/// Per-rank endpoint over a SimTransportGroup.
+class SimTransport final : public Transport {
+ public:
+  SimTransport(SimTransportGroup& group, int rank)
+      : group_(group), rank_(rank) {}
+
+  [[nodiscard]] int world() const noexcept override { return group_.world(); }
+  [[nodiscard]] int rank() const noexcept override { return rank_; }
+  [[nodiscard]] bool shared_memory() const noexcept override { return true; }
+
+  void exchange(std::span<const std::byte> control,
+                std::span<const std::span<const std::byte>> send,
+                std::vector<std::vector<std::byte>>& controls_out,
+                std::vector<std::vector<std::byte>>& recv_out) override;
+
+  void barrier() override;
+
+ private:
+  SimTransportGroup& group_;
+  const int rank_;
+};
+
+}  // namespace dlcomp

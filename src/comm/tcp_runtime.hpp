@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file tcp_runtime.hpp
+/// One process-rank's worth of the comm stack over the TCP backend: the
+/// transport endpoint plus the per-rank state Cluster::run would have
+/// provided (SimClock, wire accounting, CommStats) and a Communicator
+/// bound to all of it. The same rank body that runs under Cluster runs
+/// against runtime.comm() unchanged -- that is the point of the
+/// Transport abstraction.
+
+#include <cstdint>
+
+#include "comm/communicator.hpp"
+#include "comm/tcp_transport.hpp"
+
+namespace dlcomp {
+
+class TcpRuntime {
+ public:
+  explicit TcpRuntime(TcpTransportConfig config, NetworkModel model = {})
+      : transport_(std::move(config)),
+        comm_(transport_, model, clock_, wire_bytes_, stats_) {
+    clock_.set_trace_rank(transport_.rank());
+  }
+
+  [[nodiscard]] Communicator& comm() noexcept { return comm_; }
+  [[nodiscard]] TcpTransport& transport() noexcept { return transport_; }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] std::uint64_t wire_bytes_sent() const noexcept {
+    return wire_bytes_;
+  }
+  [[nodiscard]] const CommStats& comm_stats() const noexcept { return stats_; }
+
+ private:
+  TcpTransport transport_;
+  SimClock clock_;
+  std::uint64_t wire_bytes_ = 0;
+  CommStats stats_;
+  Communicator comm_;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,366 @@
+#include "comm/tcp_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+namespace {
+
+constexpr std::uint32_t kHelloTag = 0x4F4C4548u;  // "HELO"
+constexpr std::uint32_t kPortsTag = 0x54524F50u;  // "PORT"
+
+/// Rendezvous hello: who is connecting, and (to rank 0 only) where this
+/// rank's own mesh listener lives.
+struct Hello {
+  std::uint32_t rank = 0;
+  std::uint32_t listen_port = 0;
+};
+
+int accept_checked(int listen_fd, const char* who) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    throw Error(std::string("tcp transport: accept failed during ") + who +
+                " rendezvous: " + std::strerror(errno));
+  }
+}
+
+void send_frame_blocking(int fd, std::uint32_t tag,
+                         std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  net::frame_append(out, tag, payload, {});
+  net::write_all(fd, out.data(), out.size());
+}
+
+std::vector<std::byte> recv_frame_blocking(int fd, std::uint32_t expected_tag,
+                                           const char* what) {
+  std::byte header[net::kFrameHeaderBytes];
+  net::read_exact(fd, header, sizeof header);
+  std::uint32_t magic = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t length = 0;
+  std::memcpy(&magic, header, sizeof(magic));
+  std::memcpy(&tag, header + 4, sizeof(tag));
+  std::memcpy(&length, header + 8, sizeof(length));
+  if (magic != net::kFrameMagic || tag != expected_tag) {
+    throw Error(std::string("tcp transport: malformed ") + what +
+                " frame during rendezvous");
+  }
+  std::vector<std::byte> payload(static_cast<std::size_t>(length));
+  if (!payload.empty()) net::read_exact(fd, payload.data(), payload.size());
+  return payload;
+}
+
+Hello parse_hello(std::span<const std::byte> payload, int world) {
+  Hello hello{};
+  if (payload.size() != sizeof(Hello)) {
+    throw Error("tcp transport: hello frame has wrong size");
+  }
+  std::memcpy(&hello, payload.data(), sizeof(hello));
+  if (hello.rank >= static_cast<std::uint32_t>(world)) {
+    throw Error("tcp transport: hello from out-of-range rank " +
+                std::to_string(hello.rank));
+  }
+  return hello;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : config_(std::move(config)) {
+  DLCOMP_CHECK(config_.world >= 1);
+  DLCOMP_CHECK(config_.rank >= 0 && config_.rank < config_.world);
+  peers_.resize(static_cast<std::size_t>(config_.world));
+  if (config_.world > 1) {
+    DLCOMP_CHECK(config_.port != 0 || config_.inherited_listen_fd >= 0);
+    rendezvous();
+  } else if (config_.inherited_listen_fd >= 0) {
+    net::close_fd(config_.inherited_listen_fd);
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (Peer& peer : peers_) net::close_fd(peer.fd);
+}
+
+void TcpTransport::rendezvous() {
+  const int world = config_.world;
+  const int me = config_.rank;
+
+  if (me == 0) {
+    int listen_fd = config_.inherited_listen_fd;
+    config_.inherited_listen_fd = -1;
+    if (listen_fd < 0) {
+      listen_fd = net::tcp_listen(config_.address, config_.port, world);
+    }
+    std::vector<std::uint32_t> ports(static_cast<std::size_t>(world), 0);
+    try {
+      for (int i = 1; i < world; ++i) {
+        const int fd = accept_checked(listen_fd, "root");
+        const Hello hello =
+            parse_hello(recv_frame_blocking(fd, kHelloTag, "hello"), world);
+        Peer& peer = peers_[hello.rank];
+        if (hello.rank == 0 || peer.fd >= 0) {
+          ::close(fd);
+          throw Error("tcp transport: duplicate hello from rank " +
+                      std::to_string(hello.rank));
+        }
+        peer.fd = fd;
+        ports[hello.rank] = hello.listen_port;
+      }
+    } catch (...) {
+      net::close_fd(listen_fd);
+      throw;
+    }
+    net::close_fd(listen_fd);
+    const auto table = std::as_bytes(std::span<const std::uint32_t>(ports));
+    for (int r = 1; r < world; ++r) {
+      send_frame_blocking(peers_[r].fd, kPortsTag, table);
+    }
+  } else {
+    // Bind the mesh listener *before* contacting rank 0, so that by the
+    // time any peer learns this rank's port from the table, the SYN
+    // backlog is already accepting -- higher ranks can connect before
+    // this rank reaches its accept loop, making the mesh deadlock-free.
+    int my_listen = net::tcp_listen(config_.address, 0, world);
+    try {
+      const std::uint16_t my_port = net::bound_port(my_listen);
+      const int root_fd = net::tcp_connect_retry(config_.address, config_.port,
+                                                 config_.connect_timeout_s);
+      peers_[0].fd = root_fd;
+      const Hello hello{static_cast<std::uint32_t>(me), my_port};
+      send_frame_blocking(root_fd, kHelloTag,
+                          std::as_bytes(std::span(&hello, 1)));
+
+      const std::vector<std::byte> raw =
+          recv_frame_blocking(root_fd, kPortsTag, "port-table");
+      if (raw.size() != sizeof(std::uint32_t) * static_cast<std::size_t>(world)) {
+        throw Error("tcp transport: port table has wrong size");
+      }
+      std::vector<std::uint32_t> ports(static_cast<std::size_t>(world));
+      std::memcpy(ports.data(), raw.data(), raw.size());
+
+      for (int r = 1; r < me; ++r) {
+        const int fd =
+            net::tcp_connect_retry(config_.address,
+                                   static_cast<std::uint16_t>(ports[r]),
+                                   config_.connect_timeout_s);
+        const Hello mesh_hello{static_cast<std::uint32_t>(me), 0};
+        send_frame_blocking(fd, kHelloTag,
+                            std::as_bytes(std::span(&mesh_hello, 1)));
+        peers_[r].fd = fd;
+      }
+      for (int i = me + 1; i < world; ++i) {
+        const int fd = accept_checked(my_listen, "mesh");
+        const Hello mesh_hello =
+            parse_hello(recv_frame_blocking(fd, kHelloTag, "hello"), world);
+        if (static_cast<int>(mesh_hello.rank) <= me ||
+            peers_[mesh_hello.rank].fd >= 0) {
+          throw Error("tcp transport: unexpected mesh hello from rank " +
+                      std::to_string(mesh_hello.rank));
+        }
+        peers_[mesh_hello.rank].fd = fd;
+      }
+    } catch (...) {
+      net::close_fd(my_listen);
+      throw;
+    }
+    net::close_fd(my_listen);
+  }
+
+  for (int r = 0; r < world; ++r) {
+    if (r == me) continue;
+    net::set_nodelay(peers_[r].fd);
+    net::set_nonblocking(peers_[r].fd);
+    peers_[r].decoder = net::FrameDecoder(config_.max_frame_bytes);
+  }
+}
+
+void TcpTransport::exchange(
+    std::span<const std::byte> control,
+    std::span<const std::span<const std::byte>> send,
+    std::vector<std::vector<std::byte>>& controls_out,
+    std::vector<std::vector<std::byte>>& recv_out) {
+  const auto world = static_cast<std::size_t>(config_.world);
+  DLCOMP_CHECK(send.size() == world);
+  const auto me = static_cast<std::size_t>(config_.rank);
+
+  controls_out.resize(world);
+  recv_out.resize(world);
+  controls_out[me].assign(control.begin(), control.end());
+  recv_out[me].assign(send[me].begin(), send[me].end());
+  const std::uint32_t tag = seq_++;
+  ++stats_.exchanges;
+  if (world == 1) return;
+
+  const double t0 = net::monotonic_seconds();
+  for (std::size_t d = 0; d < world; ++d) {
+    if (d == me) continue;
+    Peer& peer = peers_[d];
+    peer.outbox.clear();
+    peer.out_cursor = 0;
+    peer.frame_done = false;
+    net::frame_append(peer.outbox, tag, control, send[d]);
+    stats_.bytes_sent += peer.outbox.size();
+  }
+  pump_until_complete(tag);
+
+  // The peer's control block has the same size as ours (same SPMD call
+  // site), so the received payload splits at control.size().
+  for (std::size_t src = 0; src < world; ++src) {
+    if (src == me) continue;
+    Peer& peer = peers_[src];
+    std::vector<std::byte>& payload = peer.frame.payload;
+    if (payload.size() < control.size()) {
+      throw Error("tcp transport: frame from rank " + std::to_string(src) +
+                  " shorter than the control block -- ranks diverged");
+    }
+    const auto split = payload.begin() +
+                       static_cast<std::ptrdiff_t>(control.size());
+    controls_out[src].assign(payload.begin(), split);
+    recv_out[src].assign(split, payload.end());
+    payload.clear();
+    peer.outbox.clear();
+  }
+  stats_.wall_seconds += net::monotonic_seconds() - t0;
+}
+
+void TcpTransport::barrier() {
+  const auto world = static_cast<std::size_t>(config_.world);
+  const auto me = static_cast<std::size_t>(config_.rank);
+  const std::uint32_t tag = seq_++;
+  ++stats_.barriers;
+  if (world == 1) return;
+
+  const double t0 = net::monotonic_seconds();
+  for (std::size_t d = 0; d < world; ++d) {
+    if (d == me) continue;
+    Peer& peer = peers_[d];
+    peer.outbox.clear();
+    peer.out_cursor = 0;
+    peer.frame_done = false;
+    net::frame_append(peer.outbox, tag, {}, {});
+    stats_.bytes_sent += peer.outbox.size();
+  }
+  pump_until_complete(tag);
+  for (std::size_t src = 0; src < world; ++src) {
+    if (src == me) continue;
+    peers_[src].frame.payload.clear();
+    peers_[src].outbox.clear();
+  }
+  stats_.wall_seconds += net::monotonic_seconds() - t0;
+}
+
+void TcpTransport::drain_peer(Peer& peer, std::size_t peer_rank,
+                              std::uint32_t tag) {
+  if (peer.frame_done) return;
+  net::Frame frame;
+  switch (peer.decoder.next(frame)) {
+    case net::FrameDecoder::Status::kNeedMore:
+      return;
+    case net::FrameDecoder::Status::kFrame:
+      if (frame.tag != tag) {
+        throw Error("tcp transport: out-of-sequence frame from rank " +
+                    std::to_string(peer_rank) + " (tag " +
+                    std::to_string(frame.tag) + ", expected " +
+                    std::to_string(tag) + ") -- ranks diverged");
+      }
+      peer.frame = std::move(frame);
+      peer.frame_done = true;
+      return;
+    case net::FrameDecoder::Status::kBadMagic:
+      throw Error("tcp transport: corrupt stream from rank " +
+                  std::to_string(peer_rank));
+    case net::FrameDecoder::Status::kTooLarge:
+      throw Error("tcp transport: oversized frame from rank " +
+                  std::to_string(peer_rank));
+  }
+}
+
+void TcpTransport::pump_until_complete(std::uint32_t tag) {
+  const auto world = static_cast<std::size_t>(config_.world);
+  const auto me = static_cast<std::size_t>(config_.rank);
+
+  // A peer racing ahead may have delivered this exchange's frame inside
+  // the previous exchange's final read -- drain decoders first.
+  for (std::size_t r = 0; r < world; ++r) {
+    if (r != me) drain_peer(peers_[r], r, tag);
+  }
+
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> owner;
+  std::byte buf[1 << 16];
+  while (true) {
+    fds.clear();
+    owner.clear();
+    for (std::size_t r = 0; r < world; ++r) {
+      if (r == me) continue;
+      Peer& peer = peers_[r];
+      short events = 0;
+      if (!peer.frame_done) events |= POLLIN;
+      if (peer.out_cursor < peer.outbox.size()) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back(pollfd{peer.fd, events, 0});
+      owner.push_back(r);
+    }
+    if (fds.empty()) return;
+
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("tcp transport: poll failed: ") +
+                  std::strerror(errno));
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const short got = fds[i].revents;
+      if (got == 0) continue;
+      const std::size_t r = owner[i];
+      Peer& peer = peers_[r];
+      if (got & POLLNVAL) {
+        throw Error("tcp transport: invalid socket for rank " +
+                    std::to_string(r));
+      }
+      if (got & (POLLIN | POLLHUP | POLLERR)) {
+        const ssize_t n = ::read(peer.fd, buf, sizeof buf);
+        if (n > 0) {
+          peer.decoder.feed(std::span<const std::byte>(
+              buf, static_cast<std::size_t>(n)));
+          stats_.bytes_received += static_cast<std::uint64_t>(n);
+          drain_peer(peer, r, tag);
+        } else if (n == 0) {
+          throw Error("tcp transport: rank " + std::to_string(r) +
+                      " disconnected mid-collective");
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          throw Error("tcp transport: read from rank " + std::to_string(r) +
+                      " failed: " + std::strerror(errno));
+        }
+      }
+      if ((got & POLLOUT) && peer.out_cursor < peer.outbox.size()) {
+        // MSG_NOSIGNAL so a vanished peer raises the Error below instead
+        // of a process-wide SIGPIPE.
+        const ssize_t n =
+            ::send(peer.fd, peer.outbox.data() + peer.out_cursor,
+                   peer.outbox.size() - peer.out_cursor, MSG_NOSIGNAL);
+        if (n > 0) {
+          peer.out_cursor += static_cast<std::size_t>(n);
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          throw Error("tcp transport: write to rank " + std::to_string(r) +
+                      " failed: " + std::strerror(errno));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dlcomp

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file tcp_transport.hpp
+/// Process-rank transport over nonblocking localhost TCP.
+///
+/// Rendezvous (blocking, once at construction):
+///   1. rank 0 listens on a well-known port (or an fd pre-bound by the
+///      launcher, so forked children race-free inherit it);
+///   2. every rank r > 0 binds its own ephemeral listener, connects to
+///      rank 0 (with retry -- process start is unordered) and sends a
+///      hello frame {rank, listen_port};
+///   3. rank 0 replies to everyone with the full port table;
+///   4. for each pair i < j, rank j connects to rank i's listener and
+///      says hello (pairs involving rank 0 reuse the rendezvous
+///      connection), completing the full mesh.
+///
+/// Data plane (nonblocking): one length-prefixed frame per peer per
+/// exchange, tagged with a per-endpoint sequence number so a
+/// desynchronized SPMD program fails loudly instead of delivering the
+/// wrong collective's bytes. Sends and receives interleave through one
+/// poll(2) loop (the machinery proven in obs/http_server, shared via
+/// common/net), so the all-to-all cannot deadlock on full socket
+/// buffers. A peer disconnect mid-collective surfaces as a clean
+/// dlcomp::Error naming the peer.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/net.hpp"
+#include "comm/transport.hpp"
+
+namespace dlcomp {
+
+struct TcpTransportConfig {
+  int world = 1;
+  int rank = 0;
+  std::string address = "127.0.0.1";
+  /// Rank 0's rendezvous port. Ranks > 0 connect to it; rank 0 binds it
+  /// unless `inherited_listen_fd` is given. Required when world > 1.
+  std::uint16_t port = 0;
+  /// Pre-bound listener for rank 0 (launcher mode: the parent binds
+  /// before forking so children never race on the port; ownership moves
+  /// to the transport). -1 means rank 0 binds `port` itself.
+  int inherited_listen_fd = -1;
+  /// Rendezvous connect retry budget (covers unordered process start).
+  double connect_timeout_s = 30.0;
+  std::size_t max_frame_bytes = std::size_t{1} << 30;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportConfig config);
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  [[nodiscard]] int world() const noexcept override { return config_.world; }
+  [[nodiscard]] int rank() const noexcept override { return config_.rank; }
+  [[nodiscard]] bool shared_memory() const noexcept override { return false; }
+
+  void exchange(std::span<const std::byte> control,
+                std::span<const std::span<const std::byte>> send,
+                std::vector<std::vector<std::byte>>& controls_out,
+                std::vector<std::vector<std::byte>>& recv_out) override;
+
+  void barrier() override;
+
+ private:
+  struct Peer {
+    int fd = -1;
+    net::FrameDecoder decoder;
+    std::vector<std::byte> outbox;
+    std::size_t out_cursor = 0;  ///< bytes of outbox already written
+    bool frame_done = false;     ///< this exchange's frame arrived
+    net::Frame frame;
+  };
+
+  void rendezvous();
+  /// Drives sends and receives until every peer's frame tagged `tag` is
+  /// in and every outbox is drained. Throws on disconnect or desync.
+  void pump_until_complete(std::uint32_t tag);
+  /// Pulls at most one buffered frame out of `peer`'s decoder.
+  void drain_peer(Peer& peer, std::size_t peer_rank, std::uint32_t tag);
+
+  TcpTransportConfig config_;
+  std::vector<Peer> peers_;  ///< index = rank; peers_[rank()] unused
+  std::uint32_t seq_ = 0;
+};
+
+}  // namespace dlcomp

@@ -1,0 +1,198 @@
+#include "common/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+namespace net {
+
+double monotonic_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+namespace {
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw Error("net: invalid address '" + address + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& address, std::uint16_t port, int backlog) {
+  const sockaddr_in addr = make_addr(address, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("net: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("net: bind " + address + ":" + std::to_string(port) +
+                " failed: " + std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error(std::string("net: listen failed: ") + std::strerror(err));
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw Error("net: getsockname failed");
+  }
+  return ntohs(bound.sin_port);
+}
+
+int tcp_connect(const std::string& address, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(address, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("net: socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("net: connect " + address + ":" + std::to_string(port) +
+                " failed: " + std::strerror(err));
+  }
+  return fd;
+}
+
+int tcp_connect_retry(const std::string& address, std::uint16_t port,
+                      double timeout_s) {
+  const double deadline = monotonic_seconds() + timeout_s;
+  while (true) {
+    try {
+      return tcp_connect(address, port);
+    } catch (const Error&) {
+      if (monotonic_seconds() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+void read_exact(int fd, void* data, std::size_t size) {
+  auto* cursor = static_cast<std::byte*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, cursor, size);
+    if (n > 0) {
+      cursor += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) throw Error("net: peer closed the connection mid-message");
+    if (errno == EINTR) continue;
+    throw Error(std::string("net: read failed: ") + std::strerror(errno));
+  }
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* cursor = static_cast<const std::byte*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a peer that died must surface as the EPIPE Error
+    // below, not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, cursor, size, MSG_NOSIGNAL);
+    if (n > 0) {
+      cursor += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw Error(std::string("net: write failed: ") + std::strerror(errno));
+  }
+}
+
+// ------------------------------------------------------------- framing
+
+void frame_append(std::vector<std::byte>& out, std::uint32_t tag,
+                  std::span<const std::byte> head,
+                  std::span<const std::byte> body) {
+  const std::uint64_t length =
+      static_cast<std::uint64_t>(head.size()) + body.size();
+  const std::size_t at = out.size();
+  out.resize(at + kFrameHeaderBytes + head.size() + body.size());
+  std::memcpy(out.data() + at, &kFrameMagic, sizeof(kFrameMagic));
+  std::memcpy(out.data() + at + 4, &tag, sizeof(tag));
+  std::memcpy(out.data() + at + 8, &length, sizeof(length));
+  if (!head.empty()) {
+    std::memcpy(out.data() + at + kFrameHeaderBytes, head.data(), head.size());
+  }
+  if (!body.empty()) {
+    std::memcpy(out.data() + at + kFrameHeaderBytes + head.size(), body.data(),
+                body.size());
+  }
+}
+
+void FrameDecoder::feed(std::span<const std::byte> bytes) {
+  // Compact lazily: only when consumed bytes dominate the buffer, so a
+  // hot exchange loop is not O(n^2) in erase calls.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return Status::kNeedMore;
+  const std::byte* head = buffer_.data() + consumed_;
+
+  std::uint32_t magic = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t length = 0;
+  std::memcpy(&magic, head, sizeof(magic));
+  std::memcpy(&tag, head + 4, sizeof(tag));
+  std::memcpy(&length, head + 8, sizeof(length));
+
+  if (magic != kFrameMagic) return Status::kBadMagic;
+  if (length > max_frame_bytes_) return Status::kTooLarge;
+  if (avail < kFrameHeaderBytes + length) return Status::kNeedMore;
+
+  out.tag = tag;
+  out.payload.assign(head + kFrameHeaderBytes,
+                     head + kFrameHeaderBytes + length);
+  consumed_ += kFrameHeaderBytes + static_cast<std::size_t>(length);
+  return Status::kFrame;
+}
+
+}  // namespace net
+}  // namespace dlcomp

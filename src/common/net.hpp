@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file net.hpp
+/// Shared nonblocking-socket plumbing for everything in the repo that
+/// touches a TCP socket: the observability HTTP server and the comm
+/// layer's TcpTransport. One audited place owns the listen/bind/connect
+/// sequences, the O_NONBLOCK toggling and the monotonic clock used for
+/// idle timeouts, instead of each subsystem hand-rolling its own.
+///
+/// Also home to the length-prefixed message framing the TCP transport
+/// speaks. FrameDecoder is an incremental parser in the same spirit as
+/// HttpRequestParser: feed bytes as they arrive off a nonblocking
+/// socket, pull complete frames out; the edge-case tests (partial
+/// reads, bad magic, oversized frames) run against it directly, without
+/// sockets.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dlcomp {
+namespace net {
+
+/// Steady-clock seconds (for idle timeouts and wall measurements on the
+/// socket paths; unrelated to the simulated clocks).
+[[nodiscard]] double monotonic_seconds() noexcept;
+
+/// Puts `fd` into O_NONBLOCK mode (best effort; fcntl failures ignored).
+void set_nonblocking(int fd);
+
+/// Creates a TCP listener bound to address:port (port 0 binds an
+/// ephemeral port -- read it back with bound_port). The fd is returned
+/// in *blocking* mode so rendezvous-style accepts can block; callers
+/// that poll() it should set_nonblocking it. Throws dlcomp::Error.
+[[nodiscard]] int tcp_listen(const std::string& address, std::uint16_t port,
+                             int backlog);
+
+/// Port a bound socket actually listens on (after tcp_listen with
+/// port 0). Throws dlcomp::Error when getsockname fails.
+[[nodiscard]] std::uint16_t bound_port(int fd);
+
+/// Blocking connect to address:port. Throws dlcomp::Error on failure.
+[[nodiscard]] int tcp_connect(const std::string& address, std::uint16_t port);
+
+/// Connect with retry until `timeout_s` elapses -- the peer's listener
+/// may not be up yet (multi-process rank start is unordered). Throws
+/// dlcomp::Error once the deadline passes.
+[[nodiscard]] int tcp_connect_retry(const std::string& address,
+                                    std::uint16_t port, double timeout_s);
+
+/// Disables Nagle (TCP_NODELAY) -- collective rendezvous is
+/// latency-bound on small control frames.
+void set_nodelay(int fd);
+
+/// close(fd) if >= 0, then marks it -1.
+void close_fd(int& fd);
+
+/// Blocking exact-size read/write helpers for the rendezvous phase
+/// (before the mesh goes nonblocking). Throw dlcomp::Error on EOF or
+/// socket errors.
+void read_exact(int fd, void* data, std::size_t size);
+void write_all(int fd, const void* data, std::size_t size);
+
+// ------------------------------------------------------------- framing
+
+/// Wire format of one framed message:
+///   u32 magic 'DLFR' | u32 tag | u64 payload length | payload bytes.
+/// All fields little-endian (the transport is localhost-only; the magic
+/// still catches desynchronized streams immediately).
+inline constexpr std::uint32_t kFrameMagic = 0x52464C44u;  // "DLFR"
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// One decoded frame.
+struct Frame {
+  std::uint32_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Appends a framed message to `out`. The payload is passed as two
+/// spans so callers can prepend a control block without concatenating
+/// buffers first (either span may be empty).
+void frame_append(std::vector<std::byte>& out, std::uint32_t tag,
+                  std::span<const std::byte> head,
+                  std::span<const std::byte> body);
+
+/// Incremental frame parser. feed() appends raw socket bytes; next()
+/// extracts at most one complete frame per call, leaving followers
+/// buffered. kBadMagic / kTooLarge are terminal for the stream.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< one frame decoded into the out-parameter
+    kBadMagic,  ///< stream desynchronized or corrupt
+    kTooLarge,  ///< frame length exceeds the configured limit
+  };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = std::size_t{1} << 30)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::span<const std::byte> bytes);
+  [[nodiscard]] Status next(Frame& out);
+
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::byte> buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of buffer_ already handed out
+};
+
+}  // namespace net
+}  // namespace dlcomp

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/byte_io.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
@@ -186,6 +187,7 @@ std::size_t CompressedAllToAll::pack_group(
   stats.compress_wall_seconds += compress_timer.seconds();
 
   std::size_t group_raw = 0;
+  const auto me = static_cast<std::size_t>(comm.rank());
   for (std::size_t d = 0; d < world; ++d) {
     const auto& chunks = send[d];
     const std::size_t lo = group_begin(chunks.size(), groups, g);
@@ -194,6 +196,11 @@ std::size_t CompressedAllToAll::pack_group(
       group_raw += chunks[i].data.size_bytes();
     }
     stats.send_wire_bytes += scratch_.packed[d].size();
+    // Running wire-stream CRC (finalized in finish()): only bytes that
+    // actually cross the wire count, so the self chunk is skipped.
+    if (d != me) {
+      stats.wire_crc32 = crc32_update(stats.wire_crc32, scratch_.packed[d]);
+    }
   }
   return group_raw;
 }
@@ -299,6 +306,7 @@ CompressedAllToAll::PendingExchange CompressedAllToAll::exchange_begin(
   ex.names_ = &names;
   ex.groups_ = groups;
   ex.finished_ = false;
+  ex.stats_.wire_crc32 = crc32_init();
 
   scratch_.packed.resize(world);
 
@@ -372,6 +380,7 @@ A2AStats CompressedAllToAll::PendingExchange::finish() {
   finished_ = true;
   owner_->land_group(*comm_, pending_, groups_ - 1, groups_, *recv_, *names_,
                      stats_);
+  stats_.wire_crc32 = crc32_final(stats_.wire_crc32);
   return stats_;
 }
 

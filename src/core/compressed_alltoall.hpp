@@ -85,6 +85,12 @@ struct A2AStats {
   /// everything.
   double exposed_comm_seconds = 0.0;
   double hidden_comm_seconds = 0.0;
+  /// CRC-32 of every byte this rank put on the wire: the packed buffers
+  /// for destinations != rank, in destination order, group by group. A
+  /// transport moves exactly these bytes, so equal CRCs across backends
+  /// mean the wire streams were byte-identical (the cross-backend
+  /// identity check in tests and the TCP smoke job).
+  std::uint32_t wire_crc32 = 0;
 
   [[nodiscard]] double compression_ratio() const noexcept {
     return send_wire_bytes == 0

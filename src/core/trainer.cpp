@@ -1,15 +1,16 @@
 #include "core/trainer.hpp"
 
-#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <thread>
 
-#include <mutex>
-
 #include "ckpt/checkpoint.hpp"
+#include "comm/tcp_runtime.hpp"
+#include "common/byte_io.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "compress/registry.hpp"
@@ -99,8 +100,9 @@ bool is_comm_phase(const std::string& phase) {
          phase.find("/decompress") == std::string::npos;
 }
 
-/// Rank-0 held-out evaluation using its MLP replicas and the shared
-/// tables (no communication: shared memory makes every table visible).
+/// Rank-0 held-out evaluation using its MLP replicas and the tables
+/// (owner-current everywhere after sync_tables_for_eval; under the sim
+/// backend shared memory makes every table current already).
 LossResult evaluate_full(Mlp& bottom, Mlp& top,
                          std::span<EmbeddingTable> tables,
                          const DatasetSpec& spec,
@@ -128,6 +130,152 @@ LossResult evaluate_full(Mlp& bottom, Mlp& top,
   return total;
 }
 
+/// Owner-broadcast of every embedding table's weights over the *raw*
+/// transport. A no-op on shared-memory backends (rank 0 reads owner
+/// copies directly); under TCP each process holds stale replicas of the
+/// tables it does not own, so rank 0's held-out eval needs the owners'
+/// current rows first. Raw transport exchanges charge no simulated
+/// time, so eval cadence does not perturb the simulated numbers.
+void sync_tables_for_eval(Communicator& comm,
+                          std::span<EmbeddingTable> tables) {
+  Transport& transport = comm.transport();
+  if (transport.shared_memory()) return;
+  const auto world = static_cast<std::size_t>(transport.world());
+  const auto me = static_cast<std::size_t>(transport.rank());
+  std::vector<std::vector<std::byte>> controls;
+  std::vector<std::vector<std::byte>> recv;
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const std::size_t owner = t % world;
+    const std::span<float> weights = tables[t].weights().flat();
+    std::vector<std::span<const std::byte>> sends(world);
+    if (me == owner) {
+      const auto payload = std::as_bytes(std::span<const float>(weights));
+      std::fill(sends.begin(), sends.end(), payload);
+    }
+    transport.exchange({}, sends, controls, recv);
+    if (me != owner) {
+      DLCOMP_CHECK_MSG(recv[owner].size() == weights.size_bytes(),
+                       "eval table sync: owner rank "
+                           << owner << " sent " << recv[owner].size()
+                           << " bytes for table " << t << ", expected "
+                           << weights.size_bytes());
+      std::memcpy(weights.data(), recv[owner].data(), weights.size_bytes());
+    }
+  }
+}
+
+/// Everything one rank contributes to the run-level result, shipped to
+/// rank 0 over one raw transport exchange at the end of the rank body.
+/// Raw (clock-free) exchanges keep the aggregation identical across
+/// backends: under SimTransport this replaces the former shared-memory
+/// atomics; under TcpTransport it is the only way the numbers can reach
+/// rank 0 at all.
+struct RankTotals {
+  std::uint64_t fwd_raw = 0;
+  std::uint64_t fwd_wire = 0;
+  std::uint64_t bwd_raw = 0;
+  std::uint64_t bwd_wire = 0;
+  std::uint64_t steady_grow = 0;
+  std::uint32_t wire_crc = 0;
+  std::uint64_t wire_bytes_sent = 0;
+  CommStats comm;
+  double clock_now = 0.0;
+  std::vector<CompressedAllToAll::TagBytes> fwd_tags;
+  std::vector<CompressedAllToAll::TagBytes> bwd_tags;
+  std::map<std::string, double> breakdown;
+  std::map<std::string, double> hidden;
+};
+
+void append_ledger(std::vector<std::byte>& out,
+                   const std::map<std::string, double>& ledger) {
+  append_pod(out, static_cast<std::uint64_t>(ledger.size()));
+  for (const auto& [phase, seconds] : ledger) {
+    append_pod(out, static_cast<std::uint64_t>(phase.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(phase.data());
+    out.insert(out.end(), p, p + phase.size());
+    append_pod(out, seconds);
+  }
+}
+
+std::map<std::string, double> read_ledger(ByteReader& reader) {
+  std::map<std::string, double> ledger;
+  const auto count = reader.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto len = reader.read<std::uint64_t>();
+    const auto view = reader.take(static_cast<std::size_t>(len));
+    std::string phase(reinterpret_cast<const char*>(view.data()), view.size());
+    const double seconds = reader.read<double>();
+    ledger.emplace(std::move(phase), seconds);
+  }
+  return ledger;
+}
+
+void append_tags(std::vector<std::byte>& out,
+                 const std::vector<CompressedAllToAll::TagBytes>& tags) {
+  append_pod(out, static_cast<std::uint64_t>(tags.size()));
+  for (const auto& t : tags) {
+    append_pod(out, t.raw);
+    append_pod(out, t.wire);
+  }
+}
+
+std::vector<CompressedAllToAll::TagBytes> read_tags(ByteReader& reader) {
+  std::vector<CompressedAllToAll::TagBytes> tags(
+      static_cast<std::size_t>(reader.read<std::uint64_t>()));
+  for (auto& t : tags) {
+    t.raw = reader.read<std::uint64_t>();
+    t.wire = reader.read<std::uint64_t>();
+  }
+  return tags;
+}
+
+std::vector<std::byte> serialize_rank_totals(const RankTotals& t) {
+  std::vector<std::byte> out;
+  append_pod(out, t.fwd_raw);
+  append_pod(out, t.fwd_wire);
+  append_pod(out, t.bwd_raw);
+  append_pod(out, t.bwd_wire);
+  append_pod(out, t.steady_grow);
+  append_pod(out, t.wire_crc);
+  append_pod(out, t.wire_bytes_sent);
+  append_pod(out, t.comm);
+  append_pod(out, t.clock_now);
+  append_tags(out, t.fwd_tags);
+  append_tags(out, t.bwd_tags);
+  append_ledger(out, t.breakdown);
+  append_ledger(out, t.hidden);
+  return out;
+}
+
+RankTotals parse_rank_totals(std::span<const std::byte> blob) {
+  ByteReader reader(blob);
+  RankTotals t;
+  t.fwd_raw = reader.read<std::uint64_t>();
+  t.fwd_wire = reader.read<std::uint64_t>();
+  t.bwd_raw = reader.read<std::uint64_t>();
+  t.bwd_wire = reader.read<std::uint64_t>();
+  t.steady_grow = reader.read<std::uint64_t>();
+  t.wire_crc = reader.read<std::uint32_t>();
+  t.wire_bytes_sent = reader.read<std::uint64_t>();
+  t.comm = reader.read<CommStats>();
+  t.clock_now = reader.read<double>();
+  t.fwd_tags = read_tags(reader);
+  t.bwd_tags = read_tags(reader);
+  t.breakdown = read_ledger(reader);
+  t.hidden = read_ledger(reader);
+  return t;
+}
+
+/// Element-wise sum of per-table byte totals (rank 0's fold).
+void add_tags(std::vector<CompressedAllToAll::TagBytes>& into,
+              const std::vector<CompressedAllToAll::TagBytes>& from) {
+  if (into.size() < from.size()) into.resize(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i].raw += from[i].raw;
+    into[i].wire += from[i].wire;
+  }
+}
+
 }  // namespace
 
 double TrainingResult::exposed_comm_seconds() const {
@@ -150,6 +298,10 @@ HybridParallelTrainer::HybridParallelTrainer(TrainerConfig config)
     : config_(std::move(config)) {
   DLCOMP_CHECK(config_.world >= 1);
   DLCOMP_CHECK(config_.iterations >= 1);
+  DLCOMP_CHECK_MSG(
+      config_.transport.backend == "sim" || config_.transport.backend == "tcp",
+      "unknown transport backend '" << config_.transport.backend
+                                    << "' (expected \"sim\" or \"tcp\")");
 }
 
 TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
@@ -180,10 +332,12 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
     table_choice.assign(num_tables, HybridChoice::kAuto);
   }
 
-  // Shared state: embedding tables (owner-rank writes only), one
-  // optimizer per table (touched only by the owning rank, hoisted out of
-  // the rank lambda so checkpoints can cover every table's state), and
-  // the result aggregation slots.
+  // Embedding tables (owner-rank writes only) and one optimizer per table
+  // (touched only by the owning rank, hoisted out of the rank body so
+  // checkpoints can cover every table's state). Under the sim backend
+  // these are shared by all rank threads; under TCP every process builds
+  // the same deterministic initial state and its non-owned copies simply
+  // go stale between eval syncs.
   std::vector<EmbeddingTable> tables = make_embedding_set(spec, config_.seed);
   std::vector<EmbeddingOptimizer> optimizers;
   optimizers.reserve(num_tables);
@@ -220,7 +374,8 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
   };
 
   // ---- Resume: restore tables, optimizer state, MLPs and the iteration
-  // counter before the cluster starts.
+  // counter before the cluster starts. Under TCP every process loads the
+  // same file, so the restored state is identical everywhere.
   std::size_t start_iter = 0;
   if (!config_.checkpoint.resume_from.empty()) {
     const LoadedCheckpoint loaded =
@@ -253,15 +408,9 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
 
   TrainingResult result;
   result.start_iteration = start_iter;
-  std::atomic<std::uint64_t> fwd_raw{0};
-  std::atomic<std::uint64_t> fwd_wire{0};
-  std::atomic<std::uint64_t> bwd_raw{0};
-  std::atomic<std::uint64_t> bwd_wire{0};
-  std::atomic<std::uint64_t> steady_grow{0};
 
-  // Per-table byte totals from the tagged all-to-all chunks, merged
-  // across ranks after each rank's loop ends.
-  std::mutex tag_mutex;
+  // Rank 0's per-table byte totals, folded from every rank's tagged
+  // all-to-all accounting at the end of the run.
   std::vector<CompressedAllToAll::TagBytes> fwd_tag_bytes;
   std::vector<CompressedAllToAll::TagBytes> bwd_tag_bytes;
   // `lo` selects the direction's tag range: forward chunks are tagged
@@ -288,8 +437,7 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
   }
 
   WallTimer wall;
-  Cluster cluster(config_.world, config_.network);
-  cluster.run([&](Communicator& comm) {
+  const auto rank_body = [&](Communicator& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
 
     // --- Per-rank setup: identical MLP replicas (copies of the shared
@@ -305,6 +453,16 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
     std::vector<std::vector<std::size_t>> owned_by(world);
     for (std::size_t t = 0; t < num_tables; ++t) {
       owned_by[t % world].push_back(t);
+    }
+
+    // Snapshots need rank 0 to read every table and optimizer replica
+    // directly; only a shared-memory backend can provide that, so TCP
+    // runs skip saving (resume still works -- see above).
+    const bool can_save =
+        ckpt_writer != nullptr && comm.transport().shared_memory();
+    if (rank == 0 && ckpt_writer != nullptr && !can_save) {
+      DLCOMP_LOG_INFO("train", "checkpoint saving disabled on this backend",
+                      {"directory", config_.checkpoint.directory});
     }
 
     CompressedAllToAllConfig a2a_config;
@@ -335,6 +493,19 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
              (raw_a2a ? raw_a2a->workspace_grow_events() : 0);
     };
     std::uint64_t grow_baseline = 0;
+
+    // This rank's contributions to the run-level result (folded on rank 0
+    // at the end), including the running CRC over every wire stream this
+    // rank produced: per-exchange CRC words in issue order.
+    std::uint64_t fwd_raw = 0;
+    std::uint64_t fwd_wire = 0;
+    std::uint64_t bwd_raw = 0;
+    std::uint64_t bwd_wire = 0;
+    std::uint32_t rank_crc = crc32_init();
+    const auto crc_fold = [&rank_crc](std::uint32_t word) {
+      rank_crc = crc32_update(
+          rank_crc, std::as_bytes(std::span<const std::uint32_t>(&word, 1)));
+    };
 
     // Reused buffers.
     std::vector<Matrix> owned_lookup(num_tables);   // B_glob x dim (owned only)
@@ -416,8 +587,9 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
       } else {
         fwd_stats = a2a.exchange(comm, send_fwd, recv_fwd, phases::kAllToAllFwd);
       }
-      fwd_raw.fetch_add(fwd_stats.send_raw_bytes, std::memory_order_relaxed);
-      fwd_wire.fetch_add(fwd_stats.send_wire_bytes, std::memory_order_relaxed);
+      fwd_raw += fwd_stats.send_raw_bytes;
+      fwd_wire += fwd_stats.send_wire_bytes;
+      crc_fold(fwd_stats.wire_crc32);
 
       // ---- Forward: interaction + top MLP + loss on the local slice.
       Matrix feat(local_batch, DotInteraction::output_dim(num_tables, dim));
@@ -488,8 +660,9 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
       const auto run_bwd_exchange = [&] {
         const A2AStats bwd_stats =
             bwd_a2a.exchange(comm, send_bwd, recv_bwd, phases::kAllToAllBwd);
-        bwd_raw.fetch_add(bwd_stats.send_raw_bytes, std::memory_order_relaxed);
-        bwd_wire.fetch_add(bwd_stats.send_wire_bytes, std::memory_order_relaxed);
+        bwd_raw += bwd_stats.send_raw_bytes;
+        bwd_wire += bwd_stats.send_wire_bytes;
+        crc_fold(bwd_stats.wire_crc32);
       };
       const auto run_bottom_backward = [&] {
         (void)state.bottom->backward(dz0);
@@ -545,12 +718,13 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
       const bool eval_now =
           config_.eval_every > 0 && (iter + 1) % config_.eval_every == 0;
       const bool save_now =
-          ckpt_writer != nullptr &&
+          can_save &&
           ((config_.checkpoint.every > 0 &&
             (iter + 1) % config_.checkpoint.every == 0) ||
            iter + 1 == config_.iterations);
       if (record || eval_now || save_now) {
         comm.barrier();  // quiesce table writes before rank 0 reads them
+        if (eval_now) sync_tables_for_eval(comm, tables);
         if (rank == 0) {
           if (record || eval_now) {
             IterationRecord rec;
@@ -599,16 +773,9 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
       }
     }
 
-    steady_grow.fetch_add(grow_events_total() - grow_baseline,
-                          std::memory_order_relaxed);
-    {
-      std::lock_guard lock(tag_mutex);
-      merge_tags(fwd_tag_bytes, a2a.per_tag_bytes(), 0);
-      merge_tags(bwd_tag_bytes, bwd_a2a.per_tag_bytes(), num_tables);
-    }
-
     // Final held-out evaluation.
     comm.barrier();
+    sync_tables_for_eval(comm, tables);
     if (rank == 0) {
       result.final_eval =
           evaluate_full(*state.bottom, *state.top, tables, spec, dataset,
@@ -616,28 +783,85 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
                         config_.eval_batches);
     }
     comm.barrier();
-  });
+
+    // ---- Cross-rank result aggregation over the raw transport. Raw
+    // exchanges charge no simulated time, so shipping the totals leaves
+    // every simulated number untouched -- and running the same code under
+    // both backends keeps the aggregation path itself backend-identical.
+    RankTotals mine;
+    mine.fwd_raw = fwd_raw;
+    mine.fwd_wire = fwd_wire;
+    mine.bwd_raw = bwd_raw;
+    mine.bwd_wire = bwd_wire;
+    mine.steady_grow = grow_events_total() - grow_baseline;
+    mine.wire_crc = crc32_final(rank_crc);
+    mine.wire_bytes_sent = comm.wire_bytes_sent();
+    mine.comm = comm.comm_stats();
+    mine.clock_now = comm.clock().now();
+    merge_tags(mine.fwd_tags, a2a.per_tag_bytes(), 0);
+    merge_tags(mine.bwd_tags, bwd_a2a.per_tag_bytes(), num_tables);
+    mine.breakdown = comm.clock().breakdown();
+    mine.hidden = comm.clock().hidden_breakdown();
+
+    const std::vector<std::byte> blob = serialize_rank_totals(mine);
+    std::vector<std::span<const std::byte>> to_all(
+        world, std::span<const std::byte>(blob));
+    std::vector<std::vector<std::byte>> agg_controls;
+    std::vector<std::vector<std::byte>> agg_recv;
+    comm.transport().exchange({}, to_all, agg_controls, agg_recv);
+    if (rank == 0) {
+      std::vector<RankTotals> totals;
+      totals.reserve(world);
+      for (std::size_t r = 0; r < world; ++r) {
+        totals.push_back(parse_rank_totals(agg_recv[r]));
+      }
+      std::uint32_t combined_crc = crc32_init();
+      const RankTotals* slowest = nullptr;
+      double latest = -1.0;
+      for (const RankTotals& t : totals) {
+        result.forward_raw_bytes += t.fwd_raw;
+        result.forward_wire_bytes += t.fwd_wire;
+        result.backward_raw_bytes += t.bwd_raw;
+        result.backward_wire_bytes += t.bwd_wire;
+        result.steady_state_grow_events += t.steady_grow;
+        result.comm_stats += t.comm;
+        result.wire_bytes_sent += t.wire_bytes_sent;
+        combined_crc = crc32_update(
+            combined_crc,
+            std::as_bytes(std::span<const std::uint32_t>(&t.wire_crc, 1)));
+        add_tags(fwd_tag_bytes, t.fwd_tags);
+        add_tags(bwd_tag_bytes, t.bwd_tags);
+        if (t.clock_now > latest) {
+          latest = t.clock_now;
+          slowest = &t;
+        }
+      }
+      result.wire_crc32 = crc32_final(combined_crc);
+      result.makespan_seconds = latest;
+      if (slowest != nullptr) {
+        result.phase_seconds = slowest->breakdown;
+        result.hidden_phase_seconds = slowest->hidden;
+      }
+    }
+  };
+
+  if (config_.transport.backend == "tcp") {
+    TcpTransportConfig tcfg;
+    tcfg.world = config_.world;
+    tcfg.rank = config_.transport.rank;
+    tcfg.address = config_.transport.address;
+    tcfg.port = config_.transport.port;
+    tcfg.inherited_listen_fd = config_.transport.inherited_listen_fd;
+    tcfg.connect_timeout_s = config_.transport.connect_timeout_s;
+    TcpRuntime runtime(tcfg, config_.network);
+    trace_bind_thread_rank(runtime.transport().rank());
+    rank_body(runtime.comm());
+  } else {
+    Cluster cluster(config_.world, config_.network);
+    cluster.run(rank_body);
+  }
 
   result.wall_seconds = wall.seconds();
-  result.makespan_seconds = cluster.makespan_seconds();
-  result.forward_raw_bytes = fwd_raw.load();
-  result.forward_wire_bytes = fwd_wire.load();
-  result.backward_raw_bytes = bwd_raw.load();
-  result.backward_wire_bytes = bwd_wire.load();
-
-  result.steady_state_grow_events = steady_grow.load();
-
-  // Slowest rank's per-phase breakdown (exposed + hidden ledgers).
-  double latest = -1.0;
-  const SimClock* slowest = nullptr;
-  for (const auto& clock : cluster.clocks()) {
-    if (clock.now() > latest) {
-      latest = clock.now();
-      slowest = &clock;
-      result.phase_seconds = clock.breakdown();
-      result.hidden_phase_seconds = clock.hidden_breakdown();
-    }
-  }
 
   // ---- Metrics snapshot: the machine-readable face of this result.
   MetricsSnapshot& snap = result.metrics;
@@ -656,6 +880,7 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
   snap.set("train/backward_cr", result.backward_cr());
   snap.set("train/steady_grow_events",
            static_cast<double>(result.steady_state_grow_events));
+  snap.set("train/wire_crc32", static_cast<double>(result.wire_crc32));
   snap.set("train/wall_seconds", result.wall_seconds);
   snap.set("train/exposed_comm_seconds", result.exposed_comm_seconds());
   snap.set("train/hidden_comm_seconds", result.hidden_comm_seconds());
@@ -666,7 +891,37 @@ TrainingResult HybridParallelTrainer::train(const BatchSource& dataset) {
   snap.set("train/eval_loss", result.final_eval.loss);
   snap.set("train/eval_accuracy", result.final_eval.accuracy);
   snapshot_histogram(snap, "train/iter_wall_s", iter_wall_hist);
-  if (slowest != nullptr) slowest->export_to(snap, "sim/");
+  // The slowest rank's SimClock ledgers, same keys SimClock::export_to
+  // would emit (the maps arrived through the result aggregation).
+  for (const auto& [phase, seconds] : result.phase_seconds) {
+    snap.set("sim/" + phase, seconds);
+  }
+  for (const auto& [phase, seconds] : result.hidden_phase_seconds) {
+    snap.set("sim/hidden/" + phase, seconds);
+  }
+  snap.set("sim/makespan", result.makespan_seconds);
+  // Per-collective accounting summed over ranks (same numbers
+  // publish_comm_metrics exposes as dlcomp_comm_* in a live registry).
+  snap.set("comm/alltoall_total",
+           static_cast<double>(result.comm_stats.alltoall_count));
+  snap.set("comm/alltoall_wire_bytes_total",
+           static_cast<double>(result.comm_stats.alltoall_wire_bytes));
+  snap.set("comm/allreduce_total",
+           static_cast<double>(result.comm_stats.allreduce_count));
+  snap.set("comm/allreduce_wire_bytes_total",
+           static_cast<double>(result.comm_stats.allreduce_wire_bytes));
+  snap.set("comm/allgather_total",
+           static_cast<double>(result.comm_stats.allgather_count));
+  snap.set("comm/allgather_wire_bytes_total",
+           static_cast<double>(result.comm_stats.allgather_wire_bytes));
+  snap.set("comm/broadcast_total",
+           static_cast<double>(result.comm_stats.broadcast_count));
+  snap.set("comm/broadcast_wire_bytes_total",
+           static_cast<double>(result.comm_stats.broadcast_wire_bytes));
+  snap.set("comm/barrier_total",
+           static_cast<double>(result.comm_stats.barrier_count));
+  snap.set("comm/wire_bytes_sent_total",
+           static_cast<double>(result.wire_bytes_sent));
   const auto table_keys = [&snap](const char* dir,
                                   const std::vector<CompressedAllToAll::TagBytes>&
                                       tags) {

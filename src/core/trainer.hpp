@@ -108,6 +108,28 @@ struct CheckpointPolicy {
   std::string resume_from;
 };
 
+/// Which comm backend carries the collectives. "sim" runs every rank as
+/// a thread of this process over SimTransport (the default; what every
+/// test and bench uses). "tcp" runs *this process* as one rank of a
+/// world-sized process group over TcpTransport -- each process calls
+/// train() with the same config except `rank`, and only rank 0's result
+/// carries history/aggregates. Simulated clocks, loss trajectories and
+/// wire CRCs are bitwise identical across backends at the same world.
+struct TransportPolicy {
+  std::string backend = "sim";  ///< "sim" (threads) | "tcp" (processes)
+
+  /// This process's rank (tcp only; sim spawns all ranks itself).
+  int rank = 0;
+  /// Rendezvous address/port of rank 0's listener (tcp only). port == 0
+  /// requires inherited_listen_fd on rank 0.
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Pre-bound listening socket inherited from a launcher (tcp rank 0
+  /// only; lets the parent pick an ephemeral port race-free). -1 = none.
+  int inherited_listen_fd = -1;
+  double connect_timeout_s = 30.0;
+};
+
 struct TrainerConfig {
   int world = 4;
   /// Global batch size; 0 uses the dataset default. Must divide by world.
@@ -121,6 +143,7 @@ struct TrainerConfig {
   NetworkModel network;
   ComputeModel compute;
   DeviceModel device;
+  TransportPolicy transport;
 
   std::uint64_t seed = 42;
   /// Record train loss/accuracy every N iterations (0 = every iteration).
@@ -174,6 +197,19 @@ struct TrainingResult {
   std::uint64_t forward_wire_bytes = 0;
   std::uint64_t backward_raw_bytes = 0;
   std::uint64_t backward_wire_bytes = 0;
+
+  /// CRC-32 over the compressed-exchange wire streams of the whole run:
+  /// each rank folds its per-exchange A2AStats::wire_crc32 words in
+  /// issue order (forward then backward, per iteration), and rank 0
+  /// folds the per-rank words in rank order. Equal values between a sim
+  /// and a tcp run of the same config mean the bytes that crossed the
+  /// wire were identical, exchange by exchange, on every rank.
+  std::uint32_t wire_crc32 = 0;
+
+  /// Per-collective counts and modelled wire bytes, summed over ranks
+  /// (see publish_comm_metrics); backend-independent by construction.
+  CommStats comm_stats;
+  std::uint64_t wire_bytes_sent = 0;  ///< modelled wire total over ranks
 
   /// Machine-readable run telemetry: byte totals and compression ratios
   /// (overall and per table, via the tagged all-to-all chunks), loss,

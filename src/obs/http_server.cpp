@@ -1,19 +1,15 @@
 #include "obs/http_server.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/net.hpp"
 #include "obs/log.hpp"
 
 namespace dlcomp {
@@ -52,17 +48,6 @@ bool valid_token(std::string_view s) noexcept {
     if (!ok) return false;
   }
   return true;
-}
-
-double monotonic_seconds() noexcept {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 }  // namespace
@@ -198,7 +183,7 @@ struct HttpServer::Connection {
   bool close_after_flush = false;
 
   explicit Connection(int f, std::size_t max_head)
-      : fd(f), parser(max_head), last_activity_s(monotonic_seconds()) {}
+      : fd(f), parser(max_head), last_activity_s(net::monotonic_seconds()) {}
 };
 
 HttpServer::HttpServer(HttpServerConfig config) : config_(std::move(config)) {}
@@ -213,49 +198,20 @@ void HttpServer::add_route(std::string path, Handler handler) {
 void HttpServer::start() {
   DLCOMP_CHECK_MSG(!running(), "http: already started");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw Error("http: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error("http: invalid bind address '" + config_.bind_address + "'");
+  try {
+    listen_fd_ = net::tcp_listen(config_.bind_address, config_.port, 16);
+    bound_port_ = net::bound_port(listen_fd_);
+  } catch (const Error& e) {
+    throw Error(std::string("http: ") + e.what());
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error("http: bind " + config_.bind_address + ":" +
-                std::to_string(config_.port) + " failed: " +
-                std::strerror(err));
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error(std::string("http: listen failed: ") + std::strerror(err));
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  bound_port_ = ntohs(bound.sin_port);
 
   if (::pipe(wake_pipe_) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    net::close_fd(listen_fd_);
     throw Error("http: pipe() failed");
   }
-  set_nonblocking(listen_fd_);
-  set_nonblocking(wake_pipe_[0]);
-  set_nonblocking(wake_pipe_[1]);
+  net::set_nonblocking(listen_fd_);
+  net::set_nonblocking(wake_pipe_[0]);
+  net::set_nonblocking(wake_pipe_[1]);
 
   thread_ = std::thread([this] { run_loop(); });
   DLCOMP_LOG_INFO("obs", "http server listening",
@@ -291,13 +247,12 @@ void HttpServer::accept_new(std::vector<Connection>& connections) {
           http_serialize_response(busy, 1, /*keep_alive=*/false,
                                   /*head_only=*/false);
       [[maybe_unused]] const ssize_t n =
-          ::write(fd, wire.data(), wire.size());
+          ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
       ::close(fd);
       continue;
     }
-    set_nonblocking(fd);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    net::set_nonblocking(fd);
+    net::set_nodelay(fd);
     connections.emplace_back(fd, config_.max_head_bytes);
   }
 }
@@ -389,7 +344,7 @@ void HttpServer::run_loop() {
     const std::size_t polled = connections.size();
     if ((fds[1].revents & POLLIN) != 0) accept_new(connections);
 
-    const double now = monotonic_seconds();
+    const double now = net::monotonic_seconds();
     for (std::size_t i = 0; i < polled; ++i) {
       Connection& conn = connections[i];
       const pollfd& pfd = fds[2 + i];
@@ -421,8 +376,10 @@ void HttpServer::run_loop() {
       }
 
       if (alive && !conn.outbox.empty()) {
-        const ssize_t n =
-            ::write(conn.fd, conn.outbox.data(), conn.outbox.size());
+        // MSG_NOSIGNAL: a client that hung up mid-response must read as
+        // EPIPE (connection dropped below), not kill the process.
+        const ssize_t n = ::send(conn.fd, conn.outbox.data(),
+                                 conn.outbox.size(), MSG_NOSIGNAL);
         if (n > 0) {
           conn.outbox.erase(0, static_cast<std::size_t>(n));
           conn.last_activity_s = now;

@@ -1,11 +1,12 @@
 #pragma once
 
 /// \file http_server.hpp
-/// Minimal embedded HTTP/1.1 server for the observability plane -- and,
-/// deliberately, the repo's first real socket code (de-risking the
-/// ROADMAP's TCP transport backend). No dependencies: POSIX sockets and
-/// poll(2), one background thread multiplexing the listener and every
-/// client connection. It serves small, cheap, read-only endpoints
+/// Minimal embedded HTTP/1.1 server for the observability plane. The
+/// socket plumbing (bind/listen, nonblocking toggles, monotonic clock)
+/// lives in common/net.hpp, shared with the comm layer's TcpTransport,
+/// so there is exactly one audited socket layer in the repo. No
+/// dependencies: POSIX sockets and poll(2), one background thread
+/// multiplexing the listener and every client connection. It serves small, cheap, read-only endpoints
 /// (/metrics, /healthz, /status), so the design optimizes for robustness
 /// over concurrency: non-blocking sockets, per-connection input/output
 /// buffers, pipelined requests, bounded header sizes, idle timeouts.

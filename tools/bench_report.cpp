@@ -14,22 +14,30 @@
 //               derived from --baseline so trajectories start two-deep
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <iterator>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/arg_parser.hpp"
 #include "common/crc32.hpp"
 #include "common/json.hpp"
+#include "common/net.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "comm/calibration.hpp"
 #include "comm/communicator.hpp"
+#include "comm/tcp_runtime.hpp"
 #include "compress/registry.hpp"
 #include "core/compressed_alltoall.hpp"
 #include "data/shard_converter.hpp"
@@ -485,6 +493,194 @@ ObservabilityReport measure_observability(std::size_t reps) {
   return report;
 }
 
+struct TransportReport {
+  int world = 0;
+  double measured_alltoall_mbps = 0.0;  ///< wire bytes / wall, largest size
+  double fitted_latency_us = 0.0;       ///< OLS intercept (alpha)
+  double fitted_bandwidth_mbps = 0.0;   ///< 1 / OLS slope (beta)
+  double fit_max_rel_error_pct = 0.0;
+  std::size_t holdout_wire_bytes = 0;   ///< size excluded from the fit
+  double holdout_sim_exposed_us = 0.0;  ///< fitted-model prediction
+  double holdout_real_exposed_us = 0.0; ///< measured TCP wall
+  double sim_vs_real_delta_pct = 0.0;   ///< (predicted - measured) / measured
+  double pipelined_sim_exposed_us = 0.0;  ///< fitted model, compressed a2a
+  double pipelined_wall_us = 0.0;         ///< same exchange, real TCP wall
+  std::uint64_t rank0_wire_bytes = 0;     ///< real socket bytes, rank 0
+};
+
+/// Runs `body(rank, runtime)` on `world` threads, each owning one
+/// TcpTransport endpoint of a real localhost mesh. The listener is bound
+/// here on an ephemeral port and inherited by rank 0's transport, the
+/// same race-free handoff the multi-process launcher uses.
+void run_tcp_world(int world, const NetworkModel& model,
+                   const std::function<void(int, TcpRuntime&)>& body) {
+  const int listen_fd = net::tcp_listen("127.0.0.1", 0, world);
+  const std::uint16_t port = net::bound_port(listen_fd);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        TcpTransportConfig config;
+        config.world = world;
+        config.rank = r;
+        config.address = "127.0.0.1";
+        config.port = port;
+        config.inherited_listen_fd = r == 0 ? listen_fd : -1;
+        TcpRuntime runtime(config, model);
+        body(r, runtime);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Real-socket transport calibration: raw (clock-free) all-to-all
+/// exchanges through a world-4 TCP mesh at several payload sizes, OLS
+/// fit of seconds on wire bytes recovering the machine's (latency,
+/// bandwidth), validation of the fit on a held-out size, then one
+/// pipelined compressed exchange under the fitted NetworkModel so the
+/// report records how far the simulator's exposed-comm prediction sits
+/// from the measured TCP wall on this machine.
+TransportReport measure_transport(const std::string& codec_name,
+                                  std::span<const float> input,
+                                  std::size_t reps) {
+  constexpr int kWorld = 4;
+  // Bytes per destination. The held-out size (last) is excluded from the
+  // fit and used to score prediction error on unseen volume.
+  constexpr std::array<std::size_t, 5> kSizes = {
+      16u << 10, 64u << 10, 256u << 10, 1u << 20, 512u << 10};
+  constexpr std::size_t kFitSizes = kSizes.size() - 1;
+  const std::size_t timing_reps = std::max<std::size_t>(reps, 3);
+
+  TransportReport report;
+  report.world = kWorld;
+
+  std::vector<std::array<double, kSizes.size()>> rank_best(
+      kWorld, {0.0, 0.0, 0.0, 0.0, 0.0});
+
+  run_tcp_world(kWorld, NetworkModel{}, [&](int r, TcpRuntime& runtime) {
+    Transport& transport = runtime.transport();
+    std::vector<std::vector<std::byte>> bufs(kWorld);
+    std::vector<std::span<const std::byte>> spans(kWorld);
+    std::vector<std::vector<std::byte>> controls;
+    std::vector<std::vector<std::byte>> recv;
+    for (std::size_t s = 0; s < kSizes.size(); ++s) {
+      for (int d = 0; d < kWorld; ++d) {
+        auto& buf = bufs[static_cast<std::size_t>(d)];
+        buf.assign(kSizes[s], static_cast<std::byte>(r * kWorld + d));
+        spans[static_cast<std::size_t>(d)] = buf;
+      }
+      transport.exchange({}, spans, controls, recv);  // warm-up
+      double best = 1e300;
+      for (std::size_t rep = 0; rep < timing_reps; ++rep) {
+        transport.barrier();
+        WallTimer timer;
+        transport.exchange({}, spans, controls, recv);
+        best = std::min(best, timer.seconds());
+      }
+      rank_best[static_cast<std::size_t>(r)][s] = best;
+    }
+  });
+
+  // Collective completion = the slowest rank; wire volume per rank is
+  // (world-1) destinations (the self chunk never crosses the wire) --
+  // exactly what NetworkModel::alltoall_seconds charges.
+  std::array<double, kSizes.size()> worst{};
+  for (std::size_t s = 0; s < kSizes.size(); ++s) {
+    for (int r = 0; r < kWorld; ++r) {
+      worst[s] = std::max(worst[s], rank_best[static_cast<std::size_t>(r)][s]);
+    }
+  }
+  std::vector<CalibrationSample> samples;
+  for (std::size_t s = 0; s < kFitSizes; ++s) {
+    samples.push_back({kSizes[s] * (kWorld - 1), worst[s]});
+  }
+  const LinkCalibration fit = fit_link_parameters(samples);
+  report.measured_alltoall_mbps =
+      mbps(kSizes[kFitSizes - 1] * (kWorld - 1), worst[kFitSizes - 1]);
+  report.fitted_latency_us = fit.latency_seconds * 1e6;
+  report.fitted_bandwidth_mbps = fit.bandwidth_bytes_per_second / 1e6;
+  report.fit_max_rel_error_pct = fit.max_rel_error * 100.0;
+
+  report.holdout_wire_bytes = kSizes[kFitSizes] * (kWorld - 1);
+  const NetworkModel fitted = fit.apply(NetworkModel{});
+  report.holdout_sim_exposed_us =
+      fitted.alltoall_seconds(report.holdout_wire_bytes, kWorld) * 1e6;
+  report.holdout_real_exposed_us = worst[kFitSizes] * 1e6;
+  report.sim_vs_real_delta_pct =
+      report.holdout_real_exposed_us > 0.0
+          ? 100.0 *
+                (report.holdout_sim_exposed_us - report.holdout_real_exposed_us) /
+                report.holdout_real_exposed_us
+          : 0.0;
+
+  // Pipelined compressed exchange under the fitted model: the SimClock
+  // now predicts *this* fabric, so its exposed-comm number lands next to
+  // the measured wall of the identical exchange (wall additionally pays
+  // real codec time where the sim charges modelled codec time).
+  constexpr std::size_t kChunksPerDest = 4;
+  const std::size_t chunk_elems = input.size() / (kWorld * kChunksPerDest);
+  ThreadPool pool(4);
+  std::vector<double> rank_exposed(kWorld, 0.0);
+  std::vector<double> rank_wall(kWorld, 0.0);
+  run_tcp_world(kWorld, fitted, [&](int r, TcpRuntime& runtime) {
+    Communicator& comm = runtime.comm();
+    CompressedAllToAllConfig config;
+    config.codec = &get_compressor(codec_name);
+    config.pool = &pool;
+    config.pipeline_stages = 4;
+    const CompressedAllToAll a2a(config);
+
+    CompressParams params;
+    params.error_bound = 0.01;
+    params.vector_dim = 32;
+    std::vector<std::vector<A2AChunkSpec>> send(kWorld);
+    for (int d = 0; d < kWorld; ++d) {
+      for (std::size_t c = 0; c < kChunksPerDest; ++c) {
+        const std::size_t offset =
+            (static_cast<std::size_t>(d) * kChunksPerDest + c) * chunk_elems;
+        send[static_cast<std::size_t>(d)].push_back(
+            {input.subspan(offset, chunk_elems), params});
+      }
+    }
+    std::vector<std::vector<float>> recv_storage(
+        kWorld * kChunksPerDest, std::vector<float>(chunk_elems));
+    std::vector<std::vector<std::span<float>>> recv(kWorld);
+    for (int s = 0; s < kWorld; ++s) {
+      for (std::size_t c = 0; c < kChunksPerDest; ++c) {
+        recv[static_cast<std::size_t>(s)].push_back(
+            recv_storage[static_cast<std::size_t>(s) * kChunksPerDest + c]);
+      }
+    }
+
+    A2AStats stats = a2a.exchange(comm, send, recv, "bench");  // warm-up
+    double best = 1e300;
+    for (std::size_t rep = 0; rep < timing_reps; ++rep) {
+      runtime.transport().barrier();
+      WallTimer timer;
+      stats = a2a.exchange(comm, send, recv, "bench");
+      best = std::min(best, timer.seconds());
+    }
+    rank_exposed[static_cast<std::size_t>(r)] = stats.exposed_comm_seconds;
+    rank_wall[static_cast<std::size_t>(r)] = best;
+    if (r == 0) {
+      report.rank0_wire_bytes = runtime.transport().stats().bytes_sent;
+    }
+  });
+  report.pipelined_sim_exposed_us =
+      *std::max_element(rank_exposed.begin(), rank_exposed.end()) * 1e6;
+  report.pipelined_wall_us =
+      *std::max_element(rank_wall.begin(), rank_wall.end()) * 1e6;
+  return report;
+}
+
 struct ParallelCodecThreadRow {
   int threads = 0;
   double compress_mbps = 0.0;
@@ -615,6 +811,7 @@ void write_json(const std::string& path, const std::string& label,
                 std::size_t payload_bytes, std::size_t reps,
                 const std::vector<CodecReport>& codecs, const A2AReport& a2a,
                 const OverlapReport& overlap,
+                const TransportReport& transport,
                 const ParallelCodecReport* parallel,
                 const DataPipelineReport& data,
                 const ObservabilityReport& obs,
@@ -655,6 +852,33 @@ void write_json(const std::string& path, const std::string& label,
                 overlap.serial_exposed_us, overlap.pipelined_exposed_us,
                 overlap.pipelined_hidden_us, overlap.exposed_reduction_pct,
                 overlap.sim_exchange_speedup, ",");
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"transport\": {\"backend\": \"tcp\", \"world\": %d, "
+                "\"measured_alltoall_MBps\": %.1f,\n",
+                transport.world, transport.measured_alltoall_mbps);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"fitted_latency_us\": %.2f, "
+                "\"fitted_bandwidth_MBps\": %.1f, "
+                "\"fit_max_rel_error_pct\": %.1f,\n",
+                transport.fitted_latency_us, transport.fitted_bandwidth_mbps,
+                transport.fit_max_rel_error_pct);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"holdout_wire_bytes\": %zu, "
+                "\"holdout_sim_exposed_us\": %.1f, "
+                "\"holdout_real_exposed_us\": %.1f, "
+                "\"sim_vs_real_delta_pct\": %.1f,\n",
+                transport.holdout_wire_bytes, transport.holdout_sim_exposed_us,
+                transport.holdout_real_exposed_us,
+                transport.sim_vs_real_delta_pct);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"pipelined_sim_exposed_us\": %.1f, "
+                "\"pipelined_wall_us\": %.1f, \"rank0_wire_bytes\": %llu},\n",
+                transport.pipelined_sim_exposed_us, transport.pipelined_wall_us,
+                static_cast<unsigned long long>(transport.rank0_wire_bytes));
   out << buf;
   if (parallel != nullptr) {
     const auto& p = *parallel;
@@ -882,6 +1106,20 @@ int main(int argc, char** argv) {
               overlap.serial_exposed_us, overlap.pipelined_exposed_us,
               overlap.exposed_reduction_pct, overlap.sim_exchange_speedup);
 
+  const TransportReport transport =
+      measure_transport("hybrid", gradient_like, reps);
+  std::printf("tcp@%d        alltoall %8.1f MB/s  fit alpha %.2f us, "
+              "beta %.1f MB/s (max err %.1f%%)\n",
+              transport.world, transport.measured_alltoall_mbps,
+              transport.fitted_latency_us, transport.fitted_bandwidth_mbps,
+              transport.fit_max_rel_error_pct);
+  std::printf("tcp calib    holdout sim %8.1f us vs real %8.1f us "
+              "(delta %+.1f%%); pipelined sim %.1f us, wall %.1f us\n",
+              transport.holdout_sim_exposed_us,
+              transport.holdout_real_exposed_us,
+              transport.sim_vs_real_delta_pct,
+              transport.pipelined_sim_exposed_us, transport.pipelined_wall_us);
+
   const ParallelCodecReport* parallel = nullptr;
 #if defined(DLCOMP_HAS_PARALLEL_CODEC)
   const ParallelCodecReport parallel_report = measure_parallel_codec(reps);
@@ -918,7 +1156,8 @@ int main(int argc, char** argv) {
               obs.steady_grow_events);
 
   write_json(out_path, label, input.size() * sizeof(float), reps, reports,
-             a2a, overlap, parallel, data_pipeline, obs, baseline_json);
+             a2a, overlap, transport, parallel, data_pipeline, obs,
+             baseline_json);
   std::cout << "wrote " << out_path << "\n";
 
   const std::string history_path = args.str("--history", "");

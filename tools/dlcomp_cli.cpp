@@ -7,6 +7,7 @@
 //   dlcomp decompress <in.dlcp> <out.f32>
 //   dlcomp inspect    <in.dlcp>
 //   dlcomp analyze    <kaggle|terabyte> <plan-out.txt> [sampling-eb]
+//   dlcomp train      [--backend sim|tcp] [--world N] [--rank N] ...
 //   dlcomp serve      [--pattern poisson|bursty|diurnal] [--qps N] ...
 //   dlcomp trace      [--mode train|serve] [--out PREFIX] ...
 //   dlcomp ckpt       save|inspect|verify|diff ...
@@ -17,6 +18,9 @@
 // <in.f32> is a raw little-endian float32 file (e.g. from numpy's
 // tofile()); <out.dlcp> is a self-describing dlcomp stream; <*.dlck> is
 // a checkpoint container (see DESIGN.md "Checkpoint container").
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +39,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "common/arg_parser.hpp"
 #include "common/error.hpp"
+#include "common/net.hpp"
 #include "common/table_printer.hpp"
 #include "common/timer.hpp"
 #include "compress/format.hpp"
@@ -211,6 +216,244 @@ int cmd_analyze(int argc, char** argv) {
               plan.tables.size(), spec.name.c_str(),
               args.positional(1).c_str());
   return 0;
+}
+
+// ----------------------------------------------------------------- train
+
+constexpr const char* kTrainUsage =
+    "usage: dlcomp train [--backend sim|tcp] [--world N] [--iters N]\n"
+    "    [--batch N] [--codec NAME|none] [--eb X] [--stages N]\n"
+    "    [--no-overlap] [--dataset kaggle|terabyte|small] [--seed N]\n"
+    "    [--record-every N] [--eval-every N] [--history-out FILE]\n"
+    "    [--manifest-out FILE] [--label S]\n"
+    "    [--rank N --port N [--address A] [--listen-fd FD]]\n"
+    "--backend sim (default) runs every rank as a thread of this process;\n"
+    "--backend tcp without --rank launches world ranks as forked child\n"
+    "processes over localhost TCP (the parent binds the rendezvous\n"
+    "listener first, so --port 0 picks an ephemeral port race-free) and\n"
+    "exits nonzero if any rank fails; --backend tcp with --rank joins an\n"
+    "existing group as that rank (rank 0 listens on --port or the\n"
+    "inherited --listen-fd). Loss histories, wire CRCs and simulated\n"
+    "clocks are byte-identical across backends at the same world size:\n"
+    "--history-out files from a sim and a tcp run of the same config\n"
+    "compare equal with cmp(1)\n";
+
+/// Backend-independent run record: every double printed with %.17g, so
+/// two runs produce byte-identical files iff their recorded trajectories
+/// (and wire CRCs, and simulated makespans) are bitwise identical.
+void write_history_json(const std::string& path, const TrainerConfig& config,
+                        const TrainingResult& result) {
+  std::ofstream os(path);
+  if (!os.good()) throw Error("cannot open for writing: " + path);
+  const auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\n";
+  os << "  \"world\": " << config.world << ",\n";
+  os << "  \"iterations\": " << config.iterations << ",\n";
+  os << "  \"start_iteration\": " << result.start_iteration << ",\n";
+  os << "  \"wire_crc32\": " << result.wire_crc32 << ",\n";
+  os << "  \"makespan_seconds\": " << num(result.makespan_seconds) << ",\n";
+  os << "  \"final_eval_loss\": " << num(result.final_eval.loss) << ",\n";
+  os << "  \"final_eval_accuracy\": " << num(result.final_eval.accuracy)
+     << ",\n";
+  os << "  \"history\": [\n";
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    const IterationRecord& rec = result.history[i];
+    os << "    {\"iter\": " << rec.iter
+       << ", \"train_loss\": " << num(rec.train_loss)
+       << ", \"train_accuracy\": " << num(rec.train_accuracy)
+       << ", \"eval_accuracy\": " << num(rec.eval_accuracy)
+       << ", \"forward_cr\": " << num(rec.forward_cr)
+       << ", \"eb_scale\": " << num(rec.eb_scale) << "}"
+       << (i + 1 < result.history.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  if (!os.good()) throw Error("write failed: " + path);
+}
+
+/// Runs one training process (the whole cluster under sim; one rank of
+/// it under tcp). Only rank 0 prints and writes output files.
+int run_train_rank(const ArgParser& args, const std::string& backend,
+                   int rank, std::uint16_t port, int listen_fd) {
+  TrainerConfig config;
+  config.world = static_cast<int>(args.uint("--world", 4));
+  config.iterations = args.uint("--iters", 24);
+  config.global_batch = args.uint("--batch", 256);
+  config.record_every = args.uint("--record-every", 4);
+  config.eval_every = args.uint("--eval-every", 0);
+  config.seed = args.u64("--seed", 42);
+  std::string codec = args.str("--codec", "hybrid");
+  if (codec == "none") codec.clear();
+  if (!codec.empty()) (void)get_compressor(codec);  // fail before running
+  config.compression.codec = codec;
+  config.compression.global_eb = args.num("--eb", 0.01);
+  config.overlap.forward = !args.has("--no-overlap");
+  config.overlap.backward = config.overlap.forward;
+  config.overlap.pipeline_stages = args.uint("--stages", 2);
+  config.transport.backend = backend;
+  config.transport.rank = rank;
+  config.transport.address = args.str("--address", "127.0.0.1");
+  config.transport.port = port;
+  config.transport.inherited_listen_fd = listen_fd;
+
+  const DatasetSpec spec = spec_by_name(args.str("--dataset", "small"));
+  const SyntheticClickDataset dataset(spec, config.seed);
+
+  const TrainingResult result = HybridParallelTrainer(config).train(dataset);
+  if (backend == "tcp" && rank != 0) return 0;  // rank 0 owns the outputs
+
+  std::printf(
+      "trained %zu iterations at world=%d over the %s backend (%s): "
+      "final loss %.6f, eval accuracy %.4f\n"
+      "sim makespan %.3f ms (exposed comm %.3f ms, hidden %.3f ms); "
+      "fwd CR %.2fx, bwd CR %.2fx; wire crc32 %08x; wall %.2f s\n",
+      config.iterations - result.start_iteration, config.world,
+      backend.c_str(), codec.empty() ? "uncompressed" : codec.c_str(),
+      result.history.empty() ? 0.0 : result.history.back().train_loss,
+      result.final_eval.accuracy, result.makespan_seconds * 1e3,
+      result.exposed_comm_seconds() * 1e3, result.hidden_comm_seconds() * 1e3,
+      result.forward_cr(), result.backward_cr(), result.wire_crc32,
+      result.wall_seconds);
+
+  // Live-registry face of the run's comm accounting (dlcomp_comm_*),
+  // folded into the manifest metrics below alongside the codec counters.
+  publish_comm_metrics(MetricsRegistry::global(), result.comm_stats,
+                       result.wire_bytes_sent);
+
+  if (args.has("--history-out")) {
+    write_history_json(args.str("--history-out"), config, result);
+  }
+  if (args.has("--manifest-out")) {
+    RunManifest manifest;
+    manifest.label = args.str("--label", "train");
+    manifest.mode = "train";
+    manifest.codec = codec;
+    manifest.error_bound = config.compression.global_eb;
+    manifest.seed = config.seed;
+    {
+      char stamp[32];
+      const std::time_t now = std::time(nullptr);
+      std::tm utc{};
+      gmtime_r(&now, &utc);
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+      manifest.created = stamp;
+    }
+    manifest.config["mode"] = "train";
+    manifest.config["dataset"] = args.str("--dataset", "small");
+    manifest.config["codec"] = codec.empty() ? "none" : codec;
+    manifest.config["eb"] = std::to_string(config.compression.global_eb);
+    manifest.config["seed"] = std::to_string(config.seed);
+    manifest.config["world"] = std::to_string(config.world);
+    manifest.config["iters"] = std::to_string(config.iterations);
+    manifest.config["batch"] = std::to_string(config.global_batch);
+    manifest.config["overlap"] = args.has("--no-overlap") ? "off" : "on";
+    // Value-class keys like simd_isa: switching backend or ISA between
+    // runs is a change `dlcomp obs diff` surfaces, not a regression.
+    manifest.config["transport_backend"] = backend;
+    manifest.config["simd_isa"] =
+        std::string(simd::isa_name(kernels::dispatched_isa()));
+    MetricsSnapshot metrics = result.metrics;
+    for (const auto& [name, value] :
+         MetricsRegistry::global().snapshot().values) {
+      metrics.set(name, value);
+    }
+    manifest.metrics = metrics.values;
+    manifest.save(args.str("--manifest-out"));
+  }
+  return 0;
+}
+
+int cmd_train(int argc, char** argv) {
+  const ArgParser args(argc, argv, 2,
+                       {"--backend", "--world", "--rank", "--address",
+                        "--port", "--listen-fd", "--iters", "--batch",
+                        "--codec", "--eb", "--dataset", "--seed", "--stages",
+                        "--record-every", "--eval-every", "--history-out",
+                        "--manifest-out", "--label"},
+                       {"--no-overlap"});
+  if (!args.positionals().empty()) throw Error("train takes no positionals");
+  const std::string backend = args.str("--backend", "sim");
+  if (backend == "sim") {
+    return run_train_rank(args, backend, 0, 0, -1);
+  }
+  if (backend != "tcp") {
+    throw Error("unknown --backend: " + backend + " (expected sim|tcp)");
+  }
+  if (args.has("--rank")) {
+    // Join an externally launched group as one rank.
+    const int listen_fd =
+        args.has("--listen-fd") ? static_cast<int>(args.uint("--listen-fd", 0))
+                                : -1;
+    return run_train_rank(args, backend,
+                          static_cast<int>(args.uint("--rank", 0)),
+                          static_cast<std::uint16_t>(args.uint("--port", 0)),
+                          listen_fd);
+  }
+
+  // ---- Launcher mode: bind the rendezvous listener *before* forking so
+  // an ephemeral --port 0 is race-free (rank 0 inherits the bound fd,
+  // the other ranks learn the resolved port), run every rank as a child
+  // process, and fail if any rank does.
+  const int world = static_cast<int>(args.uint("--world", 4));
+  const std::string address = args.str("--address", "127.0.0.1");
+  const int listen_fd = net::tcp_listen(
+      address, static_cast<std::uint16_t>(args.uint("--port", 0)), world);
+  const std::uint16_t port = net::bound_port(listen_fd);
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork failed for rank %d\n", r);
+      return 1;
+    }
+    if (pid == 0) {
+      int code = 1;
+      try {
+        if (r != 0) {
+          int inherited = listen_fd;  // only rank 0 keeps the listener
+          net::close_fd(inherited);
+        }
+        code = run_train_rank(args, backend, r, port, r == 0 ? listen_fd : -1);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "rank %d: error: %s\n", r, e.what());
+        code = 1;
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
+      _exit(code);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+  {
+    int parent_fd = listen_fd;  // rank 0's child owns the inherited copy
+    net::close_fd(parent_fd);
+  }
+
+  int failures = 0;
+  for (int r = 0; r < world; ++r) {
+    int status = 0;
+    if (::waitpid(pids[static_cast<std::size_t>(r)], &status, 0) < 0) {
+      ++failures;
+      std::fprintf(stderr, "waitpid failed for rank %d\n", r);
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      ++failures;
+      std::fprintf(stderr, "rank %d exited abnormally (status 0x%x)\n", r,
+                   static_cast<unsigned>(status));
+    }
+  }
+  std::printf("tcp launcher: %d ranks on %s:%u, %s\n", world, address.c_str(),
+              static_cast<unsigned>(port),
+              failures == 0 ? "all exited cleanly"
+                            : "with failures (see above)");
+  return failures == 0 ? 0 : 1;
 }
 
 constexpr const char* kServeUsage =
@@ -491,6 +734,7 @@ int cmd_trace(int argc, char** argv) {
     manifest.config["iters"] = std::to_string(args.uint("--iters", 4));
     manifest.config["batch"] = std::to_string(args.uint("--batch", 1024));
     manifest.config["overlap"] = args.has("--no-overlap") ? "off" : "on";
+    manifest.config["transport_backend"] = "sim";  // trace always runs sim
   } else {
     manifest.config["queries"] = std::to_string(args.uint("--queries", 1000));
     manifest.config["qps"] = std::to_string(args.num("--qps", 2000.0));
@@ -946,6 +1190,7 @@ int main(int argc, char** argv) {
     if (command == "decompress") return cmd_decompress(argc, argv);
     if (command == "inspect") return cmd_inspect(argc, argv);
     if (command == "analyze") return cmd_analyze(argc, argv);
+    if (command == "train") return cmd_train(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
     if (command == "trace") return cmd_trace(argc, argv);
     if (command == "ckpt") return cmd_ckpt(argc, argv);
@@ -954,11 +1199,12 @@ int main(int argc, char** argv) {
     if (command == "codecs") return cmd_codecs();
     std::fprintf(stderr,
                  "dlcomp -- error-bounded compression for DLRM training\n"
-                 "commands: compress decompress inspect analyze serve trace "
-                 "ckpt data obs codecs\n");
+                 "commands: compress decompress inspect analyze train serve "
+                 "trace ckpt data obs codecs\n");
     return command.empty() ? 2 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    if (command == "train") std::fprintf(stderr, "%s", kTrainUsage);
     if (command == "serve") std::fprintf(stderr, "%s", kServeUsage);
     if (command == "trace") std::fprintf(stderr, "%s", kTraceUsage);
     if (command == "ckpt") std::fprintf(stderr, "%s", kCkptUsage);
