@@ -1,0 +1,91 @@
+#include "compress/paged.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "compress/chunked.hpp"
+
+namespace dlcomp {
+
+PagedRowStore::PagedRowStore(const Matrix& rows, const PagedStoreConfig& config)
+    : codec_(config.codec),
+      params_(config.params),
+      rows_(rows.rows()),
+      dim_(rows.cols()),
+      rows_per_page_(config.rows_per_page) {
+  DLCOMP_CHECK(rows_ > 0 && dim_ > 0);
+  DLCOMP_CHECK(rows_per_page_ > 0);
+  params_.vector_dim = dim_;
+
+  const std::size_t pages = (rows_ + rows_per_page_ - 1) / rows_per_page_;
+  offsets_.reserve(pages);
+  sizes_.reserve(pages);
+  input_bytes_ = rows_ * dim_ * sizeof(float);
+
+  if (codec_ == nullptr) {
+    // Raw paging: page streams are the float bytes themselves.
+    buffer_.resize(input_bytes_);
+    std::memcpy(buffer_.data(), rows.data(), input_bytes_);
+    for (std::size_t p = 0; p < pages; ++p) {
+      offsets_.push_back(p * rows_per_page_ * dim_ * sizeof(float));
+      sizes_.push_back(page_rows(p) * dim_ * sizeof(float));
+    }
+    return;
+  }
+
+  // Compressed paging: one BlockEngine batch over all pages (each page is
+  // below the engine's block size, so streams are plain codec streams,
+  // byte-identical to a serial Compressor::compress per page). The recon
+  // span makes the engine hand back the reader-visible reconstruction of
+  // each page during the same parallel pass, which is how the store knows
+  // the at-rest error it will serve.
+  BlockEngine engine(*codec_, config.pool);
+  std::vector<float> recon(rows_ * dim_);
+  engine.compress_begin();
+  for (std::size_t p = 0; p < pages; ++p) {
+    const std::size_t first = page_first_row(p) * dim_;
+    const std::size_t count = page_rows(p) * dim_;
+    engine.add_tensor(rows.flat().subspan(first, count), params_,
+                      std::span<float>(recon).subspan(first, count));
+  }
+  engine.compress_run();
+
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < pages; ++p) total += engine.stream_bytes(p);
+  buffer_.reserve(total);
+  for (std::size_t p = 0; p < pages; ++p) {
+    offsets_.push_back(buffer_.size());
+    engine.append_stream(p, buffer_);
+    sizes_.push_back(buffer_.size() - offsets_.back());
+  }
+
+  const std::span<const float> flat = rows.flat();
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    max_err = std::max(
+        max_err, static_cast<double>(std::fabs(flat[i] - recon[i])));
+  }
+  max_abs_error_ = max_err;
+}
+
+std::size_t PagedRowStore::page_rows(std::size_t p) const noexcept {
+  const std::size_t first = p * rows_per_page_;
+  return std::min(rows_per_page_, rows_ - first);
+}
+
+void PagedRowStore::load_page(std::size_t p, std::span<float> out,
+                              CompressionWorkspace& ws) const {
+  DLCOMP_CHECK(p < num_pages());
+  DLCOMP_CHECK(out.size() == page_rows(p) * dim_);
+  const std::span<const std::byte> stream{buffer_.data() + offsets_[p],
+                                          sizes_[p]};
+  if (codec_ == nullptr) {
+    std::memcpy(out.data(), stream.data(), stream.size());
+    return;
+  }
+  (void)blocked_decompress(*codec_, stream, out, ws);
+}
+
+}  // namespace dlcomp

@@ -19,14 +19,43 @@ std::vector<std::size_t> bottom_dims(const DatasetSpec& spec,
 std::vector<std::size_t> top_dims(const DatasetSpec& spec,
                                   const DlrmConfig& config) {
   std::vector<std::size_t> dims;
-  dims.push_back(
-      DotInteraction::output_dim(spec.num_tables(), spec.embedding_dim));
+  dims.push_back(interaction_output_dim(config.arch, spec.num_tables(),
+                                        spec.embedding_dim));
   dims.insert(dims.end(), config.top_hidden.begin(), config.top_hidden.end());
   dims.push_back(1);
   return dims;
 }
 
 }  // namespace
+
+ModelArch parse_model_arch(std::string_view name) {
+  if (name == "dlrm") return ModelArch::kDlrm;
+  if (name == "widedeep" || name == "wide-deep") return ModelArch::kWideDeep;
+  if (name == "ncf") return ModelArch::kNcf;
+  throw Error("unknown model arch: " + std::string(name) +
+              " (expected dlrm|widedeep|ncf)");
+}
+
+std::string_view model_arch_name(ModelArch arch) noexcept {
+  switch (arch) {
+    case ModelArch::kDlrm: return "dlrm";
+    case ModelArch::kWideDeep: return "widedeep";
+    case ModelArch::kNcf: return "ncf";
+  }
+  return "dlrm";
+}
+
+std::size_t interaction_output_dim(ModelArch arch, std::size_t num_tables,
+                                   std::size_t dim) {
+  switch (arch) {
+    case ModelArch::kWideDeep:
+      return ConcatInteraction::output_dim(num_tables, dim);
+    case ModelArch::kNcf:
+      return NcfInteraction::output_dim(num_tables, dim);
+    case ModelArch::kDlrm: break;
+  }
+  return DotInteraction::output_dim(num_tables, dim);
+}
 
 DlrmModel::DlrmModel(const DatasetSpec& spec, const DlrmConfig& config,
                      std::uint64_t seed)
@@ -44,6 +73,9 @@ DlrmModel::DlrmModel(const DatasetSpec& spec, const DlrmConfig& config,
         const auto dims = top_dims(spec, config);
         return Mlp(dims, rng_t);
       }()) {
+  DLCOMP_CHECK_MSG(
+      config_.arch != ModelArch::kNcf || spec_.num_tables() >= 2,
+      "NCF arch needs >= 2 embedding tables, got " << spec_.num_tables());
   Rng rng(seed);
   tables_.reserve(spec_.num_tables());
   optimizers_.reserve(spec_.num_tables());
@@ -66,19 +98,37 @@ const Matrix& DlrmModel::forward(const SampleBatch& batch,
 
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     lookups_[t].resize(B, spec_.embedding_dim);
-    tables_[t].lookup(batch.indices[t], lookups_[t]);
+    if (lookup_provider_) {
+      lookup_provider_(t, batch.indices[t], lookups_[t]);
+    } else {
+      tables_[t].lookup(batch.indices[t], lookups_[t]);
+    }
     if (lookup_transform) lookup_transform(t, lookups_[t]);
   }
 
   interaction_out_.resize(
-      B, DotInteraction::output_dim(tables_.size(), spec_.embedding_dim));
-  DotInteraction::forward(z0_, lookups_, interaction_out_);
+      B, interaction_output_dim(config_.arch, tables_.size(),
+                                spec_.embedding_dim));
+  switch (config_.arch) {
+    case ModelArch::kWideDeep:
+      ConcatInteraction::forward(z0_, lookups_, interaction_out_);
+      break;
+    case ModelArch::kNcf:
+      NcfInteraction::forward(z0_, lookups_, interaction_out_);
+      break;
+    case ModelArch::kDlrm:
+      DotInteraction::forward(z0_, lookups_, interaction_out_);
+      break;
+  }
   return top_.forward(interaction_out_);
 }
 
 LossResult DlrmModel::train_step(const SampleBatch& batch,
                                  const TableTransform& lookup_transform,
                                  const TableTransform& grad_transform) {
+  DLCOMP_CHECK_MSG(!lookup_provider_,
+                   "train_step is not supported while a lookup provider is "
+                   "installed (updates would never reach the served store)");
   const std::size_t B = batch.batch_size();
   const Matrix& logits = forward(batch, lookup_transform);
 
@@ -91,8 +141,20 @@ LossResult DlrmModel::train_step(const SampleBatch& batch,
   Matrix dz0(B, spec_.embedding_dim);
   std::vector<Matrix> demb(tables_.size());
   for (auto& d : demb) d.resize(B, spec_.embedding_dim);
-  DotInteraction::backward(z0_, lookups_, dfeat, dz0,
-                           std::span<Matrix>(demb));
+  switch (config_.arch) {
+    case ModelArch::kWideDeep:
+      ConcatInteraction::backward(z0_, lookups_, dfeat, dz0,
+                                  std::span<Matrix>(demb));
+      break;
+    case ModelArch::kNcf:
+      NcfInteraction::backward(z0_, lookups_, dfeat, dz0,
+                               std::span<Matrix>(demb));
+      break;
+    case ModelArch::kDlrm:
+      DotInteraction::backward(z0_, lookups_, dfeat, dz0,
+                               std::span<Matrix>(demb));
+      break;
+  }
 
   if (grad_transform) {
     for (std::size_t t = 0; t < tables_.size(); ++t) {

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "data/batch_source.hpp"
@@ -25,6 +26,27 @@
 
 namespace dlcomp {
 
+/// Model-zoo architecture: which interaction layer sits between the
+/// embedding lookups and the top MLP (see interaction.hpp). Everything
+/// else — bottom/top MLPs, tables, optimizer, the lookup/gradient
+/// transform hooks — is shared, so every codec experiment and the
+/// serving tier run unchanged across the zoo.
+enum class ModelArch : std::uint8_t {
+  kDlrm,      ///< pairwise dot interaction (the paper's model)
+  kWideDeep,  ///< Wide&Deep-shaped concatenation
+  kNcf,       ///< NCF/GMF-shaped two-field element-wise product
+};
+
+/// Parses "dlrm" / "widedeep" / "ncf"; throws Error otherwise.
+ModelArch parse_model_arch(std::string_view name);
+
+/// Stable name of an architecture (inverse of parse_model_arch).
+std::string_view model_arch_name(ModelArch arch) noexcept;
+
+/// Interaction output width of `arch` for F tables of width dim.
+std::size_t interaction_output_dim(ModelArch arch, std::size_t num_tables,
+                                   std::size_t dim);
+
 struct DlrmConfig {
   /// Bottom MLP hidden sizes (input = num_dense, output = embedding_dim
   /// are appended automatically).
@@ -34,6 +56,8 @@ struct DlrmConfig {
   float learning_rate = 0.1f;
   /// Embedding-table update rule (MLPs always use SGD, as in DLRM).
   EmbeddingOptimizerKind embedding_optimizer = EmbeddingOptimizerKind::kSgd;
+  /// Interaction architecture (kNcf needs >= 2 tables).
+  ModelArch arch = ModelArch::kDlrm;
 };
 
 class DlrmModel {
@@ -42,6 +66,14 @@ class DlrmModel {
   /// embedding gradients (backward) in place -- e.g. a compression
   /// round-trip.
   using TableTransform = std::function<void(std::size_t table, Matrix& data)>;
+
+  /// Replaces the lookup *source* (where TableTransform mutates the
+  /// result of the model's own tables): fills `out` (indices.size() x
+  /// dim) with the served rows for `table`. This is the sharded serving
+  /// tier's injection point -- a ShardRouter scatter/gathers the rows
+  /// from the fleet-shared store instead of the model's weights.
+  using LookupProvider = std::function<void(
+      std::size_t table, std::span<const std::uint32_t> indices, Matrix& out)>;
 
   DlrmModel(const DatasetSpec& spec, const DlrmConfig& config,
             std::uint64_t seed);
@@ -70,12 +102,25 @@ class DlrmModel {
 
   [[nodiscard]] std::size_t num_tables() const noexcept { return tables_.size(); }
   [[nodiscard]] EmbeddingTable& table(std::size_t t) { return tables_.at(t); }
+  /// All embedding tables (e.g. to build a serving store from the
+  /// checkpoint-loaded weights).
+  [[nodiscard]] std::span<const EmbeddingTable> tables() const noexcept {
+    return tables_;
+  }
   [[nodiscard]] EmbeddingOptimizer& optimizer(std::size_t t) {
     return optimizers_.at(t);
   }
   [[nodiscard]] const DatasetSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] Mlp& bottom_mlp() noexcept { return bottom_; }
   [[nodiscard]] Mlp& top_mlp() noexcept { return top_; }
+
+  /// Installs (or clears, with null) the lookup provider forward() uses
+  /// instead of the model's own embedding tables. Training through a
+  /// provider is not supported (the optimizer would update weights the
+  /// provider never re-reads), so train_step throws while one is set.
+  void set_lookup_provider(LookupProvider provider) {
+    lookup_provider_ = std::move(provider);
+  }
 
   /// Looks up one table for a batch (helper for analysis passes that need
   /// raw lookup tensors, e.g. Homo-Index sampling).
@@ -96,6 +141,7 @@ class DlrmModel {
   Mlp top_;
   std::vector<EmbeddingTable> tables_;
   std::vector<EmbeddingOptimizer> optimizers_;  // one per table
+  LookupProvider lookup_provider_;  // null = serve from tables_
 
   // Forward caches.
   Matrix z0_;

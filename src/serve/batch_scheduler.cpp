@@ -1,5 +1,7 @@
 #include "serve/batch_scheduler.hpp"
 
+#include <algorithm>
+#include <queue>
 #include <utility>
 
 #include "common/error.hpp"
@@ -9,6 +11,43 @@ namespace dlcomp {
 BatchScheduler::BatchScheduler(BatchSchedulerConfig config) : config_(config) {
   DLCOMP_CHECK(config_.max_batch_samples > 0);
   DLCOMP_CHECK(config_.max_delay_s >= 0.0);
+  DLCOMP_CHECK(config_.slo_s >= 0.0);
+  DLCOMP_CHECK(config_.est_service_per_sample_s >= 0.0);
+  DLCOMP_CHECK(config_.est_batch_overhead_s >= 0.0);
+  DLCOMP_CHECK(config_.modeled_servers > 0);
+}
+
+SchedulePlan BatchScheduler::plan(std::span<const Query> queries) const {
+  SchedulePlan out;
+  if (config_.slo_s <= 0.0) {
+    out.batches = schedule(queries);
+    return out;
+  }
+
+  // Admission: walk the stream against a modeled backlog (min-heap of
+  // per-server free times). A query whose estimated completion blows the
+  // SLO is shed and leaves the backlog untouched.
+  std::vector<Query> admitted;
+  admitted.reserve(queries.size());
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at(
+      std::greater<>{}, std::vector<double>(config_.modeled_servers, 0.0));
+  for (const Query& q : queries) {
+    const double cost =
+        config_.est_batch_overhead_s +
+        static_cast<double>(q.num_samples) * config_.est_service_per_sample_s;
+    const double start = std::max(q.arrival_s, free_at.top());
+    const double done = start + cost;
+    if (done - q.arrival_s > config_.slo_s) {
+      out.shed.push_back(q);
+      continue;
+    }
+    free_at.pop();
+    free_at.push(done);
+    admitted.push_back(q);
+  }
+
+  out.batches = schedule(admitted);
+  return out;
 }
 
 std::vector<InferenceBatch> BatchScheduler::schedule(

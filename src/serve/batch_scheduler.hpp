@@ -25,6 +25,22 @@ struct BatchSchedulerConfig {
   std::size_t max_batch_samples = 256;
   /// Max time a query may wait in the pending batch before dispatch.
   double max_delay_s = 0.002;
+
+  // --- SLO admission control (plan() only; 0 slo_s disables) ---
+
+  /// End-to-end latency objective. A query whose *estimated* completion
+  /// (under the cost model below, against the modeled backlog) exceeds
+  /// arrival + slo_s is shed at admission instead of joining a batch —
+  /// rejecting early is cheaper than serving an answer nobody waits for.
+  double slo_s = 0.0;
+  /// Cost model: estimated service time = overhead + samples * per-sample.
+  /// Deliberately coarse (admission is per query, ignoring the batching
+  /// amortization) so shedding stays a pure function of the query stream.
+  double est_service_per_sample_s = 2e-6;
+  double est_batch_overhead_s = 100e-6;
+  /// Modeled parallel servers for the backlog estimate (match the
+  /// replica count to make the estimate track the real fleet).
+  std::size_t modeled_servers = 1;
 };
 
 /// A dispatchable unit: one or more whole queries scored together.
@@ -41,6 +57,13 @@ struct InferenceBatch {
   }
 };
 
+/// plan() output: the dispatchable batches plus the queries shed by SLO
+/// admission (disjoint; together they cover the input stream exactly).
+struct SchedulePlan {
+  std::vector<InferenceBatch> batches;
+  std::vector<Query> shed;
+};
+
 class BatchScheduler {
  public:
   /// Validates the config (throws Error on zero budgets).
@@ -51,9 +74,16 @@ class BatchScheduler {
   }
 
   /// Coalesces `queries` (must be sorted by arrival_s) into batches in
-  /// dispatch order. Every query lands in exactly one batch.
+  /// dispatch order. Every query lands in exactly one batch (admission
+  /// control off — equivalent to plan() with slo_s = 0).
   [[nodiscard]] std::vector<InferenceBatch> schedule(
       std::span<const Query> queries) const;
+
+  /// Full policy: SLO admission (when slo_s > 0) followed by the same
+  /// deadline/size-aware coalescing as schedule(). Deterministic — both
+  /// phases are pure functions of the query stream and the config's cost
+  /// model, so shed counts are bit-stable across machines.
+  [[nodiscard]] SchedulePlan plan(std::span<const Query> queries) const;
 
  private:
   BatchSchedulerConfig config_;

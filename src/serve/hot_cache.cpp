@@ -1,0 +1,67 @@
+#include "serve/hot_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dlcomp {
+
+HotRowCache::HotRowCache(std::size_t budget_bytes, std::size_t row_floats)
+    : row_floats_(row_floats),
+      capacity_rows_(budget_bytes / slot_bytes(row_floats)) {
+  DLCOMP_CHECK(row_floats_ > 0);
+  // Everything is sized up front so steady-state probes and inserts never
+  // reallocate (the index rehash is pre-reserved past its load factor).
+  slots_.resize(capacity_rows_);
+  payload_.resize(capacity_rows_ * row_floats_);
+  index_.reserve(capacity_rows_ + capacity_rows_ / 2 + 1);
+}
+
+const float* HotRowCache::find(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  slots_[it->second].referenced = true;
+  return payload_.data() + it->second * row_floats_;
+}
+
+void HotRowCache::insert(std::uint64_t key, std::span<const float> row) {
+  if (capacity_rows_ == 0) return;  // budget below one slot: cache disabled
+  DLCOMP_CHECK(row.size() == row_floats_);
+
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Refresh in place (same row re-admitted, e.g. after a page reload).
+    slots_[it->second].referenced = true;
+    std::memcpy(payload_.data() + it->second * row_floats_, row.data(),
+                row_floats_ * sizeof(float));
+    return;
+  }
+
+  std::size_t slot;
+  if (index_.size() < capacity_rows_) {
+    slot = index_.size();  // fill order: slots are handed out sequentially
+  } else {
+    // CLOCK sweep: clear reference bits until an unreferenced victim
+    // turns up. Terminates within two laps (the first lap clears bits).
+    while (slots_[hand_].referenced) {
+      slots_[hand_].referenced = false;
+      hand_ = (hand_ + 1) % capacity_rows_;
+    }
+    slot = hand_;
+    hand_ = (hand_ + 1) % capacity_rows_;
+    index_.erase(slots_[slot].key);
+    ++evictions_;
+  }
+
+  slots_[slot].key = key;
+  slots_[slot].referenced = true;
+  index_.emplace(key, slot);
+  std::memcpy(payload_.data() + slot * row_floats_, row.data(),
+              row_floats_ * sizeof(float));
+}
+
+}  // namespace dlcomp

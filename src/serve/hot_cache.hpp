@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file hot_cache.hpp
+/// Bounded hot-row cache for the serving tier: uncompressed embedding
+/// rows under a byte budget, evicted with the CLOCK (second-chance)
+/// policy. CLOCK gives LRU-like hit rates without per-hit list surgery —
+/// a hit sets one reference bit, eviction sweeps a hand — which keeps the
+/// probe path cheap enough to sit in front of every row lookup.
+///
+/// The budget is exact and accounted up front: capacity is
+/// budget_bytes / slot_bytes(row_floats) slots, where slot_bytes charges
+/// the row payload plus the per-slot bookkeeping (key, ref bit, index
+/// entry). Inserting into a full cache evicts exactly one victim; a
+/// budget too small for a single slot disables the cache (every probe
+/// misses, inserts are dropped) rather than over-committing.
+///
+/// Determinism: probes and inserts are ordinary data structure operations
+/// with no clocks or randomness, so a fixed (probe, insert) sequence
+/// yields a fixed hit/miss/eviction sequence — the serving-scale tests
+/// pin exact traces. Not thread-safe; each shard owns one cache and
+/// serializes access under its shard lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace dlcomp {
+
+class HotRowCache {
+ public:
+  /// Accounted overhead per cached row on top of the payload: the 8-byte
+  /// key, the clock state, and the index entry (hash node + bucket
+  /// share, estimated — the point is that the budget charges bookkeeping
+  /// at all, not byte-perfect malloc accounting).
+  static constexpr std::size_t kSlotOverheadBytes = 48;
+
+  /// `row_floats` is the cached row width (embedding dim); all rows in
+  /// one cache share it.
+  HotRowCache(std::size_t budget_bytes, std::size_t row_floats);
+
+  /// Bytes one cached row costs against the budget.
+  [[nodiscard]] static std::size_t slot_bytes(std::size_t row_floats) {
+    return row_floats * sizeof(float) + kSlotOverheadBytes;
+  }
+
+  /// Probe: returns the cached row (valid until the next insert) and sets
+  /// its reference bit, or nullptr on miss. Counts the hit/miss.
+  [[nodiscard]] const float* find(std::uint64_t key);
+
+  /// Admits a row, evicting one CLOCK victim when at capacity. Inserting
+  /// a key that is already cached refreshes its payload and reference bit
+  /// instead of duplicating it. No-op (dropped) when capacity is 0.
+  void insert(std::uint64_t key, std::span<const float> row);
+
+  [[nodiscard]] std::size_t capacity_rows() const noexcept {
+    return capacity_rows_;
+  }
+  [[nodiscard]] std::size_t size_rows() const noexcept { return index_.size(); }
+  [[nodiscard]] bool enabled() const noexcept { return capacity_rows_ > 0; }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  std::size_t row_floats_ = 0;
+  std::size_t capacity_rows_ = 0;
+
+  struct Slot {
+    std::uint64_t key = 0;
+    bool referenced = false;
+  };
+  std::vector<Slot> slots_;
+  std::vector<float> payload_;  ///< capacity_rows x row_floats, slot-indexed
+  std::unordered_map<std::uint64_t, std::size_t> index_;  ///< key -> slot
+  std::size_t hand_ = 0;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dlcomp

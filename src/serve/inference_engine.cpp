@@ -27,7 +27,22 @@ InferenceEngine::InferenceEngine(const DatasetSpec& spec,
   }
 }
 
+void InferenceEngine::use_store(ShardedEmbeddingStore* store) {
+  if (store == nullptr) {
+    router_.reset();
+    model_.set_lookup_provider(nullptr);
+    return;
+  }
+  router_ = std::make_unique<ShardRouter>(*store);
+  model_.set_lookup_provider(
+      [this](std::size_t table, std::span<const std::uint32_t> indices,
+             Matrix& out) { router_->gather(table, indices, out); });
+}
+
 DlrmModel::TableTransform InferenceEngine::lookup_transform() {
+  // Sharded serving: the store's pages are already codec round-tripped,
+  // so a second in-engine round-trip would double the error.
+  if (router_ != nullptr) return nullptr;
   if (codec_ == nullptr) return nullptr;
   return [this](std::size_t /*table*/, Matrix& data) {
     DLCOMP_TRACE_SPAN("serve/codec_roundtrip");

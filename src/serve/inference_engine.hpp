@@ -14,6 +14,7 @@
 /// ServingSimulator runs one engine replica per worker.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "compress/workspace.hpp"
 #include "data/synthetic.hpp"
 #include "dlrm/model.hpp"
+#include "serve/router.hpp"
 
 namespace dlcomp {
 
@@ -51,6 +53,17 @@ class InferenceEngine {
   /// Scores a batch: per-sample click probabilities, through the codec
   /// round-trip when one is configured.
   std::vector<float> run(const SampleBatch& batch);
+
+  /// Serves embeddings from a sharded store instead of the model's own
+  /// tables: installs a private ShardRouter over `store` as the model's
+  /// LookupProvider. The store already holds codec-reconstructed rows, so
+  /// the engine's own per-lookup codec round-trip is disabled (it would
+  /// double-compress); byte/error accounting moves to the store. Pass
+  /// null to restore table-local serving. The store must outlive the
+  /// engine and may be shared by many engines (it locks per shard).
+  void use_store(ShardedEmbeddingStore* store);
+
+  [[nodiscard]] bool sharded() const noexcept { return router_ != nullptr; }
 
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool compressed() const noexcept { return codec_ != nullptr; }
@@ -88,6 +101,7 @@ class InferenceEngine {
   DlrmModel model_;
   const Compressor* codec_ = nullptr;  ///< registry singleton or null
   CompressParams params_;
+  std::unique_ptr<ShardRouter> router_;  ///< set by use_store(); engine-private
 
   double max_lookup_error_ = 0.0;
   std::size_t lookup_input_bytes_ = 0;

@@ -1,0 +1,40 @@
+#include "serve/router.hpp"
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace dlcomp {
+
+ShardRouter::ShardRouter(ShardedEmbeddingStore& store)
+    : store_(store),
+      shard_rows_(store.num_shards()),
+      shard_positions_(store.num_shards()) {}
+
+void ShardRouter::gather(std::size_t table,
+                         std::span<const std::uint32_t> indices, Matrix& out) {
+  DLCOMP_CHECK(out.rows() == indices.size() && out.cols() == store_.dim());
+  DLCOMP_TRACE_SPAN("serve/scatter_gather");
+
+  for (auto& rows : shard_rows_) rows.clear();
+  for (auto& positions : shard_positions_) positions.clear();
+
+  // Scatter: batch position order within each shard (deterministic cache
+  // admission order, see router.hpp).
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t shard = store_.shard_of(table, indices[i]);
+    shard_rows_[shard].push_back(indices[i]);
+    shard_positions_[shard].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Resolve + merge: each shard writes its partial rows straight into the
+  // output matrix at the scattered positions.
+  for (std::size_t shard = 0; shard < shard_rows_.size(); ++shard) {
+    if (shard_rows_[shard].empty()) continue;
+    store_.resolve(shard, table, shard_rows_[shard], shard_positions_[shard],
+                   out);
+    ++partials_issued_;
+  }
+  ++gathers_;
+}
+
+}  // namespace dlcomp

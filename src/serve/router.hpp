@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file router.hpp
+/// Scatter/gather front of the sharded embedding tier. For each table of
+/// a batch the router splits the index list by owning shard (scatter),
+/// has every touched shard resolve its slice — hot cache or page fault —
+/// and the partial results land directly in the caller's batch matrix at
+/// the original row positions (gather/merge), the host-merge step of
+/// UPMEM-DLRM's partitioned lookup.
+///
+/// The merge is position-addressed, so it is trivially order-independent:
+/// the gathered matrix is bitwise identical to a whole-table lookup of
+/// the same values regardless of shard count. Requests within one shard
+/// keep ascending batch-position order, which pins the cache's
+/// hit/miss/eviction sequence (see shard_store.hpp).
+///
+/// A router is NOT thread-safe (it keeps per-shard scatter scratch, like
+/// the engine keeps forward caches); each InferenceEngine owns one,
+/// all routing into the fleet-shared store.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/shard_store.hpp"
+#include "tensor/matrix.hpp"
+
+namespace dlcomp {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardedEmbeddingStore& store);
+
+  /// Gathers `indices` of `table` into `out` (indices.size() x dim):
+  /// scatter by shard owner, per-shard resolve, position-addressed merge.
+  void gather(std::size_t table, std::span<const std::uint32_t> indices,
+              Matrix& out);
+
+  [[nodiscard]] ShardedEmbeddingStore& store() noexcept { return store_; }
+
+  /// Per-shard lookup requests issued so far (fan-out accounting: one
+  /// gather touching k shards issues k partials).
+  [[nodiscard]] std::uint64_t partials_issued() const noexcept {
+    return partials_issued_;
+  }
+  [[nodiscard]] std::uint64_t gathers() const noexcept { return gathers_; }
+
+ private:
+  ShardedEmbeddingStore& store_;
+  /// Scatter scratch, reused across gathers (steady state allocates
+  /// nothing once every shard's vectors hit their high-water mark).
+  std::vector<std::vector<std::uint32_t>> shard_rows_;
+  std::vector<std::vector<std::uint32_t>> shard_positions_;
+
+  std::uint64_t partials_issued_ = 0;
+  std::uint64_t gathers_ = 0;
+};
+
+}  // namespace dlcomp

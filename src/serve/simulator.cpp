@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -30,7 +31,8 @@ ServingReport ServingSimulator::run() {
   const LoadGenerator generator(config_.load);
   const BatchScheduler scheduler(config_.scheduler);
   const std::vector<Query> queries = generator.generate();
-  const std::vector<InferenceBatch> batches = scheduler.schedule(queries);
+  const SchedulePlan sched_plan = scheduler.plan(queries);
+  const std::vector<InferenceBatch>& batches = sched_plan.batches;
 
   unsigned replicas = config_.replicas;
   if (replicas == 0) {
@@ -62,6 +64,19 @@ ServingReport ServingSimulator::run() {
     }
   }
 
+  // Sharded tier: one store built from replica 0's (now checkpoint-loaded)
+  // tables, shared by every engine. Built after weight loading so the
+  // fleet serves the trained embeddings, and with a temporary pool so the
+  // page compression runs parallel (stored bytes are pool-invariant).
+  std::unique_ptr<ShardedEmbeddingStore> store;
+  if (config_.store.num_shards > 0) {
+    ThreadPool build_pool;
+    store = std::make_unique<ShardedEmbeddingStore>(
+        config_.spec, engines.front().model().tables(), config_.store,
+        &build_pool);
+    for (InferenceEngine& engine : engines) engine.use_store(store.get());
+  }
+
   std::vector<LatencyRecorder> recorders(replicas);
   std::vector<double> service_seconds(replicas, 0.0);
 
@@ -75,6 +90,12 @@ ServingReport ServingSimulator::run() {
     live_batches = &config_.live_metrics->counter("serve/batches_done");
     live_latency = &config_.live_metrics->histogram(
         "serve/latency_s", LatencyRecorder::default_buckets());
+    if (store != nullptr) {
+      store->bind_live_counters(
+          &config_.live_metrics->counter("serve/cache_hits"),
+          &config_.live_metrics->counter("serve/cache_misses"),
+          &config_.live_metrics->counter("serve/pages_decompressed"));
+    }
   }
   if (config_.status != nullptr) {
     config_.status->set_total_iterations(batches.size());
@@ -140,14 +161,21 @@ ServingReport ServingSimulator::run() {
   LatencyRecorder merged;
   for (const LatencyRecorder& r : recorders) merged.merge(r);
 
+  const std::size_t served_queries = queries.size() - sched_plan.shed.size();
+
   ServingReport report;
   report.latency = merged.summary();
   report.offered_qps = config_.load.qps;
   report.achieved_qps =
       busiest_replica_s > 0.0
-          ? static_cast<double>(queries.size()) / busiest_replica_s
+          ? static_cast<double>(served_queries) / busiest_replica_s
           : 0.0;
   report.queries = queries.size();
+  report.shed_queries = sched_plan.shed.size();
+  report.shed_rate = queries.empty()
+                         ? 0.0
+                         : static_cast<double>(report.shed_queries) /
+                               static_cast<double>(queries.size());
   report.batches = batches.size();
   report.serve_wall_s = serve_wall_s;
   report.sim_span_s = queries.empty() ? 0.0 : queries.back().arrival_s;
@@ -178,6 +206,11 @@ ServingReport ServingSimulator::run() {
       comp_bytes == 0 ? 0.0
                       : static_cast<double>(in_bytes) /
                             static_cast<double>(comp_bytes);
+  if (store != nullptr) {
+    report.store_stats = store->stats();
+    report.lookup_compression_ratio = report.store_stats.ratio();
+    report.max_lookup_error = report.store_stats.max_abs_error;
+  }
 
   // ---- Metrics snapshot: latency recorder -> histogram metric, plus
   // queue depth and the fleet counters.
@@ -203,15 +236,44 @@ ServingReport ServingSimulator::run() {
   snap.set("serve/lookup_input_bytes", static_cast<double>(in_bytes));
   snap.set("serve/lookup_compressed_bytes",
            static_cast<double>(comp_bytes));
+  snap.set("serve/shed_queries", static_cast<double>(report.shed_queries));
+  snap.set("serve/shed_rate", report.shed_rate);
+  if (store != nullptr) {
+    const ShardStoreStats& s = report.store_stats;
+    snap.set("serve/shards", static_cast<double>(config_.store.num_shards));
+    snap.set("serve/cache_hits", static_cast<double>(s.hits));
+    snap.set("serve/cache_misses", static_cast<double>(s.misses));
+    snap.set("serve/cache_hit_rate", s.hit_rate());
+    snap.set("serve/cache_evictions", static_cast<double>(s.evictions));
+    snap.set("serve/cache_resident_rows",
+             static_cast<double>(s.resident_rows));
+    snap.set("serve/cache_capacity_rows",
+             static_cast<double>(s.capacity_rows));
+    snap.set("serve/cache_budget_bytes",
+             static_cast<double>(config_.store.cache_budget_bytes));
+    snap.set("serve/pages_decompressed",
+             static_cast<double>(s.pages_loaded));
+    snap.set("serve/store_input_bytes", static_cast<double>(s.input_bytes));
+    snap.set("serve/store_stored_bytes",
+             static_cast<double>(s.stored_bytes));
+    snap.set("serve/store_cr", s.ratio());
+  }
   return report;
 }
 
 std::string format_serving_table(const ServingReport& exact,
                                  const ServingReport& compressed) {
+  const std::pair<std::string, const ServingReport*> rows[] = {
+      {"exact", &exact}, {"compressed", &compressed}};
+  return format_serving_table(rows);
+}
+
+std::string format_serving_table(
+    std::span<const std::pair<std::string, const ServingReport*>> rows) {
   TablePrinter table({"path", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms",
                       "mean ms", "achieved qps", "batch", "ratio",
                       "max err"});
-  const auto row = [&](const char* name, const ServingReport& r) {
+  const auto row = [&](const std::string& name, const ServingReport& r) {
     table.add_row({name, TablePrinter::num(r.latency.p50_s * 1e3, 3),
                    TablePrinter::num(r.latency.p95_s * 1e3, 3),
                    TablePrinter::num(r.latency.p99_s * 1e3, 3),
@@ -226,8 +288,7 @@ std::string format_serving_table(const ServingReport& exact,
                        ? TablePrinter::num(r.max_lookup_error, 5)
                        : std::string("-")});
   };
-  row("exact", exact);
-  row("compressed", compressed);
+  for (const auto& [name, report] : rows) row(name, *report);
   return table.to_string();
 }
 

@@ -16,13 +16,16 @@
 /// scoring throughput against the offered load.
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "common/latency_recorder.hpp"
 #include "data/dataset_spec.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/load_generator.hpp"
+#include "serve/shard_store.hpp"
 
 namespace dlcomp {
 
@@ -33,6 +36,13 @@ struct ServingConfig {
   LoadGenConfig load;
   BatchSchedulerConfig scheduler;
   EngineConfig engine;
+  /// Sharded serving tier: when store.num_shards > 0 one
+  /// ShardedEmbeddingStore is built from replica 0's (checkpoint-loaded)
+  /// tables and shared by the whole fleet — every engine routes lookups
+  /// through it (hot cache over compressed pages) instead of its own
+  /// weights, and the engine-level codec round-trip is disabled. The
+  /// scheduler's SLO admission (scheduler.slo_s) composes independently.
+  ShardStoreConfig store;
   /// Workload shapes (tables, dims) the engines serve.
   DatasetSpec spec;
   DlrmConfig model;
@@ -64,9 +74,18 @@ struct ServingReport {
   double serve_wall_s = 0.0;
   double sim_span_s = 0.0;       ///< simulated arrival span of the stream
   double mean_service_s = 0.0;   ///< mean per-batch forward wall time
-  /// Compression telemetry (0 when serving exact).
+  /// Compression telemetry (0 when serving exact). When the sharded store
+  /// is on these report the *store's* at-rest ratio and reconstruction
+  /// error (the engine-level round-trip is disabled then).
   double max_lookup_error = 0.0;
   double lookup_compression_ratio = 0.0;
+
+  /// SLO admission (0 unless scheduler.slo_s > 0).
+  std::size_t shed_queries = 0;
+  double shed_rate = 0.0;  ///< shed / offered
+
+  /// Sharded-store telemetry (all 0 when store.num_shards == 0).
+  ShardStoreStats store_stats;
 
   /// Machine-readable telemetry under "serve/": the merged latency
   /// recorder as a histogram metric (quantiles via the shared
@@ -97,5 +116,9 @@ class ServingSimulator {
 /// print: latency percentiles, achieved QPS, compression ratio, max error.
 std::string format_serving_table(const ServingReport& exact,
                                  const ServingReport& compressed);
+
+/// Same table with caller-chosen row labels (e.g. "exact" vs "sharded").
+std::string format_serving_table(
+    std::span<const std::pair<std::string, const ServingReport*>> rows);
 
 }  // namespace dlcomp

@@ -65,6 +65,13 @@
 #include "compress/simd.hpp"
 #endif
 
+// The sharded serving tier (compressed pages + hot-row cache) lands with
+// the serving-scale PR; same guard so earlier revisions still build.
+#if __has_include("serve/shard_store.hpp")
+#define DLCOMP_HAS_SERVING_SCALE 1
+#include "serve/simulator.hpp"
+#endif
+
 namespace {
 
 using namespace dlcomp;
@@ -796,6 +803,78 @@ ParallelCodecReport measure_parallel_codec(std::size_t reps) {
 
 #endif  // DLCOMP_HAS_PARALLEL_CODEC
 
+struct ServingScaleRow {
+  std::size_t budget_mib = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t pages_decompressed = 0;
+  std::uint64_t shed = 0;
+};
+
+struct ServingScaleReport {
+  std::size_t shards = 0;
+  std::size_t rows_per_page = 0;
+  double store_ratio = 0.0;       ///< at-rest input/stored bytes
+  double store_max_error = 0.0;   ///< at-rest reconstruction error
+  double cache_hit_rate = 0.0;    ///< best (largest-budget) sweep point
+  std::vector<ServingScaleRow> rows;
+};
+
+#if defined(DLCOMP_HAS_SERVING_SCALE)
+
+/// Sharded serving tier: p99 latency against offered QPS at three hot-
+/// cache budgets (the bench_serving_scale curve, sized for a report run).
+/// Hit/miss/shed counts and the at-rest ratio are deterministic in the
+/// query stream; the latency columns are wall time on this machine.
+ServingScaleReport measure_serving_scale(bool smoke) {
+  ServingScaleReport report;
+  ServingConfig base;
+  base.load.num_queries = smoke ? 300 : 1500;
+  base.load.mean_query_size = 16;
+  base.load.max_query_size = 128;
+  base.scheduler.max_batch_samples = 256;
+  base.scheduler.max_delay_s = 0.002;
+  base.scheduler.slo_s = 0.250;
+  base.scheduler.modeled_servers = 4;
+  base.replicas = 4;
+  base.spec = DatasetSpec::small_training_proxy(26, 16);
+  base.seed = 1234;
+  base.store.num_shards = 4;
+  base.store.rows_per_page = 256;
+  base.store.codec = "hybrid";
+  base.store.error_bound = 0.01;
+  report.shards = base.store.num_shards;
+  report.rows_per_page = base.store.rows_per_page;
+
+  const double qps_points[] = {2000.0, 8000.0};
+  const std::size_t budgets_mib[] = {1, 4, 16};
+  for (const std::size_t budget : budgets_mib) {
+    for (const double qps : qps_points) {
+      ServingConfig config = base;
+      config.load.qps = qps;
+      config.store.cache_budget_bytes = budget << 20;
+      const ServingReport r = ServingSimulator(config).run();
+      ServingScaleRow row;
+      row.budget_mib = budget;
+      row.qps = qps;
+      row.p50_ms = r.latency.p50_s * 1e3;
+      row.p99_ms = r.latency.p99_s * 1e3;
+      row.hit_rate = r.store_stats.hit_rate();
+      row.pages_decompressed = r.store_stats.pages_loaded;
+      row.shed = r.shed_queries;
+      report.rows.push_back(row);
+      report.store_ratio = r.store_stats.ratio();
+      report.store_max_error = r.store_stats.max_abs_error;
+      report.cache_hit_rate = std::max(report.cache_hit_rate, row.hit_rate);
+    }
+  }
+  return report;
+}
+
+#endif  // DLCOMP_HAS_SERVING_SCALE
+
 /// Pulls one numeric field for one codec back out of a previously
 /// emitted report (our own stable format — no JSON library needed).
 double baseline_field(const std::string& json, const std::string& codec,
@@ -813,6 +892,7 @@ void write_json(const std::string& path, const std::string& label,
                 const OverlapReport& overlap,
                 const TransportReport& transport,
                 const ParallelCodecReport* parallel,
+                const ServingScaleReport* serving,
                 const DataPipelineReport& data,
                 const ObservabilityReport& obs,
                 const std::string& baseline_json) {
@@ -919,6 +999,38 @@ void write_json(const std::string& path, const std::string& label,
                       ? t8.decompress_mbps / t1.decompress_mbps
                       : 0.0);
     out << buf;
+  }
+  if (serving != nullptr) {
+    const auto& s = *serving;
+    std::size_t budgets = 0;
+    std::size_t prev_budget = 0;
+    for (const auto& row : s.rows) {
+      if (row.budget_mib != prev_budget) ++budgets;
+      prev_budget = row.budget_mib;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  \"serving_scale\": {\"shards\": %zu, "
+                  "\"rows_per_page\": %zu, \"budgets\": %zu, "
+                  "\"store_ratio\": %.3f, \"store_max_err\": %.6f, "
+                  "\"cache_hit_rate\": %.4f,\n",
+                  s.shards, s.rows_per_page, budgets, s.store_ratio,
+                  s.store_max_error, s.cache_hit_rate);
+    out << buf;
+    for (std::size_t i = 0; i < s.rows.size(); ++i) {
+      const auto& row = s.rows[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    \"b%zu_q%d_p99_ms\": %.3f, \"b%zu_q%d_hit_rate\": %.4f, "
+          "\"b%zu_q%d_pages\": %llu, \"b%zu_q%d_shed\": %llu%s\n",
+          row.budget_mib, static_cast<int>(row.qps), row.p99_ms,
+          row.budget_mib, static_cast<int>(row.qps), row.hit_rate,
+          row.budget_mib, static_cast<int>(row.qps),
+          static_cast<unsigned long long>(row.pages_decompressed),
+          row.budget_mib, static_cast<int>(row.qps),
+          static_cast<unsigned long long>(row.shed),
+          i + 1 < s.rows.size() ? "," : "},");
+      out << buf;
+    }
   }
   std::snprintf(buf, sizeof(buf),
                 "  \"observability\": {\"span_ns\": %.1f, "
@@ -1142,6 +1254,20 @@ int main(int argc, char** argv) {
               parallel_report.crc_identical ? "yes" : "NO");
 #endif
 
+  const ServingScaleReport* serving = nullptr;
+#if defined(DLCOMP_HAS_SERVING_SCALE)
+  const ServingScaleReport serving_report =
+      measure_serving_scale(args.has("--smoke"));
+  serving = &serving_report;
+  for (const auto& row : serving_report.rows) {
+    std::printf("serving@%zuMiB offered %6.0f qps  p99 %8.3f ms  hit %5.3f  "
+                "pages %llu  shed %llu\n",
+                row.budget_mib, row.qps, row.p99_ms, row.hit_rate,
+                static_cast<unsigned long long>(row.pages_decompressed),
+                static_cast<unsigned long long>(row.shed));
+  }
+#endif
+
   const DataPipelineReport data_pipeline = measure_dataset_pipeline(reps);
   std::printf("dataset      convert %8.1f MB/s  read %10.1f MB/s  "
               "(%zu samples, %zu shards, grow %lld)\n",
@@ -1156,7 +1282,7 @@ int main(int argc, char** argv) {
               obs.steady_grow_events);
 
   write_json(out_path, label, input.size() * sizeof(float), reps, reports,
-             a2a, overlap, transport, parallel, data_pipeline, obs,
+             a2a, overlap, transport, parallel, serving, data_pipeline, obs,
              baseline_json);
   std::cout << "wrote " << out_path << "\n";
 

@@ -460,9 +460,17 @@ constexpr const char* kServeUsage =
     "usage: dlcomp serve [--pattern poisson|bursty|diurnal] [--qps N]\n"
     "    [--queries N] [--query-size N] [--max-batch N]\n"
     "    [--max-delay-ms X] [--codec NAME] [--eb X]\n"
-    "    [--dataset kaggle|terabyte|small] [--replicas N] [--seed N]\n"
-    "    [--checkpoint model.dlck]\n"
+    "    [--dataset kaggle|terabyte|small] [--model dlrm|widedeep|ncf]\n"
+    "    [--replicas N] [--seed N] [--checkpoint model.dlck]\n"
+    "    [--shards N] [--rows-per-page N] [--cache-mb X] [--slo-ms X]\n"
     "    [--metrics-port N] [--linger-ms N]\n"
+    "serves an exact baseline run, then a codec round-trip run -- or,\n"
+    "with --shards N > 0, a sharded-store run: tables partitioned into\n"
+    "compressed pages across N shard groups, a hot-row CLOCK cache of\n"
+    "--cache-mb MiB total in front (decompress-on-miss), lookups\n"
+    "scatter/gathered per query; --slo-ms sheds queries at admission\n"
+    "when the modeled backlog would blow the latency objective.\n"
+    "--model picks the interaction architecture (model zoo).\n"
     "--metrics-port starts the observability HTTP server on 127.0.0.1\n"
     "(0 = ephemeral; the bound port is printed) exposing /metrics\n"
     "(Prometheus), /healthz, /readyz and /status while the run serves;\n"
@@ -473,8 +481,10 @@ int cmd_serve(int argc, char** argv) {
   const ArgParser args(argc, argv, 2,
                        {"--pattern", "--qps", "--queries", "--query-size",
                         "--max-batch", "--max-delay-ms", "--codec", "--eb",
-                        "--dataset", "--replicas", "--seed", "--checkpoint",
-                        "--metrics-port", "--linger-ms"});
+                        "--dataset", "--model", "--replicas", "--seed",
+                        "--checkpoint", "--shards", "--rows-per-page",
+                        "--cache-mb", "--slo-ms", "--metrics-port",
+                        "--linger-ms"});
   if (!args.positionals().empty()) throw Error("serve takes no positionals");
 
   ServingConfig config;
@@ -492,9 +502,18 @@ int cmd_serve(int argc, char** argv) {
   config.load.seed = args.u64("--seed", config.load.seed);
   config.seed = config.load.seed;
   config.replicas = static_cast<unsigned>(args.uint("--replicas", 0));
+  config.model.arch = parse_model_arch(args.str("--model", "dlrm"));
   const std::string codec = args.str("--codec", "hybrid");
   const double eb = args.num("--eb", 0.01);
   const std::string checkpoint = args.str("--checkpoint");
+  const std::size_t shards = args.uint("--shards", 0);
+  const double slo_ms = args.num("--slo-ms", 0.0);
+  if (slo_ms > 0.0) {
+    config.scheduler.slo_s = slo_ms * 1e-3;
+    config.scheduler.modeled_servers = std::max<std::size_t>(
+        1, config.replicas > 0 ? config.replicas
+                               : std::thread::hardware_concurrency());
+  }
 
   (void)get_compressor(codec);  // fail on unknown codecs before serving
   config.engine.checkpoint_path = checkpoint;
@@ -543,9 +562,19 @@ int cmd_serve(int argc, char** argv) {
     last_report = exact.metrics;
   }
 
-  board.set_state("serving compressed");
-  config.engine.codec = codec;
-  config.engine.error_bound = eb;
+  const char* variant = shards > 0 ? "sharded" : "compressed";
+  board.set_state(shards > 0 ? "serving sharded" : "serving compressed");
+  if (shards > 0) {
+    config.store.num_shards = shards;
+    config.store.rows_per_page = args.uint("--rows-per-page", 256);
+    config.store.cache_budget_bytes = static_cast<std::size_t>(
+        args.num("--cache-mb", 4.0) * 1024.0 * 1024.0);
+    config.store.codec = codec == "none" ? "" : codec;
+    config.store.error_bound = eb;
+  } else {
+    config.engine.codec = codec;
+    config.engine.error_bound = eb;
+  }
   ServingReport compressed = ServingSimulator(config).run();
   {
     std::lock_guard lock(report_mutex);
@@ -554,14 +583,33 @@ int cmd_serve(int argc, char** argv) {
   board.set_state("done");
 
   std::printf("exact:      %s\n", format_latency(exact.latency).c_str());
-  std::printf("compressed: %s  (%s eb=%g)\n\n",
+  std::printf("%s: %s  (%s eb=%g)\n\n", variant,
               format_latency(compressed.latency).c_str(), codec.c_str(), eb);
-  std::printf("%s\n", format_serving_table(exact, compressed).c_str());
+  const std::pair<std::string, const ServingReport*> rows[] = {
+      {"exact", &exact}, {variant, &compressed}};
+  std::printf("%s\n", format_serving_table(rows).c_str());
   std::printf(
-      "achieved qps: exact %.0f, compressed %.0f (offered %.0f); "
-      "compressed max lookup error %.6g (bound %g)\n",
-      exact.achieved_qps, compressed.achieved_qps, exact.offered_qps,
-      compressed.max_lookup_error, eb);
+      "achieved qps: exact %.0f, %s %.0f (offered %.0f); "
+      "%s max lookup error %.6g (bound %g)\n",
+      exact.achieved_qps, variant, compressed.achieved_qps, exact.offered_qps,
+      variant, compressed.max_lookup_error, eb);
+  if (shards > 0) {
+    const ShardStoreStats& s = compressed.store_stats;
+    std::printf(
+        "store: %zu shards, %zu rows/page, cache %zu/%zu rows resident, "
+        "hit rate %.3f (%llu hits, %llu misses, %llu evictions), "
+        "%llu pages decompressed, at-rest ratio %.2f\n",
+        shards, config.store.rows_per_page, s.resident_rows, s.capacity_rows,
+        s.hit_rate(), static_cast<unsigned long long>(s.hits),
+        static_cast<unsigned long long>(s.misses),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<unsigned long long>(s.pages_loaded), s.ratio());
+  }
+  if (config.scheduler.slo_s > 0.0) {
+    std::printf("slo: %.2f ms, shed %zu/%zu queries (%.3f)\n", slo_ms,
+                compressed.shed_queries, compressed.queries,
+                compressed.shed_rate);
+  }
 
   if (obs != nullptr) {
     const auto linger_ms = args.uint("--linger-ms", 0);
